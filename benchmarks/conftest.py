@@ -1,0 +1,41 @@
+"""Benchmark fixtures: the full paper-scale world and experiment context.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+paper's scale (40 GFT tables with 1371 gold references, 36 wiki tables,
+~30k-page web).  The context is built once per session; the rendered
+artefacts are written to ``benchmarks/output/`` so the numbers can be
+compared against the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval import experiments
+from repro.synth.world import WorldConfig
+
+
+@pytest.fixture(scope="session")
+def full_context():
+    """The paper-scale experiment context (built once, ~1 minute)."""
+    return experiments.build_context(WorldConfig())
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    path = Path(__file__).parent / "output"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture()
+def save_artifact(artifact_dir):
+    """Write a rendered experiment to benchmarks/output/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        (artifact_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to benchmarks/output/{name}.txt]")
+
+    return _save

@@ -1,0 +1,52 @@
+"""Benchmarks A1 / A2: ablations of the design choices in DESIGN.md.
+
+A1 removes the 1/o repetition factor from Equation 2 -- the Figure 8
+repeated-label columns must then win column competitions and drag F down.
+A2 sweeps the top-k snippet count and the majority threshold -- the paper's
+(k=10, strict majority) sits at or near the sweet spot.
+"""
+
+from repro.eval import ablation
+
+
+def test_bench_ablation_repetition(benchmark, full_context, save_artifact):
+    result = benchmark.pedantic(
+        ablation.run_repetition_ablation,
+        args=(full_context,),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("ablation_repetition", result.render())
+
+    # The factor must help on average ...
+    assert result.mean_gain() > 0.0
+    # ... and decisively on the types with repeated-label columns.
+    for type_key in ("museum", "singer", "mine"):
+        assert (
+            result.with_factor[type_key] >= result.without_factor[type_key]
+        ), type_key
+    # Somewhere the no-factor variant visibly collapses.
+    worst_drop = max(
+        result.with_factor[k] - result.without_factor[k]
+        for k in result.with_factor
+    )
+    assert worst_drop > 0.1
+
+
+def test_bench_ablation_topk(benchmark, full_context, save_artifact):
+    result = benchmark.pedantic(
+        ablation.run_topk_ablation, args=(full_context,), rounds=1, iterations=1
+    )
+    save_artifact("ablation_topk", result.render())
+
+    paper_setting = result.f_of(10, 0.5)
+    # The paper's setting is competitive: within epsilon of the sweep best.
+    best = max(result.scores.values())
+    assert paper_setting >= best - 0.05
+
+    # k=10 dominates k=3 at the strict-majority threshold.
+    assert paper_setting >= result.f_of(3, 0.5) - 0.02
+
+    # A permissive threshold must not beat the strict majority on F at k=10
+    # by much (precision pays for the recall).
+    assert result.f_of(10, 0.3) <= paper_setting + 0.05

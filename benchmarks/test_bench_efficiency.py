@@ -1,0 +1,40 @@
+"""Benchmark E1: the Section 6.4 efficiency study.
+
+Paper shape being verified: running time is dominated by remote-service
+latency -- about half a virtual second per row with spatial disambiguation
+enabled (the paper reports ~0.5 s/row on tables of up to 500 rows, one
+search query per candidate cell plus geocoding), scaling linearly in the
+number of rows.
+"""
+
+import pytest
+
+from repro.eval import experiments
+
+SIZES = (10, 50, 100, 250, 500)
+
+
+def test_bench_efficiency(benchmark, full_context, save_artifact):
+    result = benchmark.pedantic(
+        experiments.run_efficiency,
+        args=(full_context,),
+        kwargs={"sizes": SIZES},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("efficiency", result.render())
+
+    # Latency-dominated: every plain row costs one search (0.3 virtual s).
+    for n_rows, calls, _seconds, per_row in result.rows:
+        assert calls == n_rows
+        assert per_row == pytest.approx(0.3, abs=0.05)
+
+    # With disambiguation each row adds geocoding: ~0.5 s/row (the paper's
+    # headline number).
+    for n_rows, calls, _seconds, per_row in result.with_disambiguation:
+        assert calls >= n_rows
+        assert 0.4 <= per_row <= 0.6
+
+    # Linear scaling: per-row cost flat across table sizes.
+    per_row_values = [row[3] for row in result.rows]
+    assert max(per_row_values) - min(per_row_values) < 0.05

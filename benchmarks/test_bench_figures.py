@@ -1,0 +1,47 @@
+"""Benchmarks F6 / F7: regenerate the algorithmic figures.
+
+* Figure 6 -- the DBpedia category network excerpt under "Museums" and the
+  name-contains-type pruning heuristic that drops "Curators";
+* Figure 7 -- the toponym-disambiguation voting graph, on the paper's own
+  example cells (Pennsylvania Ave / Washington, Wofford Ln / College Park,
+  Clarksville St / Paris).
+"""
+
+from repro.eval import experiments
+
+
+def test_bench_figure6(benchmark, full_context, save_artifact):
+    result = benchmark.pedantic(
+        experiments.run_figure6, args=(full_context,), rounds=1, iterations=1
+    )
+    save_artifact("figure6", result.render())
+
+    # The walk finds subcategories; the heuristic drops the noisy one.
+    assert len(result.descendants) >= 5
+    assert "Curators" in result.dropped
+    assert all("museum" in c.lower() for c in result.kept if c != result.root)
+    assert result.n_positive_entities > 100  # paper-scale KB pool
+
+
+def test_bench_figure7(benchmark, full_context, save_artifact):
+    result = benchmark.pedantic(
+        experiments.run_figure7, args=(full_context,), rounds=1, iterations=1
+    )
+    save_artifact("figure7", result.render())
+
+    # The paper's resolution, cell by cell.
+    expected = {
+        (12, 1): "Pennsylvania Avenue, Washington, District of Columbia, USA",
+        (12, 2): "Washington, District of Columbia, USA",
+        (13, 1): "Wofford Lane, College Park, Maryland, USA",
+        (13, 2): "College Park, Maryland, USA",
+        (20, 1): "Clarksville Street, Paris, Texas, USA",
+        (20, 2): "Paris, Texas, USA",
+    }
+    assert result.chosen == expected
+
+    # Winning interpretations dominate their cells' score distributions.
+    for cell, scores in result.scores.items():
+        winner = result.chosen[cell]
+        assert scores[winner] == max(scores.values())
+        assert scores[winner] > 0.5

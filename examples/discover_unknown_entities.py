@@ -1,0 +1,63 @@
+"""The headline claim: discovering entities no catalogue knows (Section 1).
+
+Catalogue-based annotators (the Limaye baseline) can only annotate entities
+present in their catalogue -- and the paper measured that open datasets
+cover just 22 % of the entities in real tables.  This example builds a
+table of *unknown* museums (absent from the knowledge base), shows the
+Limaye baseline annotating nothing, and the web-search algorithm
+discovering them anyway.
+
+Run with::
+
+    python examples/discover_unknown_entities.py
+"""
+
+from repro import AnnotatorConfig, Column, ColumnType, EntityAnnotator, Table
+from repro import quickstart_world
+from repro.baselines.limaye import LimayeAnnotator
+
+
+def main() -> None:
+    print("Building world + training classifier ...")
+    world, classifier = quickstart_world(small=True)
+
+    coverage = world.catalogue.coverage(world.all_table_entity_names())
+    print(
+        f"\ncatalogue coverage of table entities: {coverage:.0%}"
+        " (the paper measured 22% across Yago/DBpedia/Freebase)"
+    )
+
+    unknown = [
+        e for e in world.table_entities("museum") if not e.in_kb
+    ][:8]
+    table = Table(
+        name="unknown-museums",
+        columns=[
+            Column("Name", ColumnType.TEXT),
+            Column("City", ColumnType.LOCATION),
+        ],
+        rows=[[e.table_name, e.city.name if e.city else ""] for e in unknown],
+    )
+    print(f"\ntable of {table.n_rows} museums, none of them in the catalogue:")
+    for row in table.rows:
+        print(f"  {row[0]}  ({row[1]})")
+
+    limaye = LimayeAnnotator(world.catalogue)
+    limaye_result = limaye.annotate_table(table, ["museum"])
+    print(f"\nLimaye-style baseline annotations: {len(limaye_result.cells)}")
+
+    annotator = EntityAnnotator(classifier, world.search_engine, AnnotatorConfig())
+    ours = annotator.annotate_table(table, ["museum"])
+    print(f"our algorithm's annotations:       {len(ours.cells)}")
+    for cell in ours.cells:
+        print(f"  {cell.cell_value!r} -> {cell.type_key} (score {cell.score:.2f})")
+
+    found = len(ours.annotated_rows("museum"))
+    print(
+        f"\ndiscovered {found}/{table.n_rows} previously unseen museums;"
+        " the catalogue-based baseline, by construction, found 0."
+    )
+
+
+if __name__ == "__main__":
+    main()

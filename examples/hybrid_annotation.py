@@ -1,0 +1,68 @@
+"""Hybrid annotation: the paper's Section 6.4 future work, implemented.
+
+"We may use Limaye to annotate entities that belong to a pre-compiled
+catalogue, and resort to the search engine only to annotate previously
+unseen entities ... this should bring down the running time."
+
+This example annotates a table that mixes catalogue-known and unknown
+museums, comparing the pure web pipeline against the hybrid annotator:
+same annotations, a fraction of the search queries (and therefore of the
+latency, which Section 6.4 shows dominates the cost).
+
+Run with::
+
+    python examples/hybrid_annotation.py
+"""
+
+from repro import AnnotatorConfig, Column, ColumnType, EntityAnnotator, Table
+from repro import quickstart_world
+from repro.core.hybrid import HybridAnnotator
+
+
+def main() -> None:
+    print("Building world + training classifier ...")
+    world, classifier = quickstart_world(small=True)
+
+    known = [e for e in world.table_entities("museum") if e.in_kb][:4]
+    unknown = [e for e in world.table_entities("museum") if not e.in_kb][:4]
+    table = Table(
+        name="mixed-museums",
+        columns=[Column("Name", ColumnType.TEXT)],
+        rows=[[e.table_name] for e in known + unknown],
+    )
+    print(
+        f"\ntable with {len(known)} catalogue-known and "
+        f"{len(unknown)} unknown museums"
+    )
+
+    engine = world.search_engine
+    start_queries = engine.query_count
+    start_elapsed = engine.clock.elapsed_seconds
+    pure = EntityAnnotator(classifier, engine, AnnotatorConfig())
+    pure_annotation = pure.annotate_table(table, ["museum"])
+    pure_queries = engine.query_count - start_queries
+    pure_seconds = engine.clock.elapsed_seconds - start_elapsed
+
+    start_queries = engine.query_count
+    start_elapsed = engine.clock.elapsed_seconds
+    hybrid = HybridAnnotator(classifier, engine, world.catalogue, AnnotatorConfig())
+    hybrid_annotation = hybrid.annotate_table(table, ["museum"])
+    hybrid_queries = engine.query_count - start_queries
+    hybrid_seconds = engine.clock.elapsed_seconds - start_elapsed
+
+    print(f"\npure web pipeline:  {len(pure_annotation.cells)} annotations,"
+          f" {pure_queries} queries, {pure_seconds:.1f} virtual s")
+    print(f"hybrid pipeline:    {len(hybrid_annotation.cells)} annotations,"
+          f" {hybrid_queries} queries, {hybrid_seconds:.1f} virtual s")
+    print(f"catalogue hits: {hybrid.stats.catalogue_hits},"
+          f" queries saved: {hybrid.stats.query_savings:.0%}")
+
+    print("\nhybrid annotations:")
+    for cell in hybrid_annotation.cells:
+        origin = "catalogue" if cell.score == 1.0 else "web      "
+        print(f"  [{origin}] {cell.cell_value!r} -> {cell.type_key}"
+              f" (score {cell.score:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works on machines without the
+``wheel`` package (PEP 660 editable builds need it; the legacy develop path
+does not).  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

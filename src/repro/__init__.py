@@ -1,0 +1,74 @@
+"""repro -- a reproduction of "Entity Discovery and Annotation in Tables".
+
+Quercini & Reynaud-Delaitre, EDBT 2013 (hal-00832639).
+
+The package implements the paper's algorithm -- discover the rows and cells
+of a table that name entities of ontology types, without a pre-compiled
+entity catalogue -- together with every substrate the paper's evaluation
+depends on, simulated offline: a web search engine over a synthetic corpus,
+a DBpedia-style knowledge base, a geocoder with ambiguous toponyms, a
+Google-Fusion-Tables service, two snippet classifiers, three baselines, the
+40-table evaluation corpus and the experiment harness that regenerates
+every table and figure of Section 6.
+
+Quick start::
+
+    from repro import quickstart_world, EntityAnnotator, AnnotatorConfig
+
+    world, classifier = quickstart_world()
+    annotator = EntityAnnotator(classifier, world.search_engine)
+    annotation = annotator.annotate_table(my_table, ["restaurant", "museum"])
+    for cell in annotation.cells:
+        print(cell.row, cell.column, cell.type_key, cell.score)
+
+See ``examples/`` for runnable end-to-end scenarios and ``DESIGN.md`` for
+the experiment index.
+"""
+
+from repro.classify.snippet import OTHER_LABEL, SnippetTypeClassifier
+from repro.core.annotator import EntityAnnotator
+from repro.core.config import AnnotatorConfig
+from repro.core.results import AnnotationRun, CellAnnotation, TableAnnotation
+from repro.core.training import TrainingCorpusBuilder
+from repro.synth.types import TYPE_SPECS, TypeSpec, type_spec
+from repro.synth.world import SyntheticWorld, WorldConfig
+from repro.tables.model import Column, ColumnType, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotationRun",
+    "AnnotatorConfig",
+    "CellAnnotation",
+    "Column",
+    "ColumnType",
+    "EntityAnnotator",
+    "OTHER_LABEL",
+    "SnippetTypeClassifier",
+    "SyntheticWorld",
+    "TYPE_SPECS",
+    "Table",
+    "TableAnnotation",
+    "TrainingCorpusBuilder",
+    "TypeSpec",
+    "WorldConfig",
+    "quickstart_world",
+    "type_spec",
+]
+
+
+def quickstart_world(
+    small: bool = True, backend: str = "svm", seed: int = 13
+) -> tuple[SyntheticWorld, SnippetTypeClassifier]:
+    """Build a world and a trained classifier in one call.
+
+    ``small=True`` (the default) uses the reduced-scale world, which builds
+    in a few seconds; pass ``small=False`` for the paper-scale world the
+    benchmarks use.
+    """
+    config = WorldConfig.small(seed=seed) if small else WorldConfig(seed=seed)
+    world = SyntheticWorld.build(config)
+    builder = TrainingCorpusBuilder(world.kb, world.search_engine, seed=seed)
+    train, _test, _stats = builder.build_split(list(TYPE_SPECS))
+    classifier = SnippetTypeClassifier(backend=backend).fit(train)
+    return world, classifier

@@ -1,0 +1,21 @@
+"""Baseline annotators evaluated against the algorithm (Sections 6.2-6.3).
+
+* :mod:`repro.baselines.type_in_name` -- TIN: annotate a cell iff it
+  literally contains the type name;
+* :mod:`repro.baselines.type_in_snippet` -- TIS: annotate iff the majority
+  of retrieved snippets contain the type name;
+* :mod:`repro.baselines.limaye` -- a catalogue-based collective annotator
+  standing in for Limaye et al. (2010), the comparison of Section 6.3.
+"""
+
+from repro.baselines.giuliano import GiulianoAnnotator
+from repro.baselines.limaye import LimayeAnnotator
+from repro.baselines.type_in_name import TypeInNameAnnotator
+from repro.baselines.type_in_snippet import TypeInSnippetAnnotator
+
+__all__ = [
+    "GiulianoAnnotator",
+    "LimayeAnnotator",
+    "TypeInNameAnnotator",
+    "TypeInSnippetAnnotator",
+]

@@ -1,0 +1,56 @@
+"""Text classifiers used to type snippets (Section 5.2.1 / 6.1).
+
+The paper trains two classifiers over snippet features: a C-SVC support
+vector machine (LibSVM, RBF kernel, grid search with 10-fold cross
+validation) and a Naive Bayes classifier (LingPipe, prior counts 1.0, length
+normalisation off).  This package re-implements both from scratch on numpy /
+scipy.sparse:
+
+* :mod:`repro.classify.naive_bayes` -- multinomial Naive Bayes;
+* :mod:`repro.classify.linear_svm` -- batch subgradient linear SVM, the
+  corpus-scale default;
+* :mod:`repro.classify.kernel_svm` -- SMO-trained kernel SVM (RBF / linear),
+  faithful to the paper's C-SVC at small scale;
+* :mod:`repro.classify.grid_search` -- parameter grid search with k-fold CV
+  (Hsu, Chang & Lin procedure);
+* :mod:`repro.classify.metrics` -- precision / recall / F-measure;
+* :mod:`repro.classify.snippet` -- the multi-class snippet-typing facade the
+  annotator consumes.
+"""
+
+from repro.classify.base import LabelEncoder, OneVsRestClassifier
+from repro.classify.dataset import TextDataset, train_test_split
+from repro.classify.grid_search import GridSearchResult, grid_search, k_fold_indices
+from repro.classify.kernel_svm import KernelSVC, linear_kernel, rbf_kernel
+from repro.classify.linear_svm import LinearSVM
+from repro.classify.metrics import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    f_measure,
+    precision_recall_f1,
+)
+from repro.classify.naive_bayes import MultinomialNaiveBayes
+from repro.classify.snippet import OTHER_LABEL, SnippetTypeClassifier
+
+__all__ = [
+    "ClassificationReport",
+    "GridSearchResult",
+    "KernelSVC",
+    "LabelEncoder",
+    "LinearSVM",
+    "MultinomialNaiveBayes",
+    "OTHER_LABEL",
+    "OneVsRestClassifier",
+    "SnippetTypeClassifier",
+    "TextDataset",
+    "accuracy",
+    "confusion_matrix",
+    "f_measure",
+    "grid_search",
+    "k_fold_indices",
+    "linear_kernel",
+    "precision_recall_f1",
+    "rbf_kernel",
+    "train_test_split",
+]

@@ -1,0 +1,84 @@
+"""Shared classifier infrastructure: label encoding and one-vs-rest."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+from scipy import sparse
+
+
+class BinaryClassifier(Protocol):
+    """Protocol for binary margin classifiers trained on +1 / -1 labels."""
+
+    def fit(self, X: sparse.csr_matrix, y: np.ndarray) -> "BinaryClassifier":
+        """Train on feature matrix *X* and labels *y* in ``{-1, +1}``."""
+        ...
+
+    def decision_function(self, X: sparse.csr_matrix) -> np.ndarray:
+        """Signed margins; positive means the positive class."""
+        ...
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integer codes."""
+
+    def __init__(self) -> None:
+        self.classes_: list[str] = []
+        self._code: dict[str, int] = {}
+
+    def fit(self, labels: Sequence[str]) -> "LabelEncoder":
+        """Learn the label set (sorted for determinism)."""
+        self.classes_ = sorted(set(labels))
+        self._code = {label: i for i, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, labels: Sequence[str]) -> np.ndarray:
+        """Encode *labels*; raises ``KeyError`` on unseen labels."""
+        return np.asarray([self._code[label] for label in labels], dtype=np.int64)
+
+    def fit_transform(self, labels: Sequence[str]) -> np.ndarray:
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, codes: np.ndarray) -> list[str]:
+        """Decode integer codes back to labels."""
+        return [self.classes_[int(code)] for code in codes]
+
+    def __len__(self) -> int:
+        return len(self.classes_)
+
+
+class OneVsRestClassifier:
+    """Multi-class classification by one binary margin classifier per class.
+
+    The winning class is the one with the largest decision-function value,
+    which is how LibSVM-style tools reduce C-SVC to multi-class problems.
+    """
+
+    def __init__(self, factory: Callable[[], BinaryClassifier]) -> None:
+        self._factory = factory
+        self.encoder = LabelEncoder()
+        self.estimators_: list[BinaryClassifier] = []
+
+    def fit(self, X: sparse.csr_matrix, labels: Sequence[str]) -> "OneVsRestClassifier":
+        """Train one binary classifier per distinct label in *labels*."""
+        codes = self.encoder.fit_transform(labels)
+        self.estimators_ = []
+        for class_code in range(len(self.encoder)):
+            y = np.where(codes == class_code, 1.0, -1.0)
+            estimator = self._factory()
+            estimator.fit(X, y)
+            self.estimators_.append(estimator)
+        return self
+
+    def decision_matrix(self, X: sparse.csr_matrix) -> np.ndarray:
+        """``(n_samples, n_classes)`` matrix of per-class margins."""
+        if not self.estimators_:
+            raise RuntimeError("OneVsRestClassifier is not fitted")
+        columns = [est.decision_function(X) for est in self.estimators_]
+        return np.column_stack(columns)
+
+    def predict(self, X: sparse.csr_matrix) -> list[str]:
+        """Predicted label for each row of *X*."""
+        margins = self.decision_matrix(X)
+        return self.encoder.inverse_transform(np.argmax(margins, axis=1))

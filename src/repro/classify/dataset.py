@@ -1,0 +1,100 @@
+"""Labeled text dataset containers and the 75/25 split of Section 5.2.1."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass
+class TextDataset:
+    """A labelled collection of snippets.
+
+    Invariant: ``len(texts) == len(labels)``; enforced at construction.
+    """
+
+    texts: list[str] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.texts) != len(self.labels):
+            raise ValueError(
+                f"texts ({len(self.texts)}) and labels ({len(self.labels)}) "
+                "must have equal length"
+            )
+
+    def __len__(self) -> int:
+        return len(self.texts)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(zip(self.texts, self.labels))
+
+    def add(self, text: str, label: str) -> None:
+        """Append one labelled snippet."""
+        self.texts.append(text)
+        self.labels.append(label)
+
+    def extend(self, pairs: Iterable[tuple[str, str]]) -> None:
+        """Append many ``(text, label)`` pairs."""
+        for text, label in pairs:
+            self.add(text, label)
+
+    def label_counts(self) -> dict[str, int]:
+        """Number of snippets per label."""
+        counts: dict[str, int] = {}
+        for label in self.labels:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def subset(self, indices: Sequence[int]) -> "TextDataset":
+        """New dataset restricted to *indices* (order preserved)."""
+        return TextDataset(
+            texts=[self.texts[i] for i in indices],
+            labels=[self.labels[i] for i in indices],
+        )
+
+    def filter_labels(self, keep: Iterable[str]) -> "TextDataset":
+        """New dataset with only the labels in *keep*."""
+        keep_set = set(keep)
+        indices = [i for i, label in enumerate(self.labels) if label in keep_set]
+        return self.subset(indices)
+
+
+def train_test_split(
+    dataset: TextDataset,
+    train_fraction: float = 0.75,
+    seed: int = 13,
+    stratify: bool = True,
+) -> tuple[TextDataset, TextDataset]:
+    """Split *dataset* into train/test parts (paper: 75% / 25%).
+
+    With ``stratify=True`` the split preserves per-label proportions, which
+    keeps the small classes (Simpsons episodes, Mines) represented in both
+    parts exactly as the paper's per-type corpora are.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    rng = random.Random(seed)
+    train_indices: list[int] = []
+    test_indices: list[int] = []
+    if stratify:
+        by_label: dict[str, list[int]] = {}
+        for i, label in enumerate(dataset.labels):
+            by_label.setdefault(label, []).append(i)
+        for label in sorted(by_label):
+            indices = by_label[label]
+            rng.shuffle(indices)
+            cut = int(round(len(indices) * train_fraction))
+            cut = min(max(cut, 1), len(indices) - 1) if len(indices) > 1 else cut
+            train_indices.extend(indices[:cut])
+            test_indices.extend(indices[cut:])
+    else:
+        indices = list(range(len(dataset)))
+        rng.shuffle(indices)
+        cut = int(round(len(indices) * train_fraction))
+        train_indices = indices[:cut]
+        test_indices = indices[cut:]
+    train_indices.sort()
+    test_indices.sort()
+    return dataset.subset(train_indices), dataset.subset(test_indices)

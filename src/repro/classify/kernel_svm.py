@@ -1,0 +1,174 @@
+"""Kernel C-SVC trained with a simplified SMO, mirroring LibSVM's C-SVC.
+
+Section 6.1 of the paper trains a C-SVC with an RBF kernel (cost and gamma
+both 8 after grid search).  This module implements that classifier from
+scratch: a two-variable SMO optimiser (Platt 1998, with the usual
+simplifications) over a precomputed kernel matrix.  It is quadratic in the
+number of training points, so the repository uses it where fidelity matters
+(unit tests, grid-search demonstrations, small corpora) and falls back to
+:class:`repro.classify.linear_svm.LinearSVM` at corpus scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy import sparse
+
+Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def linear_kernel(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Gram matrix of dot products."""
+    return A @ B.T
+
+
+def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float = 8.0) -> np.ndarray:
+    """Gaussian kernel ``exp(-gamma * ||a - b||^2)``."""
+    a_sq = np.sum(A * A, axis=1)[:, None]
+    b_sq = np.sum(B * B, axis=1)[None, :]
+    distances = a_sq + b_sq - 2.0 * (A @ B.T)
+    np.maximum(distances, 0.0, out=distances)
+    return np.exp(-gamma * distances)
+
+
+class KernelSVC:
+    """Binary C-SVC with RBF (default) or linear kernel, trained by SMO.
+
+    Parameters follow LibSVM naming: ``cost`` is the C penalty, ``gamma``
+    the RBF width.  The defaults are the values the paper selected by grid
+    search (both 8).
+    """
+
+    def __init__(
+        self,
+        cost: float = 8.0,
+        gamma: float = 8.0,
+        kernel: str = "rbf",
+        tolerance: float = 1e-3,
+        max_passes: int = 5,
+        max_iterations: int = 2000,
+        seed: int = 13,
+    ) -> None:
+        if cost <= 0:
+            raise ValueError(f"cost must be > 0, got {cost}")
+        if kernel not in ("rbf", "linear"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self.cost = cost
+        self.gamma = gamma
+        self.kernel = kernel
+        self.tolerance = tolerance
+        self.max_passes = max_passes
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.support_vectors_: np.ndarray | None = None
+        self.dual_coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    # -- kernel helpers -----------------------------------------------------------
+
+    def _gram(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if self.kernel == "rbf":
+            return rbf_kernel(A, B, gamma=self.gamma)
+        return linear_kernel(A, B)
+
+    @staticmethod
+    def _densify(X) -> np.ndarray:
+        if sparse.issparse(X):
+            return np.asarray(X.todense(), dtype=np.float64)
+        return np.asarray(X, dtype=np.float64)
+
+    # -- training -------------------------------------------------------------------
+
+    def fit(self, X, y: np.ndarray) -> "KernelSVC":
+        """Train with simplified SMO on labels in ``{-1, +1}``."""
+        X = self._densify(X)
+        y = np.asarray(y, dtype=np.float64)
+        if not np.all(np.isin(y, (-1.0, 1.0))):
+            raise ValueError("labels must be +1 or -1")
+        n = X.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        K = self._gram(X, X)
+        alpha = np.zeros(n)
+        b = 0.0
+        rng = np.random.default_rng(self.seed)
+        passes = 0
+        iterations = 0
+        while passes < self.max_passes and iterations < self.max_iterations:
+            iterations += 1
+            n_changed = 0
+            for i in range(n):
+                error_i = (alpha * y) @ K[:, i] + b - y[i]
+                violates_kkt = (
+                    (y[i] * error_i < -self.tolerance and alpha[i] < self.cost)
+                    or (y[i] * error_i > self.tolerance and alpha[i] > 0)
+                )
+                if not violates_kkt:
+                    continue
+                j = int(rng.integers(0, n - 1))
+                if j >= i:
+                    j += 1
+                error_j = (alpha * y) @ K[:, j] + b - y[j]
+                alpha_i_old, alpha_j_old = alpha[i], alpha[j]
+                if y[i] != y[j]:
+                    low = max(0.0, alpha[j] - alpha[i])
+                    high = min(self.cost, self.cost + alpha[j] - alpha[i])
+                else:
+                    low = max(0.0, alpha[i] + alpha[j] - self.cost)
+                    high = min(self.cost, alpha[i] + alpha[j])
+                if low == high:
+                    continue
+                eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                if eta >= 0:
+                    continue
+                alpha[j] -= y[j] * (error_i - error_j) / eta
+                alpha[j] = float(np.clip(alpha[j], low, high))
+                if abs(alpha[j] - alpha_j_old) < 1e-7:
+                    continue
+                alpha[i] += y[i] * y[j] * (alpha_j_old - alpha[j])
+                b1 = (
+                    b
+                    - error_i
+                    - y[i] * (alpha[i] - alpha_i_old) * K[i, i]
+                    - y[j] * (alpha[j] - alpha_j_old) * K[i, j]
+                )
+                b2 = (
+                    b
+                    - error_j
+                    - y[i] * (alpha[i] - alpha_i_old) * K[i, j]
+                    - y[j] * (alpha[j] - alpha_j_old) * K[j, j]
+                )
+                if 0 < alpha[i] < self.cost:
+                    b = b1
+                elif 0 < alpha[j] < self.cost:
+                    b = b2
+                else:
+                    b = (b1 + b2) / 2.0
+                n_changed += 1
+            if n_changed == 0:
+                passes += 1
+            else:
+                passes = 0
+        support = alpha > 1e-8
+        self.support_vectors_ = X[support]
+        self.dual_coef_ = (alpha * y)[support]
+        self.intercept_ = b
+        return self
+
+    # -- inference --------------------------------------------------------------------
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed margins for the rows of *X*."""
+        if self.support_vectors_ is None or self.dual_coef_ is None:
+            raise RuntimeError("KernelSVC is not fitted")
+        X = self._densify(X)
+        if self.support_vectors_.shape[0] == 0:
+            return np.full(X.shape[0], self.intercept_)
+        K = self._gram(X, self.support_vectors_)
+        return K @ self.dual_coef_ + self.intercept_
+
+    def predict(self, X) -> np.ndarray:
+        """Class labels in ``{-1, +1}``."""
+        return np.where(self.decision_function(X) >= 0.0, 1.0, -1.0)

@@ -1,0 +1,32 @@
+"""The paper's core contribution: the entity discovery/annotation algorithm.
+
+Pipeline (Section 5): pre-processing filters out cells that cannot name an
+entity; annotation queries the search engine with each surviving cell
+(optionally augmented with disambiguated spatial context) and applies the
+snippet-majority rule of Equation 1; post-processing uses the
+column-coherence score of Equation 2 to eliminate spurious annotations.
+
+Public entry point: :class:`repro.core.annotator.EntityAnnotator`.
+"""
+
+from repro.core.annotator import EntityAnnotator
+from repro.core.clustering import ClusteredCellAnnotator, cluster_snippets
+from repro.core.column_typing import detect_relations, type_columns
+from repro.core.config import AnnotatorConfig
+from repro.core.hybrid import HybridAnnotator
+from repro.core.results import AnnotationRun, CellAnnotation, TableAnnotation
+from repro.core.training import TrainingCorpusBuilder
+
+__all__ = [
+    "AnnotationRun",
+    "AnnotatorConfig",
+    "CellAnnotation",
+    "ClusteredCellAnnotator",
+    "EntityAnnotator",
+    "HybridAnnotator",
+    "TableAnnotation",
+    "TrainingCorpusBuilder",
+    "cluster_snippets",
+    "detect_relations",
+    "type_columns",
+]

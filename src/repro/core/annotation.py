@@ -1,0 +1,127 @@
+"""Cell annotation via search + snippet classification (Section 5.2, Eq. 1).
+
+For a cell value ``v`` (optionally augmented with disambiguated spatial
+context), the annotator retrieves the top-k snippets, classifies each one,
+and annotates the cell with the winning type ``t_max`` provided strictly
+more than ``k/2`` snippets were classified as ``t_max``.  The annotation
+score is ``S_ij = s_t / k`` (Equation 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classify.snippet import SnippetTypeClassifier
+from repro.core.config import AnnotatorConfig
+from repro.web.search import SearchEngine, SearchEngineUnavailable
+
+
+@dataclass(frozen=True)
+class CellDecision:
+    """Outcome of annotating one cell value."""
+
+    type_key: str | None
+    score: float
+    snippet_counts: dict[str, int] = field(default_factory=dict)
+    query: str = ""
+    failed: bool = False
+
+    @property
+    def annotated(self) -> bool:
+        return self.type_key is not None
+
+
+class SnippetCache:
+    """Shared (query, k) -> snippets cache.
+
+    Different classifier backends evaluated over the same corpus reuse the
+    same searches; caching the snippet lists avoids recomputing BM25 while
+    leaving each engine call's latency accounting to the first requester.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[tuple[str, int], list[str]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, query: str, k: int) -> list[str] | None:
+        snippets = self._store.get((query, k))
+        if snippets is not None:
+            self.hits += 1
+        return snippets
+
+    def put(self, query: str, k: int, snippets: list[str]) -> None:
+        self.misses += 1
+        self._store[(query, k)] = snippets
+
+
+class CellAnnotator:
+    """Annotates individual cell values against a set of target types."""
+
+    def __init__(
+        self,
+        classifier: SnippetTypeClassifier,
+        engine: SearchEngine,
+        config: AnnotatorConfig | None = None,
+        cache: SnippetCache | None = None,
+    ) -> None:
+        self.classifier = classifier
+        self.engine = engine
+        self.config = config or AnnotatorConfig()
+        self.cache = cache
+        self.failure_count = 0
+
+    def annotate_value(
+        self,
+        value: str,
+        type_keys: list[str],
+        spatial_context: str | None = None,
+    ) -> CellDecision:
+        """Decide whether *value* names an entity of one of *type_keys*.
+
+        *spatial_context* (a city name) is appended to the query, the
+        Section 5.2.2 disambiguation.  A search-engine failure yields an
+        unannotated decision flagged ``failed=True`` -- the algorithm
+        degrades gracefully rather than aborting the table.
+        """
+        if not type_keys:
+            raise ValueError("type_keys must be non-empty")
+        query = value if spatial_context is None else f"{value} {spatial_context}"
+        k = self.config.top_k
+        snippets = self.cache.get(query, k) if self.cache is not None else None
+        if snippets is None:
+            try:
+                results = self.engine.search(query, k=k)
+            except SearchEngineUnavailable:
+                self.failure_count += 1
+                return CellDecision(
+                    type_key=None, score=0.0, query=query, failed=True
+                )
+            snippets = [result.snippet for result in results]
+            if self.cache is not None:
+                self.cache.put(query, k, snippets)
+        if not snippets:
+            return CellDecision(type_key=None, score=0.0, query=query)
+        labels = self.classifier.classify_many(snippets)
+        counts: dict[str, int] = {}
+        for label in labels:
+            counts[label] = counts.get(label, 0) + 1
+        # t_max over the *requested* types only; OTHER and off-request
+        # labels never annotate, they only eat votes.
+        best_type: str | None = None
+        best_count = 0
+        for type_key in type_keys:
+            count = counts.get(type_key, 0)
+            if count > best_count:
+                best_count = count
+                best_type = type_key
+        if best_type is None or best_count <= self.config.majority_count:
+            return CellDecision(
+                type_key=None, score=0.0, snippet_counts=counts, query=query
+            )
+        return CellDecision(
+            type_key=best_type,
+            score=best_count / k,
+            snippet_counts=counts,
+            query=query,
+        )

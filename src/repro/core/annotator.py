@@ -1,0 +1,131 @@
+"""The end-to-end entity annotator (Section 5, Figure 5).
+
+``EntityAnnotator`` wires the three stages together:
+
+1. **Pre-processing** (:class:`~repro.core.preprocessing.Preprocessor`)
+   keeps only cells that could plausibly name an entity;
+2. **Annotation** (:class:`~repro.core.annotation.CellAnnotator`) queries
+   the search engine per candidate cell -- augmented with a disambiguated
+   city context when spatial disambiguation is enabled -- and applies the
+   snippet-majority rule (Equation 1);
+3. **Post-processing** (:mod:`~repro.core.postprocessing`) eliminates
+   spurious annotations via the column-coherence score (Equation 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.classify.snippet import SnippetTypeClassifier
+from repro.core.annotation import CellAnnotator, SnippetCache
+from repro.core.config import AnnotatorConfig
+from repro.core.disambiguation import SpatialContextExtractor
+from repro.core.postprocessing import eliminate_spurious
+from repro.core.preprocessing import Preprocessor
+from repro.core.results import AnnotationRun, CellAnnotation, TableAnnotation
+from repro.geo.geocoder import Geocoder
+from repro.tables.model import Table
+from repro.web.search import SearchEngine
+
+
+class EntityAnnotator:
+    """Discovers and annotates entities of given types in tables.
+
+    Parameters
+    ----------
+    classifier:
+        A fitted :class:`SnippetTypeClassifier` over (at least) the types
+        that will be requested.
+    engine:
+        The web search engine to consult per cell.
+    geocoder:
+        Required only when ``config.use_spatial_disambiguation`` is on.
+    cache:
+        Optional shared :class:`SnippetCache`; harnesses evaluating several
+        classifier backends over one corpus pass it to avoid re-searching.
+    """
+
+    def __init__(
+        self,
+        classifier: SnippetTypeClassifier,
+        engine: SearchEngine,
+        config: AnnotatorConfig | None = None,
+        geocoder: Geocoder | None = None,
+        cache: SnippetCache | None = None,
+    ) -> None:
+        self.config = config or AnnotatorConfig()
+        if self.config.use_spatial_disambiguation and geocoder is None:
+            raise ValueError(
+                "spatial disambiguation requires a geocoder; pass one or "
+                "disable use_spatial_disambiguation"
+            )
+        self.classifier = classifier
+        self.engine = engine
+        self.geocoder = geocoder
+        self.preprocessor = Preprocessor(self.config)
+        self.cell_annotator = CellAnnotator(
+            classifier, engine, self.config, cache=cache
+        )
+        self._context_extractor = (
+            SpatialContextExtractor(geocoder, self.config)
+            if geocoder is not None
+            else None
+        )
+
+    # -- single table -------------------------------------------------------------------
+
+    def annotate_table(
+        self, table: Table, type_keys: Sequence[str]
+    ) -> TableAnnotation:
+        """Annotate one table for the requested types (all three stages)."""
+        type_keys = list(type_keys)
+        if not type_keys:
+            raise ValueError("type_keys must be non-empty")
+        annotation = TableAnnotation(table_name=table.name)
+        candidates = self.preprocessor.candidate_cells(table)
+        contexts: dict[int, str] = {}
+        if self.config.use_spatial_disambiguation and self._context_extractor:
+            contexts = self._context_extractor.row_contexts(table)
+        for candidate in candidates:
+            decision = self.cell_annotator.annotate_value(
+                candidate.value,
+                type_keys,
+                spatial_context=contexts.get(candidate.row),
+            )
+            if decision.annotated:
+                annotation.add(
+                    CellAnnotation(
+                        table_name=table.name,
+                        row=candidate.row,
+                        column=candidate.column,
+                        type_key=decision.type_key,  # type: ignore[arg-type]
+                        score=decision.score,
+                        cell_value=candidate.value,
+                    )
+                )
+        if self.config.use_postprocessing:
+            annotation = eliminate_spurious(
+                table,
+                annotation,
+                use_repetition_factor=self.config.use_repetition_factor,
+            )
+        return annotation
+
+    # -- corpora ---------------------------------------------------------------------------
+
+    def annotate_tables(
+        self, tables: Iterable[Table], type_keys: Sequence[str]
+    ) -> AnnotationRun:
+        """Annotate every table, returning a corpus-level run."""
+        run = AnnotationRun()
+        for table in tables:
+            table_annotation = self.annotate_table(table, type_keys)
+            run.tables[table.name] = table_annotation
+        return run
+
+    # -- diagnostics ------------------------------------------------------------------------
+
+    @property
+    def search_failures(self) -> int:
+        """Number of cells skipped because the engine was unavailable."""
+        return self.cell_annotator.failure_count

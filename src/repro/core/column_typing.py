@@ -1,0 +1,154 @@
+"""Column typing and column relations (steps a. and b. of table annotation).
+
+The paper's introduction situates entity annotation (step c.) inside the
+broader table-annotation task:
+
+    a. determine the type(s) of each column;
+    b. find any relationship between the columns;
+    c. identify the entities that occur in the cells.
+
+This module closes steps a. and b. on top of the entity annotations:
+
+* **column typing** -- a column's entity type is the dominant type among
+  its annotated cells (with a configurable support threshold); columns
+  with no entity annotations fall back to a syntactic type (phone / url /
+  email / number / date-like / location / text);
+* **column relations** -- an entity-typed column and a spatial column in
+  the same table stand in the paper's ``locatedIn`` relation (Figure 1's
+  museum -> city example); entity columns and phone/url columns yield
+  ``hasPhone`` / ``hasWebsite``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.preprocessing import (
+    looks_like_coordinates,
+    looks_like_email,
+    looks_like_number,
+    looks_like_phone,
+    looks_like_url,
+)
+from repro.core.results import TableAnnotation
+from repro.tables.model import ColumnType, Table
+
+LOCATED_IN = "locatedIn"
+HAS_PHONE = "hasPhone"
+HAS_WEBSITE = "hasWebsite"
+
+
+@dataclass(frozen=True)
+class ColumnAnnotation:
+    """Type assignment for one column."""
+
+    column: int
+    kind: str  # an entity type key, or a syntactic kind ("phone", ...)
+    support: float  # fraction of non-empty cells backing the assignment
+
+
+@dataclass(frozen=True)
+class ColumnRelation:
+    """A binary relation between two columns of the same table."""
+
+    subject_column: int
+    object_column: int
+    predicate: str
+
+
+def _syntactic_kind(values: list[str]) -> tuple[str, float]:
+    """Dominant syntactic shape of a column's non-empty values."""
+    detectors = (
+        ("phone", looks_like_phone),
+        ("url", looks_like_url),
+        ("email", looks_like_email),
+        ("coordinates", looks_like_coordinates),
+        ("number", looks_like_number),
+    )
+    non_empty = [value for value in values if value.strip()]
+    if not non_empty:
+        return "empty", 0.0
+    best_kind, best_support = "text", 0.0
+    for kind, detector in detectors:
+        support = sum(1 for value in non_empty if detector(value)) / len(non_empty)
+        if support > best_support:
+            best_kind, best_support = kind, support
+    if best_support < 0.5:
+        return "text", 1.0 - best_support
+    return best_kind, best_support
+
+
+def type_columns(
+    table: Table,
+    annotation: TableAnnotation,
+    min_support: float = 0.3,
+) -> list[ColumnAnnotation]:
+    """Step a.: assign a type to every column of *table*.
+
+    Columns whose annotated-entity share (per the dominant entity type)
+    reaches *min_support* of their non-empty cells are typed with that
+    entity type; GFT Location/Date columns keep their declared kind;
+    everything else falls back to syntactic detection.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+    results = []
+    for j in range(table.n_columns):
+        values = table.column_values(j)
+        non_empty = sum(1 for value in values if value.strip()) or 1
+        votes: dict[str, int] = {}
+        for cell in annotation.cells:
+            if cell.column == j:
+                votes[cell.type_key] = votes.get(cell.type_key, 0) + 1
+        if votes:
+            winner = min(
+                (key for key, count in votes.items()
+                 if count == max(votes.values())),
+            )
+            support = votes[winner] / non_empty
+            if support >= min_support:
+                results.append(
+                    ColumnAnnotation(column=j, kind=winner, support=support)
+                )
+                continue
+        declared = table.column_type(j)
+        if declared is ColumnType.LOCATION:
+            results.append(ColumnAnnotation(column=j, kind="location", support=1.0))
+            continue
+        if declared is ColumnType.DATE:
+            results.append(ColumnAnnotation(column=j, kind="date", support=1.0))
+            continue
+        kind, support = _syntactic_kind(values)
+        results.append(ColumnAnnotation(column=j, kind=kind, support=support))
+    return results
+
+
+def detect_relations(
+    table: Table,
+    column_annotations: list[ColumnAnnotation],
+    entity_type_keys: set[str],
+) -> list[ColumnRelation]:
+    """Step b.: relations between entity columns and companion columns."""
+    relations = []
+    entity_columns = [
+        c for c in column_annotations if c.kind in entity_type_keys
+    ]
+    by_kind: dict[str, list[ColumnAnnotation]] = {}
+    for column_annotation in column_annotations:
+        by_kind.setdefault(column_annotation.kind, []).append(column_annotation)
+    predicate_of_kind = (
+        ("location", LOCATED_IN),
+        ("phone", HAS_PHONE),
+        ("url", HAS_WEBSITE),
+    )
+    for entity_column in entity_columns:
+        for kind, predicate in predicate_of_kind:
+            for companion in by_kind.get(kind, []):
+                relations.append(
+                    ColumnRelation(
+                        subject_column=entity_column.column,
+                        object_column=companion.column,
+                        predicate=predicate,
+                    )
+                )
+    return relations

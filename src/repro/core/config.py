@@ -1,0 +1,49 @@
+"""Configuration of the annotation pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AnnotatorConfig:
+    """All knobs of :class:`~repro.core.annotator.EntityAnnotator`.
+
+    Defaults follow the paper: top-10 snippets, strict-majority rule
+    (``s_t > k/2``), post-processing on, spatial disambiguation off (the
+    paper enables it only for point-of-interest types with spatial data).
+    """
+
+    top_k: int = 10
+    majority_fraction: float = 0.5
+    long_value_token_limit: int = 10
+    use_gft_column_types: bool = True
+    use_postprocessing: bool = True
+    use_spatial_disambiguation: bool = False
+    use_repetition_factor: bool = True
+    disambiguation_max_iterations: int = 30
+    disambiguation_epsilon: float = 1e-9
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+        if not 0.0 <= self.majority_fraction < 1.0:
+            raise ValueError(
+                f"majority_fraction must be in [0, 1), got {self.majority_fraction}"
+            )
+        if self.long_value_token_limit < 1:
+            raise ValueError(
+                "long_value_token_limit must be >= 1, got "
+                f"{self.long_value_token_limit}"
+            )
+        if self.disambiguation_max_iterations < 1:
+            raise ValueError(
+                "disambiguation_max_iterations must be >= 1, got "
+                f"{self.disambiguation_max_iterations}"
+            )
+
+    @property
+    def majority_count(self) -> float:
+        """The snippet count that must be strictly exceeded (``k/2``)."""
+        return self.top_k * self.majority_fraction

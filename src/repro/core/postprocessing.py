@@ -1,0 +1,74 @@
+"""Post-processing: elimination of spurious annotations (Section 5.3, Eq. 2).
+
+A table annotated for type ``t`` may contain misannotated cells -- repeated
+type labels ("Museum" in every row of Figure 8), review phrases, field
+names.  The column-coherence principle says the genuine type-``t`` column is
+the one whose *distinct-value-weighted* score mass is largest::
+
+    S_j = sum_i ln( S_ij / o_ij + 1 )                       (Equation 2)
+
+where ``o_ij`` counts how often the cell's value repeats within its column.
+The ``1/o`` factor damps high scores earned by the same repeated string.
+For each type, only annotations in the arg-max column survive.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.results import CellAnnotation, TableAnnotation
+from repro.tables.model import Table
+
+
+def column_scores(
+    table: Table,
+    annotations: list[CellAnnotation],
+    use_repetition_factor: bool = True,
+) -> dict[int, float]:
+    """Equation 2 score per column, over annotations of a single type.
+
+    With ``use_repetition_factor=False`` the ``1/o_ij`` damping is dropped
+    (the A1 ablation benchmark measures how much that factor matters).
+    """
+    occurrence_cache: dict[int, dict[str, int]] = {}
+    scores: dict[int, float] = {}
+    for annotation in annotations:
+        j = annotation.column
+        if j not in occurrence_cache:
+            occurrence_cache[j] = table.value_occurrences(j)
+        value = table.cell(annotation.row, j)
+        occurrences = occurrence_cache[j].get(value, 1)
+        factor = 1.0 / occurrences if use_repetition_factor else 1.0
+        scores[j] = scores.get(j, 0.0) + math.log(factor * annotation.score + 1.0)
+    return scores
+
+
+def winning_column(scores: dict[int, float]) -> int | None:
+    """Arg-max column of Equation 2 (ties favour the leftmost column)."""
+    if not scores:
+        return None
+    best = max(scores.values())
+    return min(j for j, score in scores.items() if score == best)
+
+
+def eliminate_spurious(
+    table: Table,
+    annotation: TableAnnotation,
+    use_repetition_factor: bool = True,
+) -> TableAnnotation:
+    """Keep, per type, only the annotations in that type's winning column.
+
+    Returns a new :class:`TableAnnotation`; the input is not modified.
+    """
+    result = TableAnnotation(table_name=annotation.table_name)
+    type_keys = sorted({cell.type_key for cell in annotation.cells})
+    for type_key in type_keys:
+        of_type = annotation.of_type(type_key)
+        scores = column_scores(
+            table, of_type, use_repetition_factor=use_repetition_factor
+        )
+        winner = winning_column(scores)
+        for cell in of_type:
+            if cell.column == winner:
+                result.add(cell)
+    return result

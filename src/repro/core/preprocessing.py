@@ -1,0 +1,142 @@
+"""Pre-processing: ruling out cells before any search query (Section 5.1).
+
+Two families of filters:
+
+* **syntactic** -- regular expressions for phone numbers, URLs, email
+  addresses, plain numbers and geographic coordinates, plus a token-count
+  cut for verbose descriptions;
+* **GFT column types** -- cells in columns typed Location, Date or Number
+  cannot contain entity names and are skipped wholesale.
+
+The filters return the *reason* a cell was excluded, which the annotator
+records; ``None`` means the cell survives and will be queried.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.config import AnnotatorConfig
+from repro.tables.model import ColumnType, Table
+from repro.text.tokenization import token_count
+
+URL_RE = re.compile(r"^(https?://|www\.)\S+$", re.IGNORECASE)
+EMAIL_RE = re.compile(r"^[\w.+-]+@[\w-]+\.[\w.-]+$")
+COORDINATES_RE = re.compile(r"^-?\d{1,3}\.\d+\s*[,;]\s*-?\d{1,3}\.\d+$")
+NUMBER_RE = re.compile(r"^[+-]?\d+([.,]\d+)*%?$")
+_PHONE_CHARS_RE = re.compile(r"^[+()\d\s./-]+$")
+
+_SKIPPED_COLUMN_TYPES = frozenset(
+    (ColumnType.LOCATION, ColumnType.DATE, ColumnType.NUMBER)
+)
+
+
+def looks_like_url(value: str) -> bool:
+    """``True`` for http(s)/www links."""
+    return URL_RE.match(value.strip()) is not None
+
+
+def looks_like_email(value: str) -> bool:
+    """``True`` for e-mail addresses."""
+    return EMAIL_RE.match(value.strip()) is not None
+
+
+def looks_like_number(value: str) -> bool:
+    """``True`` for plain numeric values (ints, decimals, percentages)."""
+    return NUMBER_RE.match(value.strip()) is not None
+
+
+def looks_like_coordinates(value: str) -> bool:
+    """``True`` for "lat, lon" style coordinate pairs."""
+    return COORDINATES_RE.match(value.strip()) is not None
+
+
+def looks_like_phone(value: str) -> bool:
+    """``True`` for phone-number-shaped values (>= 7 digits, digit punctuation only)."""
+    stripped = value.strip()
+    if not stripped or _PHONE_CHARS_RE.match(stripped) is None:
+        return False
+    return sum(ch.isdigit() for ch in stripped) >= 7
+
+
+@dataclass(frozen=True)
+class CandidateCell:
+    """A cell that survived pre-processing and will be queried."""
+
+    row: int
+    column: int
+    value: str
+
+
+class Preprocessor:
+    """Applies the Section 5.1 filters to a table."""
+
+    def __init__(self, config: AnnotatorConfig | None = None) -> None:
+        self.config = config or AnnotatorConfig()
+
+    # -- single-cell filters ---------------------------------------------------------
+
+    def exclusion_reason(self, value: str) -> str | None:
+        """Why *value* cannot contain an entity name; ``None`` if it can."""
+        stripped = value.strip()
+        if not stripped:
+            return "empty"
+        if looks_like_url(stripped):
+            return "url"
+        if looks_like_email(stripped):
+            return "email"
+        if looks_like_coordinates(stripped):
+            return "coordinates"
+        if looks_like_number(stripped):
+            return "number"
+        if looks_like_phone(stripped):
+            return "phone"
+        if token_count(stripped) > self.config.long_value_token_limit:
+            return "long-value"
+        return None
+
+    def column_exclusion_reason(self, table: Table, column: int) -> str | None:
+        """Why a whole column is skipped (GFT typing), or ``None``."""
+        if not self.config.use_gft_column_types:
+            return None
+        column_type = table.column_type(column)
+        if column_type in _SKIPPED_COLUMN_TYPES:
+            return f"gft-type-{column_type.value.lower()}"
+        return None
+
+    # -- table-level API -----------------------------------------------------------------
+
+    def candidate_cells(self, table: Table) -> list[CandidateCell]:
+        """All cells of *table* that survive every filter, row-major order."""
+        candidates = []
+        skipped_columns = {
+            j
+            for j in range(table.n_columns)
+            if self.column_exclusion_reason(table, j) is not None
+        }
+        for cell in table.iter_cells():
+            if cell.column in skipped_columns:
+                continue
+            if self.exclusion_reason(cell.value) is None:
+                candidates.append(
+                    CandidateCell(row=cell.row, column=cell.column, value=cell.value)
+                )
+        return candidates
+
+    def exclusion_summary(self, table: Table) -> dict[str, int]:
+        """Histogram of exclusion reasons over the whole table (diagnostics)."""
+        summary: dict[str, int] = {}
+        skipped_columns = {}
+        for j in range(table.n_columns):
+            reason = self.column_exclusion_reason(table, j)
+            if reason is not None:
+                skipped_columns[j] = reason
+        for cell in table.iter_cells():
+            if cell.column in skipped_columns:
+                reason: str | None = skipped_columns[cell.column]
+            else:
+                reason = self.exclusion_reason(cell.value)
+            key = reason if reason is not None else "kept"
+            summary[key] = summary.get(key, 0) + 1
+        return summary

@@ -1,0 +1,90 @@
+"""Annotation result models.
+
+The algorithm's output (Section 4 / Figure 3): the rows that contain
+information on entities of the requested types, and the cells in which the
+entity names occur.  A :class:`CellAnnotation` records one annotated cell
+with its Equation 1 score; :class:`TableAnnotation` aggregates a table and
+answers the row-level question; :class:`AnnotationRun` aggregates a corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class CellAnnotation:
+    """One annotated cell: position, assigned type and score ``S_ij``."""
+
+    table_name: str
+    row: int
+    column: int
+    type_key: str
+    score: float
+    cell_value: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score must be in [0, 1], got {self.score}")
+
+
+@dataclass
+class TableAnnotation:
+    """All annotations of one table."""
+
+    table_name: str
+    cells: list[CellAnnotation] = field(default_factory=list)
+
+    def add(self, annotation: CellAnnotation) -> None:
+        if annotation.table_name != self.table_name:
+            raise ValueError(
+                f"annotation for table {annotation.table_name!r} added to "
+                f"TableAnnotation of {self.table_name!r}"
+            )
+        self.cells.append(annotation)
+
+    def of_type(self, type_key: str) -> list[CellAnnotation]:
+        """Annotations with the given type."""
+        return [cell for cell in self.cells if cell.type_key == type_key]
+
+    def annotated_rows(self, type_key: str) -> set[int]:
+        """The paper's primary output: rows holding type-*type_key* entities."""
+        return {cell.row for cell in self.of_type(type_key)}
+
+    def annotation_at(self, row: int, column: int) -> CellAnnotation | None:
+        """The annotation at a cell, or ``None``."""
+        for cell in self.cells:
+            if cell.row == row and cell.column == column:
+                return cell
+        return None
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+@dataclass
+class AnnotationRun:
+    """Annotations over a whole corpus, keyed by table name."""
+
+    tables: dict[str, TableAnnotation] = field(default_factory=dict)
+
+    def table(self, table_name: str) -> TableAnnotation:
+        """The (possibly empty) annotation set of one table."""
+        if table_name not in self.tables:
+            self.tables[table_name] = TableAnnotation(table_name=table_name)
+        return self.tables[table_name]
+
+    def add(self, annotation: CellAnnotation) -> None:
+        self.table(annotation.table_name).add(annotation)
+
+    def all_cells(self) -> Iterator[CellAnnotation]:
+        """Every cell annotation in the run, grouped by table."""
+        for name in sorted(self.tables):
+            yield from self.tables[name].cells
+
+    def of_type(self, type_key: str) -> list[CellAnnotation]:
+        return [cell for cell in self.all_cells() if cell.type_key == type_key]
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self.tables.values())

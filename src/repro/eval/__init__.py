@@ -1,0 +1,26 @@
+"""Evaluation: gold standards, scoring and the paper's experiments.
+
+* :mod:`repro.eval.gold` -- gold-standard containers;
+* :mod:`repro.eval.evaluator` -- P/R/F scoring of annotation runs
+  (Section 6.2's definitions);
+* :mod:`repro.eval.experiments` -- one callable per paper artefact
+  (Tables 1-3, the Section 6.3 comparison, Section 6.4 efficiency,
+  Figures 6-7, the 22 % coverage claim);
+* :mod:`repro.eval.reporting` -- plain-text rendering of result tables.
+"""
+
+from repro.eval.error_analysis import ErrorReport, analyse_errors
+from repro.eval.evaluator import EvaluationResult, evaluate_annotations
+from repro.eval.gold import GoldEntityReference, GoldStandard
+from repro.eval.significance import ConfidenceInterval, bootstrap_f1
+
+__all__ = [
+    "ConfidenceInterval",
+    "ErrorReport",
+    "EvaluationResult",
+    "GoldEntityReference",
+    "GoldStandard",
+    "analyse_errors",
+    "bootstrap_f1",
+    "evaluate_annotations",
+]

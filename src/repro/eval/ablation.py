@@ -1,0 +1,147 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+* **A1 -- the 1/o repetition factor of Equation 2** (Section 5.3): without
+  it, a repeated high-scoring label column ("Museum" in every row of
+  Figure 8) can outscore the entity-name column and post-processing keeps
+  the wrong column wholesale.
+* **A2 -- top-k and the majority threshold** (Section 5.2): fewer snippets
+  make the majority rule noisier; a lower threshold trades precision for
+  recall, a higher one the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.annotation import SnippetCache
+from repro.core.annotator import EntityAnnotator
+from repro.core.config import AnnotatorConfig
+from repro.core.postprocessing import eliminate_spurious
+from repro.core.results import AnnotationRun
+from repro.eval.evaluator import evaluate_annotations
+from repro.eval.experiments import ALL_TYPE_KEYS, ExperimentContext
+from repro.eval.reporting import format_table
+
+
+@dataclass
+class RepetitionAblationResult:
+    """Per-type F with and without the 1/o factor (experiment A1)."""
+
+    with_factor: dict[str, float]
+    without_factor: dict[str, float]
+
+    def render(self) -> str:
+        rows = [
+            [type_key, self.with_factor[type_key], self.without_factor[type_key]]
+            for type_key in sorted(self.with_factor)
+        ]
+        return format_table(
+            ["Type", "F (with 1/o)", "F (without 1/o)"],
+            rows,
+            title="Ablation A1: Equation 2's repetition factor",
+        )
+
+    def mean_gain(self) -> float:
+        """Average F improvement the factor provides."""
+        keys = sorted(self.with_factor)
+        return sum(
+            self.with_factor[k] - self.without_factor[k] for k in keys
+        ) / len(keys)
+
+
+def run_repetition_ablation(context: ExperimentContext) -> RepetitionAblationResult:
+    """Post-process the raw SVM run with and without the 1/o damping."""
+    raw = context.annotation_run(backend="svm", postprocess=False)
+    with_factor = AnnotationRun()
+    without_factor = AnnotationRun()
+    for table in context.gft.tables:
+        annotation = raw.table(table.name)
+        with_factor.tables[table.name] = eliminate_spurious(
+            table, annotation, use_repetition_factor=True
+        )
+        without_factor.tables[table.name] = eliminate_spurious(
+            table, annotation, use_repetition_factor=False
+        )
+    gold = context.gft.gold
+    eval_with = evaluate_annotations(with_factor, gold, ALL_TYPE_KEYS)
+    eval_without = evaluate_annotations(without_factor, gold, ALL_TYPE_KEYS)
+    return RepetitionAblationResult(
+        with_factor={k: eval_with.f1_of(k) for k in ALL_TYPE_KEYS},
+        without_factor={k: eval_without.f1_of(k) for k in ALL_TYPE_KEYS},
+    )
+
+
+@dataclass
+class TopKAblationResult:
+    """Micro-F across (top_k, majority_fraction) settings (experiment A2)."""
+
+    scores: dict[tuple[int, float], float]
+    table_names: list[str]
+
+    def render(self) -> str:
+        rows = [
+            [k, fraction, score]
+            for (k, fraction), score in sorted(self.scores.items())
+        ]
+        return format_table(
+            ["top-k", "majority fraction", "micro F"],
+            rows,
+            title=(
+                "Ablation A2: snippet count and majority threshold "
+                f"(over {len(self.table_names)} tables)"
+            ),
+        )
+
+    def f_of(self, top_k: int, majority_fraction: float) -> float:
+        return self.scores[(top_k, majority_fraction)]
+
+
+def run_topk_ablation(
+    context: ExperimentContext,
+    top_ks: tuple[int, ...] = (3, 10),
+    fractions: tuple[float, ...] = (0.3, 0.5, 0.7),
+    table_prefixes: tuple[str, ...] = ("gft-museum", "gft-restaurant"),
+) -> TopKAblationResult:
+    """Sweep the annotation parameters over a subset of the GFT corpus.
+
+    The subset keeps the sweep affordable; snippet lists are shared through
+    the context cache, so fraction sweeps at a fixed k reuse all searches.
+    """
+    tables = [
+        table
+        for table in context.gft.tables
+        if table.name.startswith(table_prefixes)
+    ]
+    scores: dict[tuple[int, float], float] = {}
+    for top_k in top_ks:
+        for fraction in fractions:
+            config = AnnotatorConfig(top_k=top_k, majority_fraction=fraction)
+            annotator = EntityAnnotator(
+                context.classifiers["svm"],
+                context.world.search_engine,
+                config,
+                cache=context.cache,
+            )
+            run = annotator.annotate_tables(tables, ALL_TYPE_KEYS)
+            table_names = {table.name for table in tables}
+            cells = [
+                cell
+                for cell in run.all_cells()
+                if cell.table_name in table_names
+            ]
+            gold_subset = _gold_subset(context, table_names)
+            evaluation = evaluate_annotations(cells, gold_subset, ALL_TYPE_KEYS)
+            scores[(top_k, fraction)] = evaluation.micro_f1()
+    return TopKAblationResult(
+        scores=scores, table_names=sorted(t.name for t in tables)
+    )
+
+
+def _gold_subset(context: ExperimentContext, table_names: set[str]):
+    from repro.eval.gold import GoldStandard
+
+    subset = GoldStandard()
+    for reference in context.gft.gold.references:
+        if reference.table_name in table_names:
+            subset.add(reference)
+    return subset

@@ -1,0 +1,169 @@
+"""Error analysis: where an annotation run loses precision and recall.
+
+Turns a run + gold standard into actionable breakdowns:
+
+* every gold reference is classified as **correct**, **wrong-type**
+  (annotated with another type) or **missed** (not annotated at all);
+* every false positive is recorded with its cell value and column, so
+  systematic FP sources (a label column, a notes column) stand out;
+* per-type summaries aggregate both views.
+
+This is the tool one reaches for when a Table 1 number moves: it shows
+*which cells* moved it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.results import AnnotationRun
+from repro.eval.gold import GoldStandard
+from repro.eval.reporting import format_table
+
+CORRECT = "correct"
+WRONG_TYPE = "wrong-type"
+MISSED = "missed"
+
+
+@dataclass(frozen=True)
+class GoldOutcome:
+    """What happened to one gold reference."""
+
+    table_name: str
+    row: int
+    column: int
+    gold_type: str
+    cell_value: str
+    outcome: str
+    predicted_type: str | None = None
+
+
+@dataclass(frozen=True)
+class FalsePositive:
+    """One annotation on a non-gold cell (or gold cell of another type)."""
+
+    table_name: str
+    row: int
+    column: int
+    predicted_type: str
+    cell_value: str
+    gold_type: str | None = None
+
+
+@dataclass
+class ErrorReport:
+    """Full error breakdown of a run."""
+
+    gold_outcomes: list[GoldOutcome] = field(default_factory=list)
+    false_positives: list[FalsePositive] = field(default_factory=list)
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def outcome_counts(self, type_key: str | None = None) -> dict[str, int]:
+        """correct / wrong-type / missed counts, optionally for one type."""
+        counts = {CORRECT: 0, WRONG_TYPE: 0, MISSED: 0}
+        for outcome in self.gold_outcomes:
+            if type_key is not None and outcome.gold_type != type_key:
+                continue
+            counts[outcome.outcome] += 1
+        return counts
+
+    def false_positives_of(self, type_key: str) -> list[FalsePositive]:
+        return [fp for fp in self.false_positives if fp.predicted_type == type_key]
+
+    def fp_columns(self, type_key: str) -> dict[tuple[str, int], int]:
+        """(table, column) -> FP count; exposes systematic FP sources."""
+        counts: dict[tuple[str, int], int] = {}
+        for fp in self.false_positives_of(type_key):
+            key = (fp.table_name, fp.column)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def misses(self, type_key: str) -> list[GoldOutcome]:
+        return [
+            o for o in self.gold_outcomes
+            if o.gold_type == type_key and o.outcome == MISSED
+        ]
+
+    def confusions(self) -> dict[tuple[str, str], int]:
+        """(gold type, predicted type) -> count for wrong-type outcomes."""
+        counts: dict[tuple[str, str], int] = {}
+        for outcome in self.gold_outcomes:
+            if outcome.outcome == WRONG_TYPE and outcome.predicted_type:
+                key = (outcome.gold_type, outcome.predicted_type)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- rendering ------------------------------------------------------------------
+
+    def render(self, type_keys: list[str] | None = None) -> str:
+        if type_keys is None:
+            type_keys = sorted({o.gold_type for o in self.gold_outcomes})
+        rows = []
+        for type_key in type_keys:
+            counts = self.outcome_counts(type_key)
+            rows.append(
+                [
+                    type_key,
+                    counts[CORRECT],
+                    counts[WRONG_TYPE],
+                    counts[MISSED],
+                    len(self.false_positives_of(type_key)),
+                ]
+            )
+        table = format_table(
+            ["Type", "Correct", "Wrong type", "Missed", "False positives"],
+            rows,
+            title="Error analysis",
+        )
+        confusions = self.confusions()
+        if confusions:
+            worst = sorted(confusions.items(), key=lambda kv: -kv[1])[:5]
+            lines = [
+                f"  {gold} -> {predicted}: {count}"
+                for (gold, predicted), count in worst
+            ]
+            table += "\ntop confusions:\n" + "\n".join(lines)
+        return table
+
+
+def analyse_errors(run: AnnotationRun, gold: GoldStandard) -> ErrorReport:
+    """Build the :class:`ErrorReport` for *run* against *gold*."""
+    report = ErrorReport()
+    annotated: dict[tuple[str, int, int], str] = {}
+    for cell in run.all_cells():
+        annotated[(cell.table_name, cell.row, cell.column)] = cell.type_key
+    for reference in gold.references:
+        key = (reference.table_name, reference.row, reference.column)
+        predicted = annotated.get(key)
+        if predicted is None:
+            outcome = MISSED
+        elif predicted == reference.type_key:
+            outcome = CORRECT
+        else:
+            outcome = WRONG_TYPE
+        report.gold_outcomes.append(
+            GoldOutcome(
+                table_name=reference.table_name,
+                row=reference.row,
+                column=reference.column,
+                gold_type=reference.type_key,
+                cell_value=reference.cell_value,
+                outcome=outcome,
+                predicted_type=predicted,
+            )
+        )
+    for cell in run.all_cells():
+        reference = gold.lookup(cell.table_name, cell.row, cell.column)
+        if reference is None or reference.type_key != cell.type_key:
+            report.false_positives.append(
+                FalsePositive(
+                    table_name=cell.table_name,
+                    row=cell.row,
+                    column=cell.column,
+                    predicted_type=cell.type_key,
+                    cell_value=cell.cell_value,
+                    gold_type=reference.type_key if reference else None,
+                )
+            )
+    return report

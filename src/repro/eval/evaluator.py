@@ -1,0 +1,99 @@
+"""Scoring annotation runs against a gold standard (Section 6.2).
+
+For every type ``t``::
+
+    P = |C_t| / |A_t|    R = |C_t| / |T_t|    F = 2PR / (P + R)
+
+``A_t``: cells the method annotated with ``t``; ``C_t``: those whose cell is
+a gold reference of type ``t``; ``T_t``: all gold references of type ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.classify.metrics import f_measure, precision_recall_f1
+from repro.core.results import AnnotationRun, CellAnnotation
+from repro.eval.gold import GoldStandard
+
+
+@dataclass(frozen=True)
+class TypeScores:
+    """P/R/F plus the raw counts behind them, for one type."""
+
+    precision: float
+    recall: float
+    f1: float
+    n_correct: int
+    n_predicted: int
+    n_gold: int
+
+
+@dataclass
+class EvaluationResult:
+    """Per-type scores of one annotation run."""
+
+    per_type: dict[str, TypeScores] = field(default_factory=dict)
+
+    def f1_of(self, type_key: str) -> float:
+        scores = self.per_type.get(type_key)
+        return scores.f1 if scores else 0.0
+
+    def average(self, type_keys: Sequence[str] | None = None) -> tuple[float, float, float]:
+        """Macro-averaged (P, R, F) over *type_keys* (default: all types).
+
+        This is the AVERAGE row of Table 1, computed per category group.
+        """
+        keys = list(type_keys) if type_keys is not None else sorted(self.per_type)
+        if not keys:
+            return 0.0, 0.0, 0.0
+        p = sum(self.per_type[k].precision for k in keys if k in self.per_type)
+        r = sum(self.per_type[k].recall for k in keys if k in self.per_type)
+        f = sum(self.per_type[k].f1 for k in keys if k in self.per_type)
+        n = len(keys)
+        return p / n, r / n, f / n
+
+    def micro_f1(self) -> float:
+        """Pooled F over all types (the single-number Section 6.3 summary)."""
+        n_correct = sum(s.n_correct for s in self.per_type.values())
+        n_predicted = sum(s.n_predicted for s in self.per_type.values())
+        n_gold = sum(s.n_gold for s in self.per_type.values())
+        precision = n_correct / n_predicted if n_predicted else 0.0
+        recall = n_correct / n_gold if n_gold else 0.0
+        return f_measure(precision, recall)
+
+
+def evaluate_annotations(
+    annotations: AnnotationRun | Iterable[CellAnnotation],
+    gold: GoldStandard,
+    type_keys: Sequence[str] | None = None,
+) -> EvaluationResult:
+    """Score *annotations* against *gold* for each type in *type_keys*.
+
+    When *type_keys* is ``None``, the gold standard's own types are used.
+    """
+    if isinstance(annotations, AnnotationRun):
+        cells = list(annotations.all_cells())
+    else:
+        cells = list(annotations)
+    keys = list(type_keys) if type_keys is not None else gold.type_keys()
+    result = EvaluationResult()
+    for type_key in keys:
+        predicted = [cell for cell in cells if cell.type_key == type_key]
+        n_correct = 0
+        for cell in predicted:
+            reference = gold.lookup(cell.table_name, cell.row, cell.column)
+            if reference is not None and reference.type_key == type_key:
+                n_correct += 1
+        n_gold = gold.total_of_type(type_key)
+        p, r, f = precision_recall_f1(n_correct, len(predicted), n_gold)
+        result.per_type[type_key] = TypeScores(
+            precision=p,
+            recall=r,
+            f1=f,
+            n_correct=n_correct,
+            n_predicted=len(predicted),
+            n_gold=n_gold,
+        )
+    return result

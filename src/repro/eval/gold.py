@@ -1,0 +1,62 @@
+"""Gold-standard annotations for table corpora.
+
+The paper: "Each table was manually annotated by one person, so as to have
+a gold standard against which we compared our algorithm."  Our tables are
+generated, so the gold standard is recorded at generation time: one
+:class:`GoldEntityReference` per cell that contains an entity name, carrying
+the entity's true type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GoldEntityReference:
+    """One gold cell: table, position, true type and the cell text."""
+
+    table_name: str
+    row: int
+    column: int
+    type_key: str
+    cell_value: str
+
+
+@dataclass
+class GoldStandard:
+    """All gold references of a corpus, with the lookups evaluation needs."""
+
+    references: list[GoldEntityReference] = field(default_factory=list)
+    _by_cell: dict[tuple[str, int, int], GoldEntityReference] = field(
+        default_factory=dict, repr=False
+    )
+
+    def add(self, reference: GoldEntityReference) -> None:
+        """Record one reference; duplicate cells are rejected."""
+        key = (reference.table_name, reference.row, reference.column)
+        if key in self._by_cell:
+            raise ValueError(f"duplicate gold reference for cell {key}")
+        self.references.append(reference)
+        self._by_cell[key] = reference
+
+    def lookup(
+        self, table_name: str, row: int, column: int
+    ) -> GoldEntityReference | None:
+        """The gold reference at a cell, or ``None``."""
+        return self._by_cell.get((table_name, row, column))
+
+    def total_of_type(self, type_key: str) -> int:
+        """|T_t| -- the number of gold entities of *type_key*."""
+        return sum(1 for ref in self.references if ref.type_key == type_key)
+
+    def of_table(self, table_name: str) -> list[GoldEntityReference]:
+        """All gold references in one table, in insertion order."""
+        return [ref for ref in self.references if ref.table_name == table_name]
+
+    def type_keys(self) -> list[str]:
+        """Distinct gold types, sorted."""
+        return sorted({ref.type_key for ref in self.references})
+
+    def __len__(self) -> int:
+        return len(self.references)

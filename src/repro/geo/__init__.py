@@ -1,0 +1,24 @@
+"""Geographic substrate: gazetteer, addresses and the geocoder stand-in.
+
+Section 5.2.2 disambiguates search queries with spatial context obtained by
+geocoding addresses found in the table.  The paper calls the Google
+Geocoding API; we replace it with a gazetteer-backed
+:class:`~repro.geo.geocoder.Geocoder` that reproduces the behaviour the
+algorithm depends on: a partial address ("1600 Pennsylvania Avenue") maps to
+*several* candidate interpretations whose containment chains (street < city
+< state < country) feed the voting graph of Figure 7.
+"""
+
+from repro.geo.addresses import Address
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.geocoder import Geocoder
+from repro.geo.model import GeoLocation, LocationKind, are_related
+
+__all__ = [
+    "Address",
+    "Gazetteer",
+    "GeoLocation",
+    "Geocoder",
+    "LocationKind",
+    "are_related",
+]

@@ -1,0 +1,64 @@
+"""Postal addresses: formatting and the partial forms found in tables.
+
+The paper notes that "in many tables we came across, addresses are
+incomplete, and just report the street number and name and, possibly, the
+zip code", which is precisely what makes geocoding ambiguous.  ``Address``
+can render itself at several levels of completeness so the synthetic table
+generator can plant both full and partial addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.model import GeoLocation, LocationKind
+
+
+@dataclass(frozen=True)
+class Address:
+    """A street-level postal address anchored to a gazetteer street."""
+
+    street_number: int
+    street: GeoLocation
+    zip_code: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.street.kind is not LocationKind.STREET:
+            raise ValueError(
+                f"Address needs a street location, got {self.street.kind.value}"
+            )
+        if self.street_number < 1:
+            raise ValueError(f"street number must be >= 1, got {self.street_number}")
+
+    @property
+    def city(self) -> GeoLocation:
+        """The city containing the street."""
+        assert self.street.container is not None
+        return self.street.container
+
+    # -- rendering ------------------------------------------------------------------
+
+    def partial(self) -> str:
+        """Street number + name only: "1600 Pennsylvania Avenue"."""
+        return f"{self.street_number} {self.street.name}"
+
+    def partial_with_zip(self) -> str:
+        """Street number + name + zip, still no city."""
+        if self.zip_code is None:
+            return self.partial()
+        return f"{self.partial()} {self.zip_code}"
+
+    def with_city(self) -> str:
+        """Street number + name + city: enough to geocode unambiguously."""
+        return f"{self.partial()}, {self.city.name}"
+
+    def full(self) -> str:
+        """Complete form including state and country."""
+        chain = ", ".join(c.name for c in self.street.containers)
+        text = f"{self.street_number} {self.street.name}, {chain}"
+        if self.zip_code is not None:
+            text = f"{text} {self.zip_code}"
+        return text
+
+    def __str__(self) -> str:
+        return self.full()

@@ -1,0 +1,127 @@
+"""A world gazetteer: the name index behind the geocoder.
+
+Holds countries, states, cities and streets, indexed by normalised name.
+Ambiguity is first-class: ``find_cities("Paris")`` returns Paris TX, Paris
+TN and Paris, France side by side, exactly the situation the Figure 7
+disambiguation graph resolves.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.geo.model import GeoLocation, LocationKind
+
+_STREET_SUFFIX_ALIASES = {
+    "ave": "avenue",
+    "av": "avenue",
+    "blvd": "boulevard",
+    "dr": "drive",
+    "ln": "lane",
+    "rd": "road",
+    "st": "street",
+    "sq": "square",
+}
+
+_PUNCT_RE = re.compile(r"[^\w\s]")
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def _normalize(name: str) -> str:
+    lowered = _PUNCT_RE.sub(" ", name.lower())
+    return _WHITESPACE_RE.sub(" ", lowered).strip()
+
+
+def normalize_street_name(name: str) -> str:
+    """Normalise a street name, expanding suffix abbreviations.
+
+    >>> normalize_street_name("Pennsylvania Ave.")
+    'pennsylvania avenue'
+    """
+    tokens = _normalize(name).split()
+    if tokens and tokens[-1] in _STREET_SUFFIX_ALIASES:
+        tokens[-1] = _STREET_SUFFIX_ALIASES[tokens[-1]]
+    return " ".join(tokens)
+
+
+class Gazetteer:
+    """Registry of locations with ambiguous-name lookup."""
+
+    def __init__(self) -> None:
+        self._countries: dict[str, GeoLocation] = {}
+        self._states: dict[str, list[GeoLocation]] = {}
+        self._cities: dict[str, list[GeoLocation]] = {}
+        self._streets: dict[str, list[GeoLocation]] = {}
+        self._all: list[GeoLocation] = []
+
+    # -- registration --------------------------------------------------------------
+
+    def add_country(self, name: str) -> GeoLocation:
+        """Register a country; duplicate names return the existing one."""
+        key = _normalize(name)
+        if key in self._countries:
+            return self._countries[key]
+        country = GeoLocation(name=name, kind=LocationKind.COUNTRY)
+        self._countries[key] = country
+        self._all.append(country)
+        return country
+
+    def add_state(self, name: str, country: GeoLocation) -> GeoLocation:
+        """Register a state inside *country* (idempotent per pair)."""
+        state = GeoLocation(name=name, kind=LocationKind.STATE, container=country)
+        return self._register(self._states, _normalize(name), state)
+
+    def add_city(self, name: str, state: GeoLocation) -> GeoLocation:
+        """Register a city inside *state* (idempotent per pair)."""
+        city = GeoLocation(name=name, kind=LocationKind.CITY, container=state)
+        return self._register(self._cities, _normalize(name), city)
+
+    def add_street(self, name: str, city: GeoLocation) -> GeoLocation:
+        """Register a street inside *city* (idempotent per pair)."""
+        street = GeoLocation(name=name, kind=LocationKind.STREET, container=city)
+        return self._register(self._streets, normalize_street_name(name), street)
+
+    def _register(
+        self, index: dict[str, list[GeoLocation]], key: str, location: GeoLocation
+    ) -> GeoLocation:
+        bucket = index.setdefault(key, [])
+        for existing in bucket:
+            if existing == location:
+                return existing
+        bucket.append(location)
+        self._all.append(location)
+        return location
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def find_country(self, name: str) -> GeoLocation | None:
+        """Country by name, or ``None``."""
+        return self._countries.get(_normalize(name))
+
+    def find_states(self, name: str) -> list[GeoLocation]:
+        """All states with this name (can be ambiguous across countries)."""
+        return list(self._states.get(_normalize(name), []))
+
+    def find_cities(self, name: str) -> list[GeoLocation]:
+        """All cities with this name -- Paris TX / Paris TN / Paris, France."""
+        return list(self._cities.get(_normalize(name), []))
+
+    def find_streets(self, name: str) -> list[GeoLocation]:
+        """All streets with this (suffix-normalised) name across all cities."""
+        return list(self._streets.get(normalize_street_name(name), []))
+
+    def locations(self) -> list[GeoLocation]:
+        """Every registered location, in registration order."""
+        return list(self._all)
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    # -- statistics --------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Number of registered locations per kind."""
+        result = {kind.value: 0 for kind in LocationKind}
+        for location in self._all:
+            result[location.kind.value] += 1
+        return result

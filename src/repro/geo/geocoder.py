@@ -1,0 +1,135 @@
+"""The Google Geocoding API stand-in.
+
+Given free-text spatial content from a table cell, the geocoder "parses an
+address and breaks it down into different components, such as street, city,
+state and country, each identifying a geographic location" (Section 5.2.2).
+Crucially, a *partial* address returns **all** plausible interpretations --
+the ambiguity the voting graph of Figure 7 resolves.
+
+Each geocoding request charges its configured latency to a
+:class:`~repro.clock.VirtualClock`, feeding the Section 6.4 efficiency
+model.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.clock import VirtualClock
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.model import GeoLocation, LocationKind
+
+_LEADING_NUMBER_RE = re.compile(r"^\s*\d+\s+")
+_ZIP_RE = re.compile(r"\b\d{4,6}\b")
+
+DEFAULT_GEOCODER_LATENCY = 0.2
+"""Virtual seconds charged per geocoding request."""
+
+
+class Geocoder:
+    """Gazetteer-backed address resolution with ambiguity."""
+
+    def __init__(
+        self,
+        gazetteer: Gazetteer,
+        clock: VirtualClock | None = None,
+        latency_seconds: float = DEFAULT_GEOCODER_LATENCY,
+    ) -> None:
+        self.gazetteer = gazetteer
+        self.clock = clock or VirtualClock()
+        self.latency_seconds = latency_seconds
+
+    # -- public API -----------------------------------------------------------------
+
+    def geocode(self, text: str) -> list[GeoLocation]:
+        """All candidate interpretations of *text*, most specific kind first.
+
+        Resolution strategy, mirroring the hierarchy of the real API:
+
+        1. strip a leading street number and any zip code;
+        2. split the remainder on commas into components;
+        3. resolve the first component as street, then city, then state,
+           then country -- first level with matches wins;
+        4. remaining components, when present, filter the candidates by
+           containment (a trailing "Washington, D.C." keeps only streets in
+           that city).
+
+        Returns an empty list when nothing matches.
+        """
+        self.clock.charge(self.latency_seconds)
+        cleaned = _ZIP_RE.sub(" ", _LEADING_NUMBER_RE.sub("", text, count=1))
+        components = [part.strip() for part in cleaned.split(",")]
+        components = [part for part in components if part]
+        if not components:
+            return []
+        head, *rest = components
+        candidates = self._resolve_component(head)
+        for component in rest:
+            refined = self._filter_by_context(candidates, component)
+            if refined:
+                candidates = refined
+        return candidates
+
+    def resolve_city(self, text: str) -> list[GeoLocation]:
+        """Interpretations of a city reference such as "Paris" or "Paris, TX"."""
+        self.clock.charge(self.latency_seconds)
+        components = [part.strip() for part in text.split(",") if part.strip()]
+        if not components:
+            return []
+        head, *rest = components
+        candidates = self.gazetteer.find_cities(head)
+        for component in rest:
+            refined = self._filter_by_context(candidates, component)
+            if refined:
+                candidates = refined
+        return candidates
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _resolve_component(self, component: str) -> list[GeoLocation]:
+        streets = self.gazetteer.find_streets(component)
+        if streets:
+            return streets
+        cities = self.gazetteer.find_cities(component)
+        if cities:
+            return cities
+        states = self.gazetteer.find_states(component)
+        if states:
+            return states
+        country = self.gazetteer.find_country(component)
+        if country is not None:
+            return [country]
+        return []
+
+    def _filter_by_context(
+        self, candidates: list[GeoLocation], component: str
+    ) -> list[GeoLocation]:
+        """Keep candidates contained in any location named *component*."""
+        context: list[GeoLocation] = []
+        context.extend(self.gazetteer.find_cities(component))
+        context.extend(self.gazetteer.find_states(component))
+        country = self.gazetteer.find_country(component)
+        if country is not None:
+            context.append(country)
+        if not context:
+            return []
+        filtered = [
+            candidate
+            for candidate in candidates
+            if any(
+                container.contains(candidate) or container == candidate
+                for container in context
+            )
+        ]
+        return filtered
+
+    # -- convenience -------------------------------------------------------------------
+
+    def city_of(self, location: GeoLocation) -> GeoLocation | None:
+        """The city in *location*'s chain (itself when it is a city)."""
+        if location.kind is LocationKind.CITY:
+            return location
+        for container in location.containers:
+            if container.kind is LocationKind.CITY:
+                return container
+        return None

@@ -1,0 +1,98 @@
+"""Geographic locations and their containment hierarchy.
+
+The paper (Section 5.2.2): "Such geographic locations are in a containment
+relationship ... streets are contained by cities, which are contained by
+states which in turn are contained by countries.  Since the containment is a
+hierarchical relationship, any geographic location has a direct or most
+specific container and indirect or less specific containers."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import cached_property
+
+
+class LocationKind(Enum):
+    """The four levels of the containment hierarchy."""
+
+    COUNTRY = "country"
+    STATE = "state"
+    CITY = "city"
+    STREET = "street"
+
+
+_CONTAINER_KIND = {
+    LocationKind.STREET: LocationKind.CITY,
+    LocationKind.CITY: LocationKind.STATE,
+    LocationKind.STATE: LocationKind.COUNTRY,
+    LocationKind.COUNTRY: None,
+}
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """One node of the containment hierarchy.
+
+    ``container`` is the direct (most specific) container; transitive
+    containers are reachable through it.  Countries have no container.
+    """
+
+    name: str
+    kind: LocationKind
+    container: "GeoLocation | None" = None
+
+    def __post_init__(self) -> None:
+        expected = _CONTAINER_KIND[self.kind]
+        if expected is None:
+            if self.container is not None:
+                raise ValueError("a country cannot have a container")
+        else:
+            if self.container is None:
+                raise ValueError(f"a {self.kind.value} needs a container")
+            if self.container.kind is not expected:
+                raise ValueError(
+                    f"a {self.kind.value} must be contained by a "
+                    f"{expected.value}, got {self.container.kind.value}"
+                )
+
+    @cached_property
+    def containers(self) -> tuple["GeoLocation", ...]:
+        """All containers, most specific first (city, state, country)."""
+        chain = []
+        current = self.container
+        while current is not None:
+            chain.append(current)
+            current = current.container
+        return tuple(chain)
+
+    @property
+    def full_name(self) -> str:
+        """Display form: "Pennsylvania Avenue, Washington, D.C., USA"."""
+        parts = [self.name, *(c.name for c in self.containers)]
+        return ", ".join(parts)
+
+    def contains(self, other: "GeoLocation") -> bool:
+        """True when *self* is a (possibly indirect) container of *other*."""
+        return self in other.containers
+
+    def __str__(self) -> str:
+        return self.full_name
+
+
+def are_related(first: GeoLocation, second: GeoLocation) -> bool:
+    """The edge condition of the Figure 7 voting graph.
+
+    Two interpretations are related when they share the same direct
+    geographic container, or when one *is* the direct container of the
+    other.  The second clause covers the paper's own example: the street
+    "Pennsylvania Ave, Washington, D.C." and the city "Washington, D.C."
+    are said to "share the same geographic container, that is Washington,
+    D.C." -- i.e. the city itself.
+    """
+    if first.container is not None and first.container == second.container:
+        return True
+    if first.container == second or second.container == first:
+        return True
+    return False

@@ -1,0 +1,36 @@
+"""Knowledge-base substrate: the DBpedia stand-in (Section 5.2.1).
+
+The paper uses DBpedia for exactly one job -- building classifier training
+sets: pick a root category ("Museums"), traverse its subcategory network,
+keep subcategories whose name contains the type name, and sample entities
+from the surviving categories.  This package provides the pieces:
+
+* :mod:`repro.kb.triples` -- an indexed RDF-style triple store;
+* :mod:`repro.kb.categories` -- the category network of Figure 6;
+* :mod:`repro.kb.sparql` -- a small SPARQL-like pattern-query evaluator
+  (the paper iterates a SPARQL query over subcategories);
+* :mod:`repro.kb.knowledge_base` -- entities + categories + triples;
+* :mod:`repro.kb.catalogue` -- a pre-compiled entity catalogue, the
+  substrate of the Limaye-style baseline and of the 22 %-coverage claim.
+"""
+
+from repro.kb.catalogue import Catalogue, normalize_name
+from repro.kb.categories import CategoryNetwork
+from repro.kb.knowledge_base import Entity, KnowledgeBase
+from repro.kb.root_selection import candidate_roots, select_root
+from repro.kb.sparql import SparqlError, select
+from repro.kb.triples import Triple, TripleStore
+
+__all__ = [
+    "Catalogue",
+    "CategoryNetwork",
+    "Entity",
+    "KnowledgeBase",
+    "SparqlError",
+    "Triple",
+    "TripleStore",
+    "candidate_roots",
+    "normalize_name",
+    "select",
+    "select_root",
+]

@@ -1,0 +1,119 @@
+"""The DBpedia category network (Figure 6).
+
+Categories form a directed graph whose edges express containment: an edge
+from "Museums" to "Museums in Europe" means the former *contains* the
+latter.  The network is a graph rather than a tree (a category may have
+several parents) and may in principle contain cycles, so traversal is
+visited-set guarded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.text.porter import stem
+from repro.text.tokenization import tokenize
+
+
+class CategoryNetwork:
+    """Directed containment graph over category names."""
+
+    def __init__(self) -> None:
+        self._children: dict[str, set[str]] = {}
+        self._parents: dict[str, set[str]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_category(self, name: str) -> None:
+        """Register a category (idempotent)."""
+        if not name:
+            raise ValueError("category name must be non-empty")
+        self._children.setdefault(name, set())
+        self._parents.setdefault(name, set())
+
+    def add_containment(self, parent: str, child: str) -> None:
+        """Record that *parent* contains *child*; registers both."""
+        if parent == child:
+            raise ValueError(f"category {parent!r} cannot contain itself")
+        self.add_category(parent)
+        self.add_category(child)
+        self._children[parent].add(child)
+        self._parents[child].add(parent)
+
+    # -- structure queries -------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def categories(self) -> list[str]:
+        """All category names, sorted."""
+        return sorted(self._children)
+
+    def children(self, name: str) -> list[str]:
+        """Direct subcategories of *name*, sorted."""
+        self._require(name)
+        return sorted(self._children[name])
+
+    def parents(self, name: str) -> list[str]:
+        """Direct containers of *name*, sorted."""
+        self._require(name)
+        return sorted(self._parents[name])
+
+    def roots(self) -> list[str]:
+        """Categories with no parent, sorted."""
+        return sorted(name for name, parents in self._parents.items() if not parents)
+
+    def _require(self, name: str) -> None:
+        if name not in self._children:
+            raise KeyError(f"unknown category: {name!r}")
+
+    # -- traversal ------------------------------------------------------------------
+
+    def descendants(self, root: str, max_depth: int | None = None) -> list[str]:
+        """All subcategories reachable from *root* (excluded), BFS order.
+
+        This is the visit the paper performs "by iterating a SPARQL query on
+        each subcategory of the root".  ``max_depth`` bounds the traversal;
+        ``None`` means unbounded.  Cycle-safe.
+        """
+        self._require(root)
+        visited: set[str] = {root}
+        order: list[str] = []
+        queue: deque[tuple[str, int]] = deque([(root, 0)])
+        while queue:
+            current, depth = queue.popleft()
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for child in sorted(self._children[current]):
+                if child not in visited:
+                    visited.add(child)
+                    order.append(child)
+                    queue.append((child, depth + 1))
+        return order
+
+    def subtree(self, root: str, max_depth: int | None = None) -> list[str]:
+        """*root* plus its descendants."""
+        return [root, *self.descendants(root, max_depth=max_depth)]
+
+    def filter_by_type_name(
+        self, categories: Iterable[str], type_name: str
+    ) -> list[str]:
+        """The paper's pruning heuristic (Section 5.2.1).
+
+        Keeps only the categories whose name contains *type_name*: under
+        root "Museums", the noisy subcategory "Curators" is dropped while
+        "History museums in France" survives.  Matching is on Porter stems
+        so the singular type word matches pluralised category names
+        ("university" matches "Universities in Europe").
+        """
+        needle = stem(type_name.lower())
+        kept = []
+        for name in categories:
+            stems = {stem(token) for token in tokenize(name)}
+            if needle in stems:
+                kept.append(name)
+        return kept

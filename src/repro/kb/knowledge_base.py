@@ -1,0 +1,139 @@
+"""The DBpedia stand-in: typed entities organised in a category network.
+
+Entities carry a URI, a display name, a fine-grained type and the set of
+categories they belong to.  Every fact is mirrored into a
+:class:`~repro.kb.triples.TripleStore` under DBpedia-flavoured predicates
+(``rdf:type``, ``rdfs:label``, ``dcterms:subject``, ``skos:broader``) so the
+mini-SPARQL interface works exactly as the paper's training procedure
+expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.kb.categories import CategoryNetwork
+from repro.kb.sparql import select
+from repro.kb.triples import TripleStore
+
+RDF_TYPE = "rdf:type"
+RDFS_LABEL = "rdfs:label"
+DCTERMS_SUBJECT = "dcterms:subject"
+SKOS_BROADER = "skos:broader"
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One knowledge-base entity."""
+
+    uri: str
+    name: str
+    entity_type: str
+    categories: frozenset[str] = field(default_factory=frozenset)
+
+
+class KnowledgeBase:
+    """Entities + category network + triples, with DBpedia-style accessors."""
+
+    def __init__(self, name: str = "dbpedia") -> None:
+        self.name = name
+        self.categories = CategoryNetwork()
+        self.triples = TripleStore()
+        self._entities: dict[str, Entity] = {}
+        self._by_category: dict[str, set[str]] = {}
+        self._by_type: dict[str, set[str]] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def add_category(self, name: str, parent: str | None = None) -> None:
+        """Register a category, optionally under *parent*."""
+        if parent is None:
+            self.categories.add_category(name)
+        else:
+            self.categories.add_containment(parent, name)
+            self.triples.add(name, SKOS_BROADER, parent)
+
+    def add_entity(
+        self,
+        uri: str,
+        name: str,
+        entity_type: str,
+        categories: Iterable[str] = (),
+    ) -> Entity:
+        """Register an entity; its categories are auto-registered."""
+        if uri in self._entities:
+            raise ValueError(f"duplicate entity uri: {uri!r}")
+        category_set = frozenset(categories)
+        entity = Entity(
+            uri=uri, name=name, entity_type=entity_type, categories=category_set
+        )
+        self._entities[uri] = entity
+        self._by_type.setdefault(entity_type, set()).add(uri)
+        self.triples.add(uri, RDF_TYPE, entity_type)
+        self.triples.add(uri, RDFS_LABEL, name)
+        for category in category_set:
+            self.categories.add_category(category)
+            self._by_category.setdefault(category, set()).add(uri)
+            self.triples.add(uri, DCTERMS_SUBJECT, category)
+        return entity
+
+    # -- entity access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._entities
+
+    def get(self, uri: str) -> Entity:
+        """Entity by URI; raises ``KeyError`` when absent."""
+        if uri not in self._entities:
+            raise KeyError(f"unknown entity uri: {uri!r}")
+        return self._entities[uri]
+
+    def entities(self) -> list[Entity]:
+        """All entities, sorted by URI."""
+        return [self._entities[uri] for uri in sorted(self._entities)]
+
+    def entities_of_type(self, entity_type: str) -> list[Entity]:
+        """Entities with the given fine-grained type, sorted by URI."""
+        uris = self._by_type.get(entity_type, set())
+        return [self._entities[uri] for uri in sorted(uris)]
+
+    def entities_in_category(self, category: str) -> list[Entity]:
+        """Entities directly in *category*, sorted by URI."""
+        uris = self._by_category.get(category, set())
+        return [self._entities[uri] for uri in sorted(uris)]
+
+    def entities_in_categories(self, categories: Iterable[str]) -> list[Entity]:
+        """Deduplicated union over several categories, sorted by URI."""
+        uris: set[str] = set()
+        for category in categories:
+            uris.update(self._by_category.get(category, set()))
+        return [self._entities[uri] for uri in sorted(uris)]
+
+    # -- the Section 5.2.1 category walk ------------------------------------------------
+
+    def positive_categories(self, root: str, type_name: str) -> list[str]:
+        """Categories that should contain positive entities of *type_name*.
+
+        Visits the category network under *root* (the manually chosen root,
+        e.g. "Museums"), then applies the pruning heuristic: keep only
+        subcategories whose name contains the type name.  The root itself is
+        always kept -- it was chosen manually.
+        """
+        subtree = self.categories.descendants(root)
+        kept = self.categories.filter_by_type_name(subtree, type_name)
+        return [root, *kept]
+
+    def positive_entities(self, root: str, type_name: str) -> list[Entity]:
+        """Entities in the positive categories of (*root*, *type_name*)."""
+        return self.entities_in_categories(self.positive_categories(root, type_name))
+
+    def subcategories_sparql(self, category: str) -> list[str]:
+        """Direct subcategories via the SPARQL interface (as the paper does)."""
+        rows = select(
+            self.triples, f'SELECT ?c WHERE {{ ?c skos:broader "{category}" }}'
+        )
+        return [row[0] for row in rows]

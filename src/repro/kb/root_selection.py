@@ -1,0 +1,69 @@
+"""Automatic root-category selection (the paper's scalability future work).
+
+Section 6.4: "our algorithm is fully automatic except for the selection of
+the category in DBpedia that best represents a type of entities ...  if we
+intended to use our algorithm for annotating entities of any type in
+Probase, which includes up to two million types, we would need a way to
+automatically select the category that best represents a type."
+
+This module implements that selection.  A candidate root must *name* the
+type (stem match on the category name); among candidates, prefer the one
+whose subtree -- pruned by the usual name heuristic -- contains the most
+entities, breaking ties toward the shallower/shorter name (the more
+general category).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.text.porter import stem
+from repro.text.tokenization import tokenize
+
+
+@dataclass(frozen=True)
+class RootCandidate:
+    """One scored candidate root category."""
+
+    category: str
+    n_entities: int
+    n_kept_subcategories: int
+
+
+def candidate_roots(kb: KnowledgeBase, type_word: str) -> list[RootCandidate]:
+    """All categories naming *type_word*, scored by pruned-subtree yield."""
+    needle = stem(type_word.lower())
+    candidates = []
+    for category in kb.categories.categories():
+        stems = {stem(token) for token in tokenize(category)}
+        if needle not in stems:
+            continue
+        kept = kb.positive_categories(category, type_word)
+        entities = kb.entities_in_categories(kept)
+        candidates.append(
+            RootCandidate(
+                category=category,
+                n_entities=len(entities),
+                n_kept_subcategories=len(kept) - 1,
+            )
+        )
+    candidates.sort(
+        key=lambda c: (-c.n_entities, -c.n_kept_subcategories, len(c.category),
+                       c.category)
+    )
+    return candidates
+
+
+def select_root(kb: KnowledgeBase, type_word: str) -> str | None:
+    """The best root category for *type_word*, or ``None`` when nothing names it.
+
+    >>> # select_root(kb, "museum") -> "Museums"
+    """
+    candidates = candidate_roots(kb, type_word)
+    if not candidates:
+        return None
+    best = candidates[0]
+    if best.n_entities == 0:
+        return None
+    return best.category

@@ -1,0 +1,126 @@
+"""A small SPARQL-like SELECT evaluator over a :class:`TripleStore`.
+
+Supports the fragment the training procedure needs (Section 5.2.1 iterates
+a SPARQL query over subcategories)::
+
+    SELECT ?x [?y ...] WHERE { pattern . pattern . ... }
+
+where each pattern is three terms; a term is either a variable (``?name``)
+or a constant (optionally quoted with ``"`` or wrapped in ``<`` ``>``).
+Evaluation is a left-to-right nested-loop join with variable bindings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.kb.triples import TripleStore
+
+
+class SparqlError(ValueError):
+    """Raised for malformed queries."""
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One triple pattern; each term is a constant or a ``?variable``."""
+
+    subject: str
+    predicate: str
+    object: str
+
+    def terms(self) -> tuple[str, str, str]:
+        return self.subject, self.predicate, self.object
+
+
+_QUERY_RE = re.compile(
+    r"^\s*select\s+(?P<vars>(?:\?\w+\s*)+)\s*where\s*\{(?P<body>.*)\}\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def _is_variable(term: str) -> bool:
+    return term.startswith("?")
+
+
+def _strip_constant(term: str) -> str:
+    if len(term) >= 2 and term[0] == '"' and term[-1] == '"':
+        return term[1:-1]
+    if len(term) >= 2 and term[0] == "<" and term[-1] == ">":
+        return term[1:-1]
+    return term
+
+
+_TERM_RE = re.compile(r'"[^"]*"|<[^>]*>|\?\w+|\S+')
+
+
+def parse_query(query: str) -> tuple[list[str], list[Pattern]]:
+    """Parse a SELECT query into (projection variables, patterns)."""
+    match = _QUERY_RE.match(query)
+    if match is None:
+        raise SparqlError(f"cannot parse query: {query!r}")
+    variables = match.group("vars").split()
+    patterns = []
+    body = match.group("body").strip()
+    if not body:
+        raise SparqlError("WHERE block must contain at least one pattern")
+    for chunk in body.split("."):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        terms = _TERM_RE.findall(chunk)
+        if len(terms) != 3:
+            raise SparqlError(f"pattern must have three terms: {chunk!r}")
+        patterns.append(Pattern(*terms))
+    if not patterns:
+        raise SparqlError("WHERE block must contain at least one pattern")
+    pattern_vars = {
+        term
+        for pattern in patterns
+        for term in pattern.terms()
+        if _is_variable(term)
+    }
+    for variable in variables:
+        if variable not in pattern_vars:
+            raise SparqlError(f"projected variable {variable} is never bound")
+    return variables, patterns
+
+
+def select(store: TripleStore, query: str) -> list[tuple[str, ...]]:
+    """Evaluate *query* against *store*; rows are tuples of bound values.
+
+    Results are deduplicated and sorted, giving SPARQL's ``SELECT DISTINCT``
+    semantics with a deterministic order.
+    """
+    variables, patterns = parse_query(query)
+    bindings: list[dict[str, str]] = [{}]
+    for pattern in patterns:
+        next_bindings: list[dict[str, str]] = []
+        for binding in bindings:
+            resolved = []
+            for term in pattern.terms():
+                if _is_variable(term):
+                    resolved.append(binding.get(term))
+                else:
+                    resolved.append(_strip_constant(term))
+            for triple in store.match(*resolved):
+                new_binding = dict(binding)
+                consistent = True
+                for term, value in zip(
+                    pattern.terms(), (triple.subject, triple.predicate, triple.object)
+                ):
+                    if _is_variable(term):
+                        bound = new_binding.get(term)
+                        if bound is None:
+                            new_binding[term] = value
+                        elif bound != value:
+                            consistent = False
+                            break
+                if consistent:
+                    next_bindings.append(new_binding)
+        bindings = next_bindings
+        if not bindings:
+            return []
+    rows = {tuple(binding[v] for v in variables) for binding in bindings}
+    return sorted(rows)

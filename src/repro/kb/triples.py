@@ -1,0 +1,88 @@
+"""An indexed store of (subject, predicate, object) triples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One RDF-style statement.  All three terms are plain strings."""
+
+    subject: str
+    predicate: str
+    object: str
+
+
+class TripleStore:
+    """Set-semantics triple store with per-position hash indexes.
+
+    Pattern matching treats ``None`` as a wildcard, so
+    ``store.match(None, "rdf:type", "Museum")`` returns every museum triple.
+    All match results are sorted for deterministic iteration.
+    """
+
+    def __init__(self) -> None:
+        self._triples: set[Triple] = set()
+        self._by_subject: dict[str, set[Triple]] = {}
+        self._by_predicate: dict[str, set[Triple]] = {}
+        self._by_object: dict[str, set[Triple]] = {}
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, subject: str, predicate: str, obj: str) -> Triple:
+        """Insert one triple (idempotent); returns it."""
+        triple = Triple(subject, predicate, obj)
+        if triple not in self._triples:
+            self._triples.add(triple)
+            self._by_subject.setdefault(subject, set()).add(triple)
+            self._by_predicate.setdefault(predicate, set()).add(triple)
+            self._by_object.setdefault(obj, set()).add(triple)
+        return triple
+
+    def add_all(self, triples: Iterable[tuple[str, str, str]]) -> None:
+        """Insert many ``(s, p, o)`` tuples."""
+        for subject, predicate, obj in triples:
+            self.add(subject, predicate, obj)
+
+    # -- querying -------------------------------------------------------------------
+
+    def match(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: str | None = None,
+    ) -> list[Triple]:
+        """All triples matching the pattern; ``None`` is a wildcard."""
+        candidate_sets = []
+        if subject is not None:
+            candidate_sets.append(self._by_subject.get(subject, set()))
+        if predicate is not None:
+            candidate_sets.append(self._by_predicate.get(predicate, set()))
+        if obj is not None:
+            candidate_sets.append(self._by_object.get(obj, set()))
+        if not candidate_sets:
+            matches = self._triples
+        else:
+            matches = set.intersection(*candidate_sets)
+        return sorted(matches, key=lambda t: (t.subject, t.predicate, t.object))
+
+    def objects(self, subject: str, predicate: str) -> list[str]:
+        """Objects of all ``(subject, predicate, ?)`` triples, sorted."""
+        return [t.object for t in self.match(subject=subject, predicate=predicate)]
+
+    def subjects(self, predicate: str, obj: str) -> list[str]:
+        """Subjects of all ``(?, predicate, obj)`` triples, sorted."""
+        return [t.subject for t in self.match(predicate=predicate, obj=obj)]
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(
+            sorted(self._triples, key=lambda t: (t.subject, t.predicate, t.object))
+        )

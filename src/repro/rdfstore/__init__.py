@@ -1,0 +1,22 @@
+"""The motivating application (Section 1): a POI repository with facets.
+
+The paper's algorithm was built to populate "a RDF repository of points of
+interest (POIs), such as restaurants and museums, of cities around the
+world" extracted from Google Fusion Tables, browsed through a faceted
+interface.  This package closes that loop:
+
+* :mod:`repro.rdfstore.store` -- the POI triple repository;
+* :mod:`repro.rdfstore.extract` -- annotated table -> RDF extraction;
+* :mod:`repro.rdfstore.facets` -- the faceted browser over the repository.
+"""
+
+from repro.rdfstore.extract import extract_pois
+from repro.rdfstore.facets import FacetedBrowser
+from repro.rdfstore.store import PoiRecord, PoiStore
+
+__all__ = [
+    "FacetedBrowser",
+    "PoiRecord",
+    "PoiStore",
+    "extract_pois",
+]

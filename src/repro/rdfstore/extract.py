@@ -1,0 +1,70 @@
+"""Annotated table -> POI record extraction.
+
+The last step of the paper's application pipeline: once the annotator has
+marked which cells name entities of which types, each annotated row is
+folded into a :class:`~repro.rdfstore.store.PoiRecord`.  Companion columns
+are harvested with the same syntactic detectors pre-processing uses --
+phones, websites and spatial values are recognisable by shape.
+"""
+
+from __future__ import annotations
+
+from repro.core.preprocessing import looks_like_phone, looks_like_url
+from repro.core.results import TableAnnotation
+from repro.rdfstore.store import PoiRecord
+from repro.tables.model import ColumnType, Table
+
+
+def _row_extras(table: Table, row: int, skip_column: int) -> dict[str, str]:
+    """Phone / website / spatial companions of an annotated cell's row."""
+    extras: dict[str, str] = {}
+    for j in range(table.n_columns):
+        if j == skip_column:
+            continue
+        value = table.cell(row, j).strip()
+        if not value:
+            continue
+        if "phone" not in extras and looks_like_phone(value):
+            extras["phone"] = value
+        elif "website" not in extras and looks_like_url(value):
+            extras["website"] = value
+        elif table.column_type(j) is ColumnType.LOCATION:
+            # First spatial column wins; a trailing city component, when
+            # present ("12 Main Street, Austin"), doubles as the city.
+            if "address" not in extras:
+                extras["address"] = value
+                if "," in value:
+                    extras["city"] = value.rsplit(",", 1)[1].strip()
+                elif not any(ch.isdigit() for ch in value):
+                    extras["city"] = value
+    return extras
+
+
+def extract_pois(
+    table: Table,
+    annotation: TableAnnotation,
+    type_keys: list[str] | None = None,
+) -> list[PoiRecord]:
+    """Fold annotated rows of *table* into POI records.
+
+    One record per annotated cell (restricted to *type_keys* when given),
+    enriched with whatever companion data the row carries.
+    """
+    records = []
+    for cell in annotation.cells:
+        if type_keys is not None and cell.type_key not in type_keys:
+            continue
+        extras = _row_extras(table, cell.row, cell.column)
+        records.append(
+            PoiRecord(
+                name=table.cell(cell.row, cell.column),
+                poi_type=cell.type_key,
+                city=extras.get("city"),
+                address=extras.get("address"),
+                phone=extras.get("phone"),
+                website=extras.get("website"),
+                source_table=table.name,
+                score=cell.score,
+            )
+        )
+    return records

@@ -1,0 +1,71 @@
+"""Faceted browsing over the POI repository.
+
+The paper's demo application is "a faceted browser over a repository of RDF
+data on points of interest of cities".  A facet is one of the record
+dimensions (type, city, source table); the browser counts values per facet
+and intersects selections, which is all a faceted UI needs from its
+backend.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.rdfstore.store import PoiRecord, PoiStore
+
+_FACETS = ("type", "city", "source")
+
+
+def _facet_value(record: PoiRecord, facet: str) -> str | None:
+    if facet == "type":
+        return record.poi_type
+    if facet == "city":
+        return record.city
+    if facet == "source":
+        return record.source_table
+    raise ValueError(f"unknown facet {facet!r}; expected one of {_FACETS}")
+
+
+class FacetedBrowser:
+    """Counts and filters POIs along the type / city / source facets."""
+
+    def __init__(self, store: PoiStore) -> None:
+        self.store = store
+
+    def facet_counts(self, facet: str, **filters: str) -> dict[str, int]:
+        """Value -> count for *facet*, restricted by active *filters*.
+
+        >>> # browser.facet_counts("type", city="Lyon")
+        """
+        counts: Counter[str] = Counter()
+        for record in self.select(**filters):
+            value = _facet_value(record, facet)
+            if value is not None:
+                counts[value] += 1
+        return dict(counts)
+
+    def select(self, **filters: str) -> list[PoiRecord]:
+        """Records matching every active facet filter."""
+        for facet in filters:
+            if facet not in _FACETS:
+                raise ValueError(
+                    f"unknown facet {facet!r}; expected one of {_FACETS}"
+                )
+        results = []
+        for record in self.store.records():
+            if all(
+                _facet_value(record, facet) == value
+                for facet, value in filters.items()
+            ):
+                results.append(record)
+        return results
+
+    def summary(self) -> str:
+        """Human-readable snapshot of the repository (for the demo)."""
+        lines = [f"POI repository: {len(self.store)} entries"]
+        for facet in ("type", "city"):
+            counts = self.facet_counts(facet)
+            top = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+            rendered = ", ".join(f"{value} ({count})" for value, count in top[:8])
+            lines.append(f"  by {facet}: {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""The POI RDF repository.
+
+Each point of interest becomes a subject URI with DataBridges-flavoured
+predicates (``poi:name``, ``poi:type``, ``poi:city``, ``poi:address``,
+``poi:phone``, ``poi:website``, ``poi:source``).  The store wraps a
+:class:`~repro.kb.triples.TripleStore`, so the mini-SPARQL engine works on
+it directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.kb.triples import TripleStore
+
+POI_NAME = "poi:name"
+POI_TYPE = "poi:type"
+POI_CITY = "poi:city"
+POI_ADDRESS = "poi:address"
+POI_PHONE = "poi:phone"
+POI_WEBSITE = "poi:website"
+POI_SOURCE = "poi:source"
+POI_SCORE = "poi:annotationScore"
+
+
+@dataclass(frozen=True)
+class PoiRecord:
+    """One extracted point of interest, ready for insertion."""
+
+    name: str
+    poi_type: str
+    city: str | None = None
+    address: str | None = None
+    phone: str | None = None
+    website: str | None = None
+    source_table: str | None = None
+    score: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a POI needs a name")
+        if not self.poi_type:
+            raise ValueError("a POI needs a type")
+
+
+class PoiStore:
+    """Triple-backed repository of points of interest."""
+
+    def __init__(self) -> None:
+        self.triples = TripleStore()
+        self._uris: dict[str, PoiRecord] = {}
+        self._counter = itertools.count(1)
+
+    # -- insertion -----------------------------------------------------------------
+
+    def add(self, record: PoiRecord) -> str:
+        """Insert *record*; returns its minted subject URI."""
+        uri = f"poi:{next(self._counter):05d}"
+        self._uris[uri] = record
+        self.triples.add(uri, POI_NAME, record.name)
+        self.triples.add(uri, POI_TYPE, record.poi_type)
+        optional = (
+            (POI_CITY, record.city),
+            (POI_ADDRESS, record.address),
+            (POI_PHONE, record.phone),
+            (POI_WEBSITE, record.website),
+            (POI_SOURCE, record.source_table),
+        )
+        for predicate, value in optional:
+            if value:
+                self.triples.add(uri, predicate, value)
+        self.triples.add(uri, POI_SCORE, f"{record.score:.2f}")
+        return uri
+
+    def add_all(self, records) -> list[str]:
+        """Insert many records, returning their URIs in order."""
+        return [self.add(record) for record in records]
+
+    # -- retrieval -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._uris)
+
+    def get(self, uri: str) -> PoiRecord:
+        """Record behind a URI; ``KeyError`` when unknown."""
+        if uri not in self._uris:
+            raise KeyError(f"unknown POI uri: {uri!r}")
+        return self._uris[uri]
+
+    def uris(self) -> list[str]:
+        """All subject URIs, sorted."""
+        return sorted(self._uris)
+
+    def records(self) -> list[PoiRecord]:
+        """All records, in URI order."""
+        return [self._uris[uri] for uri in self.uris()]
+
+    def of_type(self, poi_type: str) -> list[str]:
+        """URIs of the POIs with the given type."""
+        return self.triples.subjects(POI_TYPE, poi_type)
+
+    def in_city(self, city: str) -> list[str]:
+        """URIs of the POIs in the given city."""
+        return self.triples.subjects(POI_CITY, city)

@@ -1,0 +1,38 @@
+"""Synthetic-world generators.
+
+The paper's experiments run against the 2012 live web, DBpedia, the Google
+Geocoding API and 40 hand-collected Google Fusion Tables.  None of those are
+available offline, so this package generates a *coherent* replacement
+ecosystem from a single seed:
+
+* per-type entity populations with controlled name shapes and ambiguity
+  (:mod:`names`, :mod:`entities`);
+* a gazetteer with the paper's own ambiguous toponyms (Paris TX / Paris TN /
+  Paris FR, Washington DC / GA, College Park MD / GA);
+* a DBpedia-style knowledge base with noisy subcategories;
+* a synthetic web: entity pages, alternate-sense pages for ambiguous names,
+  concept pages ("museum" the word), review pages and background noise;
+* the 40-table GFT corpus with the paper's exact per-type reference counts,
+  and the 36-table Wiki-Manual-style corpus for the Section 6.3 comparison;
+* classifier training corpora built by the paper's own Section 5.2.1
+  procedure (category walk + disambiguated queries against the engine).
+
+Everything is deterministic given the seed.
+"""
+
+from repro.synth.entities import SyntheticEntity
+from repro.synth.table_corpus import TableCorpus, build_gft_corpus, build_wiki_manual
+from repro.synth.types import TYPE_SPECS, TypeSpec, type_spec
+from repro.synth.world import SyntheticWorld, WorldConfig
+
+__all__ = [
+    "SyntheticEntity",
+    "SyntheticWorld",
+    "TYPE_SPECS",
+    "TableCorpus",
+    "TypeSpec",
+    "WorldConfig",
+    "build_gft_corpus",
+    "build_wiki_manual",
+    "type_spec",
+]

@@ -1,0 +1,68 @@
+"""Persistence for table corpora (tables + gold standard).
+
+Lets a generated evaluation corpus be saved once and reloaded across
+processes -- useful for inspecting the exact tables behind a benchmark run
+or for sharing a corpus without re-running the generators.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.eval.gold import GoldEntityReference, GoldStandard
+from repro.synth.table_corpus import TableCorpus
+from repro.tables.io import table_from_json, table_to_json
+
+
+def corpus_to_json(corpus: TableCorpus) -> str:
+    """Serialise *corpus* (tables and gold) to a JSON document."""
+    payload = {
+        "name": corpus.name,
+        "tables": [json.loads(table_to_json(table)) for table in corpus.tables],
+        "gold": [
+            {
+                "table": ref.table_name,
+                "row": ref.row,
+                "column": ref.column,
+                "type": ref.type_key,
+                "value": ref.cell_value,
+            }
+            for ref in corpus.gold.references
+        ],
+    }
+    return json.dumps(payload, ensure_ascii=False, indent=2)
+
+
+def corpus_from_json(text: str) -> TableCorpus:
+    """Parse the document produced by :func:`corpus_to_json`."""
+    payload = json.loads(text)
+    for key in ("name", "tables", "gold"):
+        if key not in payload:
+            raise ValueError(f"corpus JSON is missing the {key!r} key")
+    corpus = TableCorpus(name=payload["name"])
+    for table_payload in payload["tables"]:
+        corpus.tables.append(table_from_json(json.dumps(table_payload)))
+    gold = GoldStandard()
+    for entry in payload["gold"]:
+        gold.add(
+            GoldEntityReference(
+                table_name=entry["table"],
+                row=entry["row"],
+                column=entry["column"],
+                type_key=entry["type"],
+                cell_value=entry["value"],
+            )
+        )
+    corpus.gold = gold
+    return corpus
+
+
+def save_corpus(corpus: TableCorpus, path: str | Path) -> None:
+    """Write *corpus* to *path* as JSON."""
+    Path(path).write_text(corpus_to_json(corpus))
+
+
+def load_corpus(path: str | Path) -> TableCorpus:
+    """Read a corpus previously written by :func:`save_corpus`."""
+    return corpus_from_json(Path(path).read_text())

@@ -1,0 +1,168 @@
+"""Synthetic entity populations.
+
+For each type the world holds two overlapping pools:
+
+* the **knowledge-base pool** -- entities registered in the DBpedia
+  stand-in, used exclusively to build classifier training corpora
+  (Section 5.2.1 stresses that DBpedia trains the classifier but does not
+  bound what can be annotated);
+* the **table pool** -- entities referenced by the 40-table corpus, of
+  which only ``kb_overlap_rate`` (default 22 %, the paper's measured
+  coverage) are also in the knowledge base.
+
+Ambiguous entities additionally carry an *alternate sense*: a different
+thing on the web sharing their name (a jazz label called "Melisse", a
+politician sharing a singer's name, or -- for people -- an entity of a
+*different Γ type*, the hardest case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.geo.model import GeoLocation
+from repro.synth import vocab
+from repro.synth.names import GeneratedName, NameGenerator
+from repro.synth.rng import rng_for
+from repro.synth.types import PEOPLE, TypeSpec
+
+
+@dataclass(frozen=True)
+class AlternateSense:
+    """The other meaning of an ambiguous name."""
+
+    kind: str  # "noise" or "type"
+    topic: str  # a NOISE_TOPICS key, or another type key
+    page_count: int
+
+
+@dataclass
+class SyntheticEntity:
+    """One entity of the synthetic world."""
+
+    uid: str
+    name: str
+    type_key: str
+    in_kb: bool
+    in_tables: bool
+    alias: str | None = None
+    city: GeoLocation | None = None
+    categories: tuple[str, ...] = ()
+    alternate_sense: AlternateSense | None = None
+    page_count: int = 8
+    contains_type_word: bool = False
+
+    @property
+    def table_name(self) -> str:
+        """The form table cells use (the alias when one exists)."""
+        return self.alias if self.alias is not None else self.name
+
+
+@dataclass
+class TypePopulation:
+    """All entities of one type, split into KB and table pools."""
+
+    spec: TypeSpec
+    kb_pool: list[SyntheticEntity] = field(default_factory=list)
+    table_pool: list[SyntheticEntity] = field(default_factory=list)
+
+    def all_entities(self) -> list[SyntheticEntity]:
+        """KB-only entities plus table entities (no duplicates)."""
+        table_uids = {entity.uid for entity in self.table_pool}
+        kb_only = [e for e in self.kb_pool if e.uid not in table_uids]
+        return kb_only + self.table_pool
+
+
+def build_population(
+    spec: TypeSpec,
+    seed: int,
+    cities: list[GeoLocation],
+    kb_overlap_rate: float = 0.22,
+    scale: float = 1.0,
+) -> TypePopulation:
+    """Generate the two pools for *spec*.
+
+    ``scale`` shrinks both pools proportionally (test worlds use
+    ``scale < 1``); at least one entity always remains in each pool.
+    """
+    if not cities:
+        raise ValueError("need at least one city for entity homes")
+    rng = rng_for(seed, "entities", spec.key)
+    generator = NameGenerator(spec, rng)
+    n_kb = max(1, round(spec.kb_entities * scale))
+    n_table = max(1, round(spec.table_references * scale))
+    population = TypePopulation(spec=spec)
+
+    kb_entities = [
+        _make_entity(spec, generator.generate(), f"{spec.key}-kb-{i:04d}", rng, cities)
+        for i in range(n_kb)
+    ]
+    for entity in kb_entities:
+        entity.in_kb = True
+    population.kb_pool = kb_entities
+
+    # The table pool: ~22 % known (drawn from the KB pool), the rest new.
+    n_known = round(n_table * kb_overlap_rate)
+    known = rng.sample(kb_entities, min(n_known, len(kb_entities)))
+    for entity in known:
+        entity.in_tables = True
+    fresh = []
+    for i in range(n_table - len(known)):
+        entity = _make_entity(
+            spec, generator.generate(), f"{spec.key}-tab-{i:04d}", rng, cities
+        )
+        entity.in_tables = True
+        fresh.append(entity)
+    population.table_pool = sorted(known + fresh, key=lambda e: e.uid)
+
+    _assign_ambiguity(spec, population, rng)
+    return population
+
+
+def _make_entity(
+    spec: TypeSpec,
+    generated: GeneratedName,
+    uid: str,
+    rng: random.Random,
+    cities: list[GeoLocation],
+) -> SyntheticEntity:
+    city = cities[rng.randrange(len(cities))] if spec.spatial else None
+    return SyntheticEntity(
+        uid=uid,
+        name=generated.name,
+        alias=generated.alias,
+        type_key=spec.key,
+        in_kb=False,
+        in_tables=False,
+        city=city,
+        page_count=rng.randint(6, 10),
+        contains_type_word=generated.contains_type_word,
+    )
+
+
+def _assign_ambiguity(
+    spec: TypeSpec, population: TypePopulation, rng: random.Random
+) -> None:
+    """Mark a spec-controlled fraction of table entities as ambiguous.
+
+    People types split their alternate senses between out-of-Γ noise topics
+    and *other people types* -- the cross-type case that costs both
+    precision and recall in Table 1.
+    """
+    noise_topics = sorted(vocab.NOISE_TOPICS)
+    other_people = [
+        key for key in ("actor", "singer", "scientist") if key != spec.key
+    ]
+    for entity in population.table_pool:
+        if rng.random() >= spec.ambiguity_rate:
+            continue
+        if spec.category == PEOPLE and rng.random() < 0.35:
+            topic = other_people[rng.randrange(len(other_people))]
+            kind = "type"
+        else:
+            topic = noise_topics[rng.randrange(len(noise_topics))]
+            kind = "noise"
+        entity.alternate_sense = AlternateSense(
+            kind=kind, topic=topic, page_count=rng.randint(5, 9)
+        )

@@ -1,0 +1,106 @@
+"""The synthetic world's geography.
+
+Builds a gazetteer that contains, verbatim, the ambiguous toponyms of the
+paper's own Figure 7 example -- Pennsylvania Avenue in both Washington D.C.
+and Baltimore; Wofford Lane in College Park MD, Lockhart FL and Conway AR;
+Clarksville Street in Paris TX, Bogata TX and Trenton KY; the city-name
+ambiguities Paris TX / Paris TN / Paris (France), Washington D.C. /
+Washington GA and College Park MD / GA -- plus a pool of unambiguous cities
+used as entity homes.
+"""
+
+from __future__ import annotations
+
+from repro.geo.gazetteer import Gazetteer
+from repro.geo.model import GeoLocation
+
+# (city, state, country); the first 20 are entity-home cities.
+_CITIES: tuple[tuple[str, str, str], ...] = (
+    ("Santa Monica", "California", "USA"),
+    ("Baltimore", "Maryland", "USA"),
+    ("Boston", "Massachusetts", "USA"),
+    ("Chicago", "Illinois", "USA"),
+    ("Denver", "Colorado", "USA"),
+    ("Portland", "Oregon", "USA"),
+    ("Austin", "Texas", "USA"),
+    ("Savannah", "Georgia", "USA"),
+    ("Madison", "Wisconsin", "USA"),
+    ("Lyon", "Rhone-Alpes", "France"),
+    ("Marseille", "Provence", "France"),
+    ("Genoa", "Liguria", "Italy"),
+    ("Turin", "Piedmont", "Italy"),
+    ("Munich", "Bavaria", "Germany"),
+    ("Hamburg", "Hamburg State", "Germany"),
+    ("Oxford", "England", "UK"),
+    ("Leeds", "England", "UK"),
+    ("Bristol", "England", "UK"),
+    ("Toulouse", "Occitanie", "France"),
+    ("Florence", "Tuscany", "Italy"),
+    # Ambiguous city names (planted; not used as entity homes).
+    ("Paris", "Texas", "USA"),
+    ("Paris", "Tennessee", "USA"),
+    ("Paris", "Ile-de-France", "France"),
+    ("Washington", "District of Columbia", "USA"),
+    ("Washington", "Georgia", "USA"),
+    ("College Park", "Maryland", "USA"),
+    ("College Park", "Georgia", "USA"),
+    ("Springfield", "Illinois", "USA"),
+    ("Springfield", "Massachusetts", "USA"),
+    ("Bogata", "Texas", "USA"),
+    ("Trenton", "Kentucky", "USA"),
+    ("Lockhart", "Florida", "USA"),
+    ("Conway", "Arkansas", "USA"),
+)
+
+N_HOME_CITIES = 20
+
+# Streets planted in specific cities (the Figure 7 example, verbatim).
+_PLANTED_STREETS: tuple[tuple[str, str, str], ...] = (
+    ("Pennsylvania Avenue", "Washington", "District of Columbia"),
+    ("Pennsylvania Avenue", "Baltimore", "Maryland"),
+    ("Wofford Lane", "College Park", "Maryland"),
+    ("Wofford Lane", "Lockhart", "Florida"),
+    ("Wofford Lane", "Conway", "Arkansas"),
+    ("Clarksville Street", "Paris", "Texas"),
+    ("Clarksville Street", "Bogata", "Texas"),
+    ("Clarksville Street", "Trenton", "Kentucky"),
+)
+
+# Street names given to every home city (so most addresses resolve, some
+# ambiguously because the same street name recurs across cities).
+_COMMON_STREETS: tuple[str, ...] = (
+    "Main Street", "Church Street", "Maple Street", "Oak Avenue",
+    "Elm Street", "Park Avenue", "River Road", "Mill Lane",
+    "Station Road", "Market Square", "Harbor Boulevard", "Cedar Lane",
+)
+
+
+def build_gazetteer() -> Gazetteer:
+    """The full synthetic gazetteer (deterministic, no RNG needed)."""
+    gazetteer = Gazetteer()
+    state_index: dict[tuple[str, str], GeoLocation] = {}
+    city_index: dict[tuple[str, str], GeoLocation] = {}
+    for city_name, state_name, country_name in _CITIES:
+        country = gazetteer.add_country(country_name)
+        state_key = (state_name, country_name)
+        if state_key not in state_index:
+            state_index[state_key] = gazetteer.add_state(state_name, country)
+        city = gazetteer.add_city(city_name, state_index[state_key])
+        city_index[(city_name, state_name)] = city
+    for street_name, city_name, state_name in _PLANTED_STREETS:
+        gazetteer.add_street(street_name, city_index[(city_name, state_name)])
+    for city_name, state_name, _country in _CITIES[:N_HOME_CITIES]:
+        city = city_index[(city_name, state_name)]
+        for street_name in _COMMON_STREETS:
+            gazetteer.add_street(street_name, city)
+    return gazetteer
+
+
+def home_cities(gazetteer: Gazetteer) -> list[GeoLocation]:
+    """The cities entities live in (unambiguous names only)."""
+    cities = []
+    for city_name, state_name, _country in _CITIES[:N_HOME_CITIES]:
+        for city in gazetteer.find_cities(city_name):
+            if city.container is not None and city.container.name == state_name:
+                cities.append(city)
+    return cities

@@ -1,0 +1,254 @@
+"""Per-type entity-name generators.
+
+Name shape drives two baselines of Table 1: TypeInName only fires when the
+cell literally contains the type word (61 % of museum names do, no person
+name does), and universities score zero on TIN because tables refer to them
+by acronym ("MIT") while the full name ("Massachusetts Institute of
+Technology") lives on the web.  Each generator returns a
+:class:`GeneratedName` carrying the full name, the optional table alias and
+whether the type word was embedded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.synth import vocab
+from repro.synth.types import TypeSpec
+
+
+@dataclass(frozen=True)
+class GeneratedName:
+    """A generated entity name, its table alias and the TIN flag."""
+
+    name: str
+    alias: str | None
+    contains_type_word: bool
+
+
+class NameGenerator:
+    """Draws unique names for one entity type from themed patterns."""
+
+    def __init__(self, spec: TypeSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self.rng = rng
+        self._seen: set[str] = set()
+
+    def generate(self) -> GeneratedName:
+        """One fresh name (and alias, when present), unique within this generator."""
+        for _ in range(200):
+            candidate = self._draw()
+            keys = {candidate.name}
+            if candidate.alias is not None:
+                keys.add(candidate.alias)
+            if not keys & self._seen:
+                self._seen.update(keys)
+                return candidate
+        raise RuntimeError(
+            f"name space exhausted for type {self.spec.key!r} "
+            f"after {len(self._seen)} names"
+        )
+
+    def reserve(self, name: str) -> None:
+        """Mark *name* as used (for planted cross-type collisions)."""
+        self._seen.add(name)
+
+    # -- drawing ---------------------------------------------------------------------
+
+    def _draw(self) -> GeneratedName:
+        with_type_word = self.rng.random() < self.spec.type_word_in_name_rate
+        builder = _BUILDERS[self.spec.key]
+        name = builder(self.rng, with_type_word)
+        alias = None
+        if self.rng.random() < self.spec.alias_in_table_rate:
+            alias = _acronym(name)
+        return GeneratedName(
+            name=name, alias=alias, contains_type_word=with_type_word
+        )
+
+
+def _pick(rng: random.Random, pool: tuple[str, ...]) -> str:
+    return pool[rng.randrange(len(pool))]
+
+
+def _acronym(name: str) -> str:
+    """Initials of the significant words: "Pemberton Institute of Technology" -> "PIT"."""
+    initials = [word[0] for word in name.split() if word.lower() not in ("of", "the")]
+    return "".join(initials).upper()
+
+
+# -- per-type builders -----------------------------------------------------------------
+
+
+def _restaurant(rng: random.Random, with_type_word: bool) -> str:
+    adjective = _pick(rng, vocab.NAME_ADJECTIVES)
+    noun = _pick(rng, vocab.NAME_NOUNS)
+    if with_type_word:
+        patterns = (
+            f"The {adjective} {noun} Restaurant",
+            f"{_pick(rng, vocab.LAST_NAMES)}'s Restaurant",
+        )
+    else:
+        patterns = (
+            f"The {adjective} {noun}",
+            f"Chez {_pick(rng, vocab.FIRST_NAMES)}",
+            f"{_pick(rng, vocab.LAST_NAMES)}'s Kitchen",
+            f"{adjective} {noun} Bistro",
+            f"Casa {_pick(rng, vocab.FIRST_NAMES)}",
+            f"The {noun} Room",
+        )
+    return _pick(rng, patterns)
+
+
+def _museum(rng: random.Random, with_type_word: bool) -> str:
+    subject = _pick(rng, vocab.SUBJECT_WORDS)
+    if with_type_word:
+        patterns = (
+            f"Museum of {subject}",
+            f"National {subject} Museum",
+            f"{_pick(rng, vocab.LAST_NAMES)} Memorial Museum",
+            f"{subject} Museum of {_pick(rng, vocab.SUBJECT_WORDS)}",
+        )
+    else:
+        patterns = (
+            f"{_pick(rng, vocab.LAST_NAMES)} Gallery",
+            f"{subject} Heritage Center",
+            f"The {_pick(rng, vocab.NAME_ADJECTIVES)} {subject} Collection",
+            f"{_pick(rng, vocab.LAST_NAMES)} House",
+        )
+    return _pick(rng, patterns)
+
+
+def _theatre(rng: random.Random, with_type_word: bool) -> str:
+    adjective = _pick(rng, vocab.NAME_ADJECTIVES)
+    noun = _pick(rng, vocab.NAME_NOUNS)
+    if with_type_word:
+        patterns = (
+            f"{_pick(rng, vocab.LAST_NAMES)} Theatre",
+            f"The {adjective} Theatre",
+            f"{adjective} {noun} Theatre",
+        )
+    else:
+        patterns = (
+            f"{adjective} {noun} Playhouse",
+            f"{_pick(rng, vocab.LAST_NAMES)} Opera House",
+            f"{noun} Stage Company",
+            f"The {adjective} {noun} Hall",
+        )
+    return _pick(rng, patterns)
+
+
+def _hotel(rng: random.Random, with_type_word: bool) -> str:
+    adjective = _pick(rng, vocab.NAME_ADJECTIVES)
+    noun = _pick(rng, vocab.NAME_NOUNS)
+    if with_type_word:
+        patterns = (f"Hotel {noun}", f"{adjective} {noun} Hotel")
+    else:
+        patterns = (
+            f"The {adjective} Inn",
+            f"{noun} Suites",
+            f"{adjective} {noun} Resort",
+            f"{_pick(rng, vocab.LAST_NAMES)} Lodge",
+            f"The {noun} House",
+        )
+    return _pick(rng, patterns)
+
+
+def _school(rng: random.Random, with_type_word: bool) -> str:
+    last = _pick(rng, vocab.LAST_NAMES)
+    if with_type_word:
+        patterns = (
+            f"{last} High School",
+            f"{_pick(rng, vocab.FIRST_NAMES)} {last} Elementary School",
+            f"{_pick(rng, vocab.NAME_ADJECTIVES)} Valley School",
+        )
+    else:
+        patterns = (
+            f"{last} Academy",
+            f"St {_pick(rng, vocab.FIRST_NAMES)} Preparatory",
+            f"{_pick(rng, vocab.NAME_NOUNS)} Hill Academy",
+            f"{_pick(rng, vocab.NAME_ADJECTIVES)} {_pick(rng, vocab.NAME_NOUNS)} Academy",
+        )
+    return _pick(rng, patterns)
+
+
+def _university(rng: random.Random, with_type_word: bool) -> str:
+    last = _pick(rng, vocab.LAST_NAMES)
+    if with_type_word:
+        patterns = (
+            f"{last} University",
+            f"University of {_pick(rng, vocab.NAME_NOUNS)}ville",
+            f"{_pick(rng, vocab.NAME_ADJECTIVES)} State University",
+            f"{_pick(rng, vocab.FIRST_NAMES)} {last} University",
+        )
+    else:
+        # Institutes avoid the literal type word; still acronym-aliased.
+        patterns = (
+            f"{last} Institute of Technology",
+            f"{last} Polytechnic Institute",
+            f"{_pick(rng, vocab.FIRST_NAMES)} {last} College",
+        )
+    return _pick(rng, patterns)
+
+
+def _mine(rng: random.Random, with_type_word: bool) -> str:
+    noun = _pick(rng, vocab.NAME_NOUNS)
+    if with_type_word:
+        patterns = (f"{noun} Mine", f"{_pick(rng, vocab.LAST_NAMES)} Mine")
+    else:
+        patterns = (
+            f"{noun} Colliery",
+            f"{_pick(rng, vocab.LAST_NAMES)} Quarry",
+            f"{_pick(rng, vocab.NAME_ADJECTIVES)} Creek Workings",
+            f"{noun} Lode",
+            f"{_pick(rng, vocab.NAME_ADJECTIVES)} {noun} Colliery",
+        )
+    return _pick(rng, patterns)
+
+
+def _person(rng: random.Random, with_type_word: bool) -> str:
+    del with_type_word  # person names never contain "actor" / "singer" / ...
+    return f"{_pick(rng, vocab.FIRST_NAMES)} {_pick(rng, vocab.LAST_NAMES)}"
+
+
+def _film(rng: random.Random, with_type_word: bool) -> str:
+    del with_type_word  # film titles never contain the word "film"
+    noun = _pick(rng, vocab.FILM_TITLE_NOUNS)
+    patterns = (
+        f"The {noun}",
+        f"{noun} of {_pick(rng, vocab.FILM_TITLE_NOUNS)}",
+        f"The {_pick(rng, vocab.NAME_ADJECTIVES)} {noun}",
+        f"{noun} Rising",
+        f"Beneath the {noun}",
+    )
+    return _pick(rng, patterns)
+
+
+def _episode(rng: random.Random, with_type_word: bool) -> str:
+    del with_type_word  # episode titles never contain the word "episode"
+    character = _pick(rng, ("Homer", "Bart", "Marge", "Lisa", "Maggie", "Moe"))
+    noun = _pick(rng, vocab.FILM_TITLE_NOUNS)
+    patterns = (
+        f"{character} the {_pick(rng, vocab.NAME_ADJECTIVES)}",
+        f"{character}'s {noun} Adventure",
+        f"{character} and the {noun}",
+        f"A {_pick(rng, vocab.NAME_ADJECTIVES)} {noun} for {character}",
+    )
+    return _pick(rng, patterns)
+
+
+_BUILDERS = {
+    "restaurant": _restaurant,
+    "museum": _museum,
+    "theatre": _theatre,
+    "hotel": _hotel,
+    "school": _school,
+    "university": _university,
+    "mine": _mine,
+    "actor": _person,
+    "singer": _person,
+    "scientist": _person,
+    "film": _film,
+    "simpsons_episode": _episode,
+}

@@ -1,0 +1,287 @@
+"""Synthetic web-page generation.
+
+Pages are word streams drawn from weighted pools.  What matters is not
+prose quality but *distributional* fidelity -- each page kind reproduces a
+behaviour the paper depends on:
+
+* **entity pages** carry the entity name, its type's marker vocabulary and
+  (for POIs) its home-city tokens, so snippets are classifiable and spatial
+  query augmentation boosts the right pages;
+* **alternate-sense pages** share the entity's name but use another
+  vocabulary (the "Melisse" jazz label of Section 5.2), polluting top-k
+  results for ambiguous names;
+* **concept pages** describe a type word itself ("Museum"), which is why a
+  repeated label cell gets misannotated until Equation 2 intervenes
+  (Figure 8);
+* **guide/review pages** are marker-rich pages that match short phrase
+  cells ("best seafood dining"), the precision threat post-processing
+  eliminates;
+* **noise pages** are off-topic background that trains the OTHER class and
+  fills low-quality result slots.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.synth import vocab
+from repro.synth.entities import SyntheticEntity
+from repro.synth.rng import rng_for
+from repro.synth.types import TypeSpec, type_spec
+from repro.web.documents import WebPage
+
+WeightedPools = Sequence[tuple[Sequence[str], float]]
+
+_ALL_TYPE_MARKERS: tuple[str, ...] = tuple(
+    word for markers in vocab.TYPE_MARKERS.values() for word in markers
+)
+"""Union of every type's markers: the cross-domain bleed pool.  Real web
+pages mention vocabulary from neighbouring domains; this sprinkle is what
+separates an abstaining margin classifier from an always-guessing Bayes on
+weak-evidence snippets (the Table 1 contrast)."""
+
+
+def _word_stream(rng: random.Random, pools: WeightedPools, length: int) -> list[str]:
+    """Sample *length* words from *pools* proportionally to their weights."""
+    total = sum(weight for _, weight in pools if _)
+    if total <= 0:
+        raise ValueError("pools must have positive total weight")
+    words = []
+    for _ in range(length):
+        point = rng.random() * total
+        accumulated = 0.0
+        for pool, weight in pools:
+            if not pool:
+                continue
+            accumulated += weight
+            if point <= accumulated:
+                words.append(pool[rng.randrange(len(pool))])
+                break
+    return words
+
+
+def _slug(text: str) -> str:
+    return "".join(ch if ch.isalnum() else "-" for ch in text.lower()).strip("-")
+
+
+def _inject(rng: random.Random, words: list[str], phrase: list[str]) -> None:
+    """Splice *phrase* into *words* at a random position (in place)."""
+    position = rng.randrange(len(words) + 1)
+    words[position:position] = phrase
+
+
+def entity_pages(entity: SyntheticEntity, seed: int) -> list[WebPage]:
+    """All web pages about *entity* (type sense only)."""
+    spec = type_spec(entity.type_key)
+    rng = rng_for(seed, "pages", entity.uid)
+    pages = []
+    name_tokens = entity.name.split()
+    city_tokens = _city_tokens(entity)
+    for i in range(entity.page_count):
+        is_homepage = i == 0
+        title = _entity_title(rng, entity, spec, is_homepage)
+        body_words = _word_stream(
+            rng,
+            pools=[
+                (vocab.TYPE_MARKERS[spec.key], 0.34),
+                (vocab.CATEGORY_MARKERS[spec.category], 0.12),
+                (vocab.GENERIC_WEB, 0.29),
+                (_ALL_TYPE_MARKERS, 0.05),
+                (name_tokens, 0.10),
+                (city_tokens, 0.10 if city_tokens else 0.0),
+            ],
+            length=rng.randint(38, 64),
+        )
+        # The full name appears verbatim so query-biased snippets centre on it.
+        _inject(rng, body_words, name_tokens)
+        if entity.alias is not None:
+            _inject(rng, body_words, [entity.alias])
+        if city_tokens and rng.random() < 0.75:
+            _inject(rng, body_words, city_tokens)
+        if rng.random() < spec.type_word_in_page_rate:
+            _inject(rng, body_words, [spec.type_word])
+        language = "fr" if rng.random() < 0.04 else "en"
+        pages.append(
+            WebPage(
+                url=f"https://web.example/{_slug(entity.name)}-{i}",
+                title=title,
+                body=" ".join(body_words),
+                language=language,
+            )
+        )
+    return pages
+
+
+def _entity_title(
+    rng: random.Random, entity: SyntheticEntity, spec: TypeSpec, is_homepage: bool
+) -> str:
+    alias_part = f" ({entity.alias})" if entity.alias is not None else ""
+    if is_homepage:
+        return f"{entity.name}{alias_part} - Official Website"
+    suffixes = ("Visitor Guide", "Information", "Overview", "Directory Entry")
+    return f"{entity.name}{alias_part} | {suffixes[rng.randrange(len(suffixes))]}"
+
+
+def _city_tokens(entity: SyntheticEntity) -> list[str]:
+    if entity.city is None:
+        return []
+    tokens = entity.city.name.split()
+    state = entity.city.container
+    if state is not None:
+        tokens.extend(state.name.split())
+    return tokens
+
+
+def sense_pages(entity: SyntheticEntity, seed: int) -> list[WebPage]:
+    """Pages about the *other* meaning of an ambiguous entity's name."""
+    sense = entity.alternate_sense
+    if sense is None:
+        return []
+    rng = rng_for(seed, "sense-pages", entity.uid)
+    if sense.kind == "type":
+        other = type_spec(sense.topic)
+        markers: Sequence[str] = vocab.TYPE_MARKERS[other.key]
+        category_pool: Sequence[str] = vocab.CATEGORY_MARKERS[other.category]
+        topic_word = other.type_word
+    else:
+        markers = vocab.NOISE_TOPICS[sense.topic]
+        category_pool = ()
+        topic_word = sense.topic.replace("_", " ").split()[0]
+    name_tokens = entity.name.split()
+    pages = []
+    for i in range(sense.page_count):
+        body_words = _word_stream(
+            rng,
+            pools=[
+                (markers, 0.44),
+                (category_pool, 0.12 if category_pool else 0.0),
+                (vocab.GENERIC_WEB, 0.30),
+                (name_tokens, 0.14),
+            ],
+            length=rng.randint(38, 64),
+        )
+        _inject(rng, body_words, name_tokens)
+        pages.append(
+            WebPage(
+                url=f"https://web.example/{_slug(entity.name)}-sense-{i}",
+                title=f"{entity.name} | {topic_word.title()}",
+                body=" ".join(body_words),
+            )
+        )
+    return pages
+
+
+def concept_pages(spec: TypeSpec, seed: int, count: int = 8) -> list[WebPage]:
+    """Pages about the type word itself ("Museum", "Singer", ...)."""
+    rng = rng_for(seed, "concept-pages", spec.key)
+    titles = (
+        spec.type_word.title(),
+        f"What is a {spec.type_word}?",
+        f"{spec.type_word.title()} - Definition and Overview",
+        f"History of the {spec.type_word}",
+    )
+    pages = []
+    for i in range(count):
+        body_words = _word_stream(
+            rng,
+            pools=[
+                (vocab.TYPE_MARKERS[spec.key], 0.48),
+                (vocab.CATEGORY_MARKERS[spec.category], 0.12),
+                (vocab.GENERIC_WEB, 0.28),
+                ([spec.type_word], 0.12),
+            ],
+            length=rng.randint(40, 60),
+        )
+        pages.append(
+            WebPage(
+                url=f"https://web.example/concept-{spec.key}-{i}",
+                title=titles[i % len(titles)],
+                body=" ".join(body_words),
+            )
+        )
+    return pages
+
+
+def review_word_subset(spec: TypeSpec, seed: int, size: int = 14) -> list[str]:
+    """The review vocabulary a type's guide pages actually use.
+
+    Review language clusters by domain on the real web ("friendly staff"
+    for hotels, "worth a visit" for attractions); each type gets a stable
+    seeded subset of the review pool, so a generic review phrase retrieves
+    guides of a *consistent* small set of types rather than all of them.
+    """
+    rng = rng_for(seed, "review-subset", spec.key)
+    pool = list(vocab.REVIEW_WORDS)
+    rng.shuffle(pool)
+    return sorted(pool[:size])
+
+
+def guide_pages(
+    spec: TypeSpec, seed: int, city_names: Sequence[str], count: int = 25
+) -> list[WebPage]:
+    """Review/listicle pages ("best seafood dining in Paris - reviews").
+
+    Deliberately weak type signal: one to three markers per snippet window,
+    padded with the type's review-word subset.  A margin classifier
+    abstains on such evidence; an arg-max posterior classifier does not --
+    that asymmetry is the Table 1 SVM-versus-Bayes precision contrast.
+    """
+    rng = rng_for(seed, "guide-pages", spec.key)
+    pages = []
+    markers = vocab.TYPE_MARKERS[spec.key]
+    reviews = review_word_subset(spec, seed)
+    for i in range(count):
+        marker = markers[rng.randrange(len(markers))]
+        city = city_names[rng.randrange(len(city_names))] if city_names else "town"
+        title = f"Best {marker} {spec.type_word}s in {city} - Reviews"
+        body_words = _word_stream(
+            rng,
+            pools=[
+                (markers, 0.12),
+                (reviews, 0.40),
+                (vocab.GENERIC_WEB, 0.36),
+                (city.split(), 0.06),
+                ([spec.type_word], 0.06),
+            ],
+            length=rng.randint(42, 64),
+        )
+        pages.append(
+            WebPage(
+                url=f"https://web.example/guide-{spec.key}-{i}",
+                title=title,
+                body=" ".join(body_words),
+            )
+        )
+    return pages
+
+
+def noise_pages(seed: int, count: int) -> list[WebPage]:
+    """Background pages drawn from the off-topic pools."""
+    rng = rng_for(seed, "noise-pages")
+    topics = sorted(vocab.NOISE_TOPICS)
+    pages = []
+    for i in range(count):
+        topic = topics[rng.randrange(len(topics))]
+        markers = vocab.NOISE_TOPICS[topic]
+        title_words = _word_stream(
+            rng, pools=[(markers, 0.7), (vocab.GENERIC_WEB, 0.3)], length=4
+        )
+        body_words = _word_stream(
+            rng,
+            pools=[
+                (markers, 0.42),
+                (vocab.GENERIC_WEB, 0.42),
+                (_ALL_TYPE_MARKERS, 0.10),
+                (vocab.REVIEW_WORDS, 0.06),
+            ],
+            length=rng.randint(36, 60),
+        )
+        pages.append(
+            WebPage(
+                url=f"https://web.example/noise-{topic}-{i}",
+                title=" ".join(word.title() for word in title_words),
+                body=" ".join(body_words),
+            )
+        )
+    return pages

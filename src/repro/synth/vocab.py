@@ -1,0 +1,229 @@
+"""Word pools for the synthetic world.
+
+The snippet classifiers can only work if pages about different entity types
+have distinguishable vocabulary, with realistic overlap inside a category
+(schools and universities share education words; films and Simpsons episodes
+share screen words) -- the paper deliberately picked those subsumption pairs
+to stress the classifier.  Marker pools never contain the type word itself:
+its appearance is injected separately at the rate
+``TypeSpec.type_word_in_page_rate`` so the TypeInSnippet baseline can be
+shaped independently of classifier separability.
+"""
+
+from __future__ import annotations
+
+TYPE_MARKERS: dict[str, tuple[str, ...]] = {
+    "restaurant": (
+        "menu", "chef", "cuisine", "dining", "dishes", "reservations",
+        "bistro", "culinary", "appetizers", "entrees", "desserts", "wine",
+        "flavors", "tasting", "brunch", "seafood", "grill", "sauce",
+        "pasta", "vegetarian", "sommelier", "courses",
+    ),
+    "museum": (
+        "exhibition", "gallery", "collection", "artifacts", "curator",
+        "exhibits", "paintings", "sculpture", "heritage", "antiquities",
+        "archaeology", "displays", "admission", "artworks", "masterpieces",
+        "installations", "archive", "relics", "ceramics", "galleries",
+        "dioramas", "conservation",
+    ),
+    "theatre": (
+        "stage", "drama", "matinee", "playhouse", "auditorium", "curtain",
+        "rehearsal", "troupe", "playwright", "comedy", "tragedy",
+        "backstage", "usher", "marquee", "repertory", "ensemble",
+        "spotlight", "applause", "intermission", "staging", "acts",
+        "dramaturgy",
+    ),
+    "hotel": (
+        "rooms", "suites", "lodging", "amenities", "concierge",
+        "housekeeping", "lobby", "guests", "accommodation", "resort",
+        "poolside", "valet", "linens", "hospitality", "innkeeper",
+        "bellhop", "nightly", "vacancy", "penthouse", "turndown",
+        "minibar", "checkout",
+    ),
+    "school": (
+        "pupils", "classroom", "teachers", "curriculum", "elementary",
+        "kindergarten", "grades", "homework", "enrollment", "playground",
+        "literacy", "classrooms", "schooling", "educators", "lessons",
+        "gymnasium", "recess", "principal", "chalkboard", "truancy",
+        "report", "attendance",
+    ),
+    "university": (
+        "campus", "faculty", "undergraduate", "graduate", "professors",
+        "research", "lectures", "dormitory", "seminars", "doctoral",
+        "alumni", "rector", "provost", "thesis", "colloquium",
+        "endowment", "accreditation", "laboratories", "matriculation",
+        "chancellor", "tenure", "syllabus",
+    ),
+    "mine": (
+        "ore", "mining", "shafts", "colliery", "excavation", "minerals",
+        "coal", "copper", "drilling", "tunnels", "geology", "deposits",
+        "quarry", "smelting", "haulage", "seams", "prospecting",
+        "extraction", "gangue", "overburden", "miners", "bedrock",
+    ),
+    "actor": (
+        "starring", "portrayal", "filmography", "audition", "casting",
+        "onscreen", "costar", "stuntman", "sitcom", "typecast", "cameo",
+        "heartthrob", "understudy", "monologue", "supporting", "leading",
+        "improvisation", "headshot", "callback", "screen", "roles",
+        "stardom",
+    ),
+    "singer": (
+        "vocals", "album", "chart", "concerts", "songwriting", "lyrics",
+        "melodies", "touring", "ballads", "singles", "discography",
+        "harmonies", "encore", "falsetto", "vocalist", "crooner",
+        "chorus", "duet", "platinum", "recording", "acoustic", "setlist",
+    ),
+    "scientist": (
+        "laboratory", "hypothesis", "physics", "chemistry", "discoveries",
+        "experiments", "publications", "theorem", "nobel", "academia",
+        "equations", "journals", "citations", "genetics", "quantum",
+        "molecules", "microscope", "postulate", "empirical",
+        "breakthroughs", "fellowship", "symposium",
+    ),
+    "film": (
+        "directed", "screenplay", "cinematography", "trailer", "studio",
+        "premiere", "soundtrack", "remake", "sequel", "screening",
+        "critics", "reels", "footage", "subtitles", "moviegoers",
+        "blockbuster", "filmmakers", "projection", "celluloid",
+        "cinematic", "scenes", "adaptation",
+    ),
+    "simpsons_episode": (
+        "springfield", "homer", "bart", "marge", "lisa", "maggie",
+        "burns", "krusty", "flanders", "moe", "animated", "satire",
+        "cartoon", "duff", "milhouse", "nelson", "apu", "couch",
+        "donut", "groening", "skinner", "ralph",
+    ),
+}
+
+CATEGORY_MARKERS: dict[str, tuple[str, ...]] = {
+    "poi": (
+        "located", "visitors", "landmark", "downtown", "attraction",
+        "neighborhood", "district", "nearby", "daily", "opening",
+        "entrance", "tourists",
+    ),
+    "people": (
+        "born", "career", "biography", "famous", "award", "interview",
+        "celebrated", "renowned", "legacy", "childhood", "honored",
+        "profile",
+    ),
+    "cinema": (
+        "release", "rating", "synopsis", "runtime", "debut", "finale",
+        "viewers", "broadcast", "production", "series", "writers",
+        "airing",
+    ),
+}
+
+GENERIC_WEB: tuple[str, ...] = (
+    "official", "website", "page", "info", "contact", "home", "news",
+    "online", "free", "guide", "list", "photos", "map", "search",
+    "share", "links", "email", "welcome", "read", "find", "popular",
+    "visit", "learn", "join", "follow",
+)
+
+NOISE_TOPICS: dict[str, tuple[str, ...]] = {
+    "politics": (
+        "senate", "election", "policy", "governor", "congress", "ballot",
+        "campaign", "legislation", "caucus", "veto", "constituents",
+        "incumbent",
+    ),
+    "sports": (
+        "league", "playoffs", "scoring", "tournament", "champions",
+        "coach", "stadium", "referee", "midfielder", "standings",
+        "goalkeeper", "offside",
+    ),
+    "weather": (
+        "forecast", "rainfall", "temperatures", "humidity", "storms",
+        "barometric", "gusts", "drizzle", "heatwave", "frost",
+        "meteorologist", "overcast",
+    ),
+    "finance": (
+        "stocks", "market", "investors", "trading", "earnings",
+        "dividend", "portfolio", "hedge", "bonds", "inflation",
+        "quarterly", "valuation",
+    ),
+    "technology": (
+        "software", "startup", "gadgets", "devices", "computing",
+        "firmware", "encryption", "bandwidth", "prototype", "silicon",
+        "interface", "developers",
+    ),
+    "music_label": (
+        "records", "label", "roster", "pressing", "vinyl", "imprint",
+        "distribution", "catalog", "signings", "releases", "masters",
+        "royalties",
+    ),
+    "gardening": (
+        "perennials", "mulch", "pruning", "seedlings", "compost",
+        "blooms", "trellis", "fertilizer", "shrubs", "horticulture",
+        "greenhouse", "pollinators",
+    ),
+    "automotive": (
+        "horsepower", "chassis", "sedan", "torque", "drivetrain",
+        "mileage", "dealership", "coupe", "turbocharged", "transmission",
+        "braking", "alloy",
+    ),
+}
+
+REVIEW_WORDS: tuple[str, ...] = (
+    "review", "rated", "stars", "recommend", "experience", "service",
+    "friendly", "atmosphere", "worth", "loved", "disappointing",
+    "excellent", "amazing", "terrible", "cozy", "overpriced",
+    "helpful", "charming", "memorable", "crowded", "quiet", "pleasant",
+    "underrated", "spotless",
+)
+
+DESCRIPTION_WORDS: tuple[str, ...] = (
+    "charming", "delightful", "spacious", "renowned", "historic",
+    "vibrant", "bustling", "scenic", "elegant", "celebrated",
+    "picturesque", "tranquil", "iconic", "beloved", "stunning",
+    "family", "friendly", "perfect", "ideal", "wonderful", "situated",
+    "heart", "offering", "featuring", "boasting", "established",
+)
+
+NAME_ADJECTIVES: tuple[str, ...] = (
+    "Golden", "Olive", "Royal", "Grand", "Silver", "Rustic", "Amber",
+    "Crimson", "Ivory", "Emerald", "Cobalt", "Maple", "Willow",
+    "Harbor", "Summit", "Meadow", "Velvet", "Copper", "Scarlet",
+    "Azure", "Marble", "Cedar",
+)
+
+NAME_NOUNS: tuple[str, ...] = (
+    "Table", "Garden", "Lantern", "Barrel", "Orchard", "Compass",
+    "Anchor", "Crown", "Falcon", "Heron", "Thistle", "Juniper",
+    "Saffron", "Magnolia", "Pavilion", "Terrace", "Harvest", "Quill",
+    "Beacon", "Arbor", "Prism", "Atlas",
+)
+
+FIRST_NAMES: tuple[str, ...] = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer",
+    "Michael", "Linda", "David", "Elizabeth", "William", "Barbara",
+    "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+    "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy",
+    "Matthew", "Betty", "Anthony", "Margaret", "Mark", "Sandra",
+    "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily",
+    "Andrew", "Donna", "Joshua", "Michelle",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia",
+    "Miller", "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez",
+    "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor", "Moore",
+    "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+    "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson",
+    "Walker", "Young", "Allen", "King", "Wright", "Scott", "Torres",
+    "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker",
+    "Hall", "Rivera", "Campbell", "Mitchell", "Carter", "Roberts",
+    "Marsh", "Whitfield", "Crane", "Ashford", "Bellamy", "Hargrove",
+    "Kendall", "Lockwood", "Pemberton", "Radcliffe",
+)
+
+SUBJECT_WORDS: tuple[str, ...] = (
+    "Art", "History", "Science", "Natural", "Maritime", "Aviation",
+    "Railway", "Folk", "Modern", "Contemporary", "Industrial",
+    "Archaeology", "Photography", "Design", "Textile", "Ceramics",
+)
+
+FILM_TITLE_NOUNS: tuple[str, ...] = (
+    "Horizon", "Shadows", "Tide", "Ember", "Winter", "Echoes",
+    "Mirage", "Voyage", "Labyrinth", "Twilight", "Serpent", "Harvest",
+    "Monsoon", "Glacier", "Citadel", "Oracle", "Tempest", "Paragon",
+)

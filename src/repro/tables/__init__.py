@@ -1,0 +1,43 @@
+"""Google Fusion Tables substrate (Section 3).
+
+The paper extracts from GFT three features its algorithm relies on:
+
+* every column carries a **type** (Text, Number, Location, Date) that the
+  pre-processing stage uses to skip cells;
+* a **keyword index** lets the application retrieve candidate tables for a
+  type of point of interest;
+* a **SQL API** queries hosted tables.
+
+This package provides all three over an in-memory table model:
+:mod:`repro.tables.model` (tables and typed columns), :mod:`repro.tables.io`
+(CSV / JSON round-trips), :mod:`repro.tables.fusion` (the hosted service) and
+:mod:`repro.tables.sql` (a small SELECT executor).
+"""
+
+from repro.tables.fusion import FusionTableService
+from repro.tables.io import (
+    table_from_csv,
+    table_from_json,
+    table_to_csv,
+    table_to_json,
+)
+from repro.tables.model import Cell, Column, ColumnType, Table
+from repro.tables.render import render_markdown, render_text
+from repro.tables.sql import SqlError, execute_sql, parse_select
+
+__all__ = [
+    "Cell",
+    "Column",
+    "ColumnType",
+    "FusionTableService",
+    "SqlError",
+    "Table",
+    "execute_sql",
+    "parse_select",
+    "render_markdown",
+    "render_text",
+    "table_from_csv",
+    "table_from_json",
+    "table_to_csv",
+    "table_to_json",
+]

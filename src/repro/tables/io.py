@@ -1,0 +1,75 @@
+"""CSV and JSON serialisation for tables.
+
+The CSV layout stores two header lines (column names, then GFT column
+types), matching what a Fusion Tables export with explicit typing would
+carry.  JSON stores the same information as a plain dictionary.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.tables.model import Column, ColumnType, Table
+
+
+def table_to_csv(table: Table) -> str:
+    """Serialise *table* to CSV text (names row, types row, then data)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(column.name for column in table.columns)
+    writer.writerow(column.column_type.value for column in table.columns)
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def table_from_csv(text: str, name: str = "table") -> Table:
+    """Parse the CSV layout produced by :func:`table_to_csv`."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        names = next(reader)
+        types = next(reader)
+    except StopIteration as exc:
+        raise ValueError("CSV table needs a names row and a types row") from exc
+    if len(names) != len(types):
+        raise ValueError(
+            f"names row has {len(names)} fields but types row has {len(types)}"
+        )
+    columns = [
+        Column(name=column_name, column_type=ColumnType.from_name(type_name))
+        for column_name, type_name in zip(names, types)
+    ]
+    rows = [row for row in reader if row]
+    return Table(name=name, columns=columns, rows=rows)
+
+
+def table_to_json(table: Table) -> str:
+    """Serialise *table* to a JSON document."""
+    payload = {
+        "name": table.name,
+        "columns": [
+            {"name": column.name, "type": column.column_type.value}
+            for column in table.columns
+        ],
+        "rows": table.rows,
+    }
+    return json.dumps(payload, ensure_ascii=False, indent=2)
+
+
+def table_from_json(text: str) -> Table:
+    """Parse the JSON layout produced by :func:`table_to_json`."""
+    payload = json.loads(text)
+    for key in ("name", "columns", "rows"):
+        if key not in payload:
+            raise ValueError(f"JSON table is missing the {key!r} key")
+    columns = [
+        Column(
+            name=column["name"],
+            column_type=ColumnType.from_name(column["type"]),
+        )
+        for column in payload["columns"]
+    ]
+    rows = [[str(value) for value in row] for row in payload["rows"]]
+    return Table(name=payload["name"], columns=columns, rows=rows)

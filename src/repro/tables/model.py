@@ -1,0 +1,163 @@
+"""Table model with GFT-typed columns.
+
+A table is a rectangular grid of string-valued cells (Section 4 models a
+table as a bi-dimensional array, ruling out branching sub-columns).  Each
+column carries one of the four Google Fusion Tables types: Text, Number,
+Location or Date.  Cell addressing is zero-based ``(row, column)``; the
+paper's ``T(i, j)`` with 1-based indices maps to ``table.cell(i - 1, j - 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Sequence
+
+
+class ColumnType(Enum):
+    """The four column types Google Fusion Tables assigns (Section 3)."""
+
+    TEXT = "Text"
+    NUMBER = "Number"
+    LOCATION = "Location"
+    DATE = "Date"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ColumnType":
+        """Parse a type from its GFT display name (case-insensitive)."""
+        for member in cls:
+            if member.value.lower() == name.lower():
+                return member
+        raise ValueError(f"unknown GFT column type: {name!r}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed table column."""
+
+    name: str
+    column_type: ColumnType = ColumnType.TEXT
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A cell address plus its value; returned by table iteration helpers."""
+
+    row: int
+    column: int
+    value: str
+
+
+@dataclass
+class Table:
+    """An n x m grid of string cells with typed columns.
+
+    Invariants (checked at construction and on mutation): every row has
+    exactly ``len(columns)`` values; all values are strings.
+    """
+
+    name: str
+    columns: list[Column]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("a table needs at least one column")
+        for index, row in enumerate(self.rows):
+            self._check_row(row, index)
+
+    def _check_row(self, row: Sequence[str], index: int) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row {index} has {len(row)} values, expected {len(self.columns)}"
+            )
+        for value in row:
+            if not isinstance(value, str):
+                raise TypeError(
+                    f"row {index} contains non-string value {value!r}"
+                )
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns), numpy-style."""
+        return self.n_rows, self.n_columns
+
+    # -- access ---------------------------------------------------------------
+
+    def cell(self, row: int, column: int) -> str:
+        """Value at zero-based (row, column); raises ``IndexError`` if out of range."""
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range [0, {self.n_rows})")
+        if not 0 <= column < self.n_columns:
+            raise IndexError(f"column {column} out of range [0, {self.n_columns})")
+        return self.rows[row][column]
+
+    def column_values(self, column: int) -> list[str]:
+        """All values of one column, top to bottom."""
+        if not 0 <= column < self.n_columns:
+            raise IndexError(f"column {column} out of range [0, {self.n_columns})")
+        return [row[column] for row in self.rows]
+
+    def column_index(self, name: str) -> int:
+        """Index of the column named *name* (exact match)."""
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise KeyError(f"no column named {name!r} in table {self.name!r}")
+
+    def column_type(self, column: int) -> ColumnType:
+        """GFT type of a column by index."""
+        return self.columns[column].column_type
+
+    def iter_cells(self) -> Iterator[Cell]:
+        """Yield every cell in row-major order."""
+        for i, row in enumerate(self.rows):
+            for j, value in enumerate(row):
+                yield Cell(row=i, column=j, value=value)
+
+    def row(self, index: int) -> list[str]:
+        """Copy of one row's values."""
+        if not 0 <= index < self.n_rows:
+            raise IndexError(f"row {index} out of range [0, {self.n_rows})")
+        return list(self.rows[index])
+
+    # -- mutation ---------------------------------------------------------------
+
+    def append_row(self, values: Sequence[str]) -> None:
+        """Add a row; validates width and value types."""
+        row = list(values)
+        self._check_row(row, self.n_rows)
+        self.rows.append(row)
+
+    # -- convenience ---------------------------------------------------------------
+
+    def header(self) -> list[str]:
+        """Column names, in order."""
+        return [column.name for column in self.columns]
+
+    def distinct_count(self, column: int) -> int:
+        """Number of distinct values in a column (used by Eq. 2's 1/o factor)."""
+        return len(set(self.column_values(column)))
+
+    def value_occurrences(self, column: int) -> dict[str, int]:
+        """Occurrence count of each value within a column (the ``o_ij`` of Eq. 2)."""
+        counts: dict[str, int] = {}
+        for value in self.column_values(column):
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(name={self.name!r}, shape={self.shape}, "
+            f"columns={[c.name for c in self.columns]!r})"
+        )

@@ -1,0 +1,100 @@
+"""Human-readable table rendering (plain text and Markdown).
+
+Debugging the annotator means *looking at tables*: which cells were
+annotated, what the gold says, where post-processing pruned.  These
+renderers print a :class:`~repro.tables.model.Table` with optional per-cell
+markers supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.tables.model import Table
+
+CellMarker = Callable[[int, int], str]
+"""Given (row, column), return a marker suffix for the cell ('' for none)."""
+
+
+def _marked_grid(table: Table, marker: CellMarker | None) -> list[list[str]]:
+    grid = []
+    for i, row in enumerate(table.rows):
+        rendered_row = []
+        for j, value in enumerate(row):
+            suffix = marker(i, j) if marker is not None else ""
+            rendered_row.append(f"{value}{suffix}")
+        grid.append(rendered_row)
+    return grid
+
+
+def render_text(
+    table: Table,
+    marker: CellMarker | None = None,
+    max_value_width: int = 28,
+) -> str:
+    """Fixed-width text rendering with typed headers.
+
+    >>> from repro.tables.model import Column, Table
+    >>> print(render_text(Table("t", [Column("A")], [["x"]])))
+    t (1 x 1)
+    A [Text]
+    --------
+    x
+    """
+    if max_value_width < 4:
+        raise ValueError(f"max_value_width must be >= 4, got {max_value_width}")
+
+    def clip(text: str) -> str:
+        if len(text) <= max_value_width:
+            return text
+        return text[: max_value_width - 3] + "..."
+
+    headers = [
+        f"{column.name} [{column.column_type.value}]" for column in table.columns
+    ]
+    grid = [[clip(value) for value in row] for row in _marked_grid(table, marker)]
+    widths = [len(header) for header in headers]
+    for row in grid:
+        for j, value in enumerate(row):
+            widths[j] = max(widths[j], len(value))
+    lines = [f"{table.name} ({table.n_rows} x {table.n_columns})"]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-" * max(len(lines[-1]), 1))
+    for row in grid:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_markdown(table: Table, marker: CellMarker | None = None) -> str:
+    """GitHub-flavoured Markdown rendering.
+
+    >>> from repro.tables.model import Column, Table
+    >>> print(render_markdown(Table("t", [Column("A"), Column("B")], [["x", "y"]])))
+    | A | B |
+    | --- | --- |
+    | x | y |
+    """
+    def escape(text: str) -> str:
+        return text.replace("|", "\\|")
+
+    lines = ["| " + " | ".join(escape(c.name) for c in table.columns) + " |"]
+    lines.append("| " + " | ".join("---" for _ in table.columns) + " |")
+    for row in _marked_grid(table, marker):
+        lines.append("| " + " | ".join(escape(value) for value in row) + " |")
+    return "\n".join(lines)
+
+
+def annotation_marker(annotation) -> CellMarker:
+    """A marker showing annotations: ``value <-type:score``.
+
+    *annotation* is a :class:`~repro.core.results.TableAnnotation`.
+    """
+    index = {(cell.row, cell.column): cell for cell in annotation.cells}
+
+    def marker(row: int, column: int) -> str:
+        cell = index.get((row, column))
+        if cell is None:
+            return ""
+        return f"  <-{cell.type_key}:{cell.score:.1f}"
+
+    return marker

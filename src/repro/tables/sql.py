@@ -1,0 +1,171 @@
+"""A small SQL SELECT executor over in-memory tables.
+
+Google Fusion Tables "provides an API that allows applications to query
+tables by using SQL" (Section 3).  This module supports the subset the
+paper's application needs::
+
+    SELECT <columns | *> FROM <table-id>
+        [WHERE <col> <op> <literal> [AND ...]]
+        [LIMIT <n>]
+
+with operators ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``, ``CONTAINS`` and
+case-insensitive keywords.  Comparisons are numeric when both sides parse as
+numbers, lexicographic otherwise -- the pragmatic behaviour of a typed but
+string-backed store.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.tables.model import Table
+
+
+class SqlError(ValueError):
+    """Raised for malformed or unexecutable queries."""
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One WHERE clause: ``column op literal``."""
+
+    column: str
+    operator: str
+    literal: str
+
+
+@dataclass
+class SelectQuery:
+    """Parsed representation of a SELECT statement."""
+
+    columns: list[str]  # empty list means '*'
+    table_id: str
+    conditions: list[Condition] = field(default_factory=list)
+    limit: int | None = None
+
+
+_SELECT_RE = re.compile(
+    r"""
+    ^\s*select\s+(?P<cols>.+?)
+    \s+from\s+(?P<table>[\w.\-]+)
+    (?:\s+where\s+(?P<where>.+?))?
+    (?:\s+limit\s+(?P<limit>\d+))?
+    \s*;?\s*$
+    """,
+    re.IGNORECASE | re.VERBOSE | re.DOTALL,
+)
+
+_CONDITION_RE = re.compile(
+    r"""
+    ^\s*(?P<col>'[^']+'|[\w\s]+?)
+    \s*(?P<op>=|!=|<=|>=|<|>|contains)\s*
+    (?P<lit>'[^']*'|[^\s]+)\s*$
+    """,
+    re.IGNORECASE | re.VERBOSE,
+)
+
+_OPERATORS = ("=", "!=", "<=", ">=", "<", ">", "contains")
+
+
+def parse_select(sql: str) -> SelectQuery:
+    """Parse *sql* into a :class:`SelectQuery`; raises :class:`SqlError`."""
+    match = _SELECT_RE.match(sql)
+    if match is None:
+        raise SqlError(f"cannot parse query: {sql!r}")
+    cols_text = match.group("cols").strip()
+    if cols_text == "*":
+        columns: list[str] = []
+    else:
+        columns = [_unquote(part.strip()) for part in cols_text.split(",")]
+        if any(not column for column in columns):
+            raise SqlError(f"empty column name in: {cols_text!r}")
+    conditions = []
+    where = match.group("where")
+    if where:
+        for clause in re.split(r"\s+and\s+", where, flags=re.IGNORECASE):
+            cond_match = _CONDITION_RE.match(clause)
+            if cond_match is None:
+                raise SqlError(f"cannot parse WHERE clause: {clause!r}")
+            operator = cond_match.group("op").lower()
+            if operator not in _OPERATORS:
+                raise SqlError(f"unsupported operator: {operator!r}")
+            conditions.append(
+                Condition(
+                    column=_unquote(cond_match.group("col").strip()),
+                    operator=operator,
+                    literal=_unquote(cond_match.group("lit")),
+                )
+            )
+    limit_text = match.group("limit")
+    limit = int(limit_text) if limit_text else None
+    return SelectQuery(
+        columns=columns,
+        table_id=match.group("table"),
+        conditions=conditions,
+        limit=limit,
+    )
+
+
+def _unquote(text: str) -> str:
+    if len(text) >= 2 and text.startswith("'") and text.endswith("'"):
+        return text[1:-1]
+    return text
+
+
+def _compare(left: str, operator: str, right: str) -> bool:
+    if operator == "contains":
+        return right.lower() in left.lower()
+    left_num = _as_number(left)
+    right_num = _as_number(right)
+    if left_num is not None and right_num is not None:
+        a, b = left_num, right_num
+    else:
+        a, b = left, right
+    if operator == "=":
+        return a == b
+    if operator == "!=":
+        return a != b
+    if operator == "<":
+        return a < b
+    if operator == "<=":
+        return a <= b
+    if operator == ">":
+        return a > b
+    if operator == ">=":
+        return a >= b
+    raise SqlError(f"unsupported operator: {operator!r}")
+
+
+def _as_number(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def execute_sql(query: SelectQuery | str, table: Table) -> list[list[str]]:
+    """Run a parsed or textual SELECT against *table*, returning result rows.
+
+    The caller resolves ``query.table_id`` to *table*;
+    :class:`~repro.tables.fusion.FusionTableService` does that resolution.
+    """
+    if isinstance(query, str):
+        query = parse_select(query)
+    if query.columns:
+        indices = [table.column_index(name) for name in query.columns]
+    else:
+        indices = list(range(table.n_columns))
+    condition_indices = [
+        (table.column_index(cond.column), cond) for cond in query.conditions
+    ]
+    results: list[list[str]] = []
+    for row in table.rows:
+        if all(
+            _compare(row[index], cond.operator, cond.literal)
+            for index, cond in condition_indices
+        ):
+            results.append([row[index] for index in indices])
+            if query.limit is not None and len(results) >= query.limit:
+                break
+    return results

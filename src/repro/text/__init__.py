@@ -1,0 +1,35 @@
+"""Text-processing substrate used by the snippet classifiers.
+
+The paper (Section 5.2.1) lower-cases each snippet, tokenizes it, removes
+English stopwords, stems the remaining tokens with the Porter algorithm and
+associates each token with its normalised frequency (occurrences divided by
+snippet length).  This package implements that exact pipeline from scratch:
+
+* :mod:`repro.text.tokenization` -- lower-casing word tokenizer;
+* :mod:`repro.text.stopwords` -- curated English stopword list;
+* :mod:`repro.text.porter` -- the Porter (1980) stemming algorithm;
+* :mod:`repro.text.pipeline` -- :class:`TextPipeline` tying the steps together;
+* :mod:`repro.text.vocabulary` -- token-to-index mapping with frequency cuts;
+* :mod:`repro.text.vectors` -- sparse feature-matrix construction helpers.
+"""
+
+from repro.text.language import detect_language, is_english
+from repro.text.pipeline import TextPipeline
+from repro.text.porter import PorterStemmer, stem
+from repro.text.stopwords import ENGLISH_STOPWORDS, is_stopword
+from repro.text.tokenization import tokenize
+from repro.text.vectorizer import SnippetVectorizer
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "ENGLISH_STOPWORDS",
+    "PorterStemmer",
+    "SnippetVectorizer",
+    "TextPipeline",
+    "Vocabulary",
+    "detect_language",
+    "is_english",
+    "is_stopword",
+    "stem",
+    "tokenize",
+]

@@ -1,0 +1,90 @@
+"""Lightweight language identification (the §4 multilingualism future work).
+
+Section 4: "We also assume that the content of the table is in English,
+leaving the interesting problem of multilingualism in tables to future
+work"; Section 5.2: "Only results in English are considered."  Our
+synthetic pages carry explicit language metadata, but real snippets do
+not -- this module provides the detector a real deployment would need:
+stopword-profile scoring against small function-word inventories, the
+classic cheap-and-robust approach for short texts.
+"""
+
+from __future__ import annotations
+
+from repro.text.tokenization import tokenize
+
+LANGUAGE_PROFILES: dict[str, frozenset[str]] = {
+    "en": frozenset(
+        "the of and to in a is that it for on with as was at by this "
+        "from are be or an have not you his her they we".split()
+    ),
+    "fr": frozenset(
+        "le la les de des du et un une est dans pour que qui sur avec "
+        "au aux ce cette il elle nous vous sont pas plus".split()
+    ),
+    "de": frozenset(
+        "der die das und ist in den von zu mit sich des auf nicht eine "
+        "als auch es an werden aus bei nach wird".split()
+    ),
+    "it": frozenset(
+        "il lo la gli le di che e un una per con del della nel sono "
+        "si da come anche piu questo alla".split()
+    ),
+}
+
+MIN_TOKENS = 3
+"""Below this many tokens there is no evidence to score."""
+
+
+def language_scores(text: str) -> dict[str, float]:
+    """Fraction of tokens matching each language's function words.
+
+    >>> language_scores("the museum of the city")["en"] > 0
+    True
+    """
+    tokens = tokenize(text)
+    if not tokens:
+        return {language: 0.0 for language in LANGUAGE_PROFILES}
+    return {
+        language: sum(1 for token in tokens if token in profile) / len(tokens)
+        for language, profile in LANGUAGE_PROFILES.items()
+    }
+
+
+def detect_language(text: str, default: str = "unknown") -> str:
+    """Most likely language of *text*, or *default* when evidence is thin.
+
+    A language wins when it has the strictly highest function-word share
+    and that share is non-zero; very short or function-word-free texts
+    (entity names, numbers) return *default*, which is the right answer
+    for table cells -- a proper name is not "in" any language.
+
+    >>> detect_language("le musee de la ville est dans le centre")
+    'fr'
+    >>> detect_language("Louvre")
+    'unknown'
+    """
+    tokens = tokenize(text)
+    if len(tokens) < MIN_TOKENS:
+        return default
+    scores = language_scores(text)
+    best = max(scores.values())
+    if best == 0.0:
+        return default
+    winners = [lang for lang, score in scores.items() if score == best]
+    if len(winners) > 1:
+        return default
+    return winners[0]
+
+
+def is_english(text: str, permissive: bool = True) -> bool:
+    """English check for snippet filtering.
+
+    ``permissive=True`` treats undecidable texts (names, short cells) as
+    English, matching how a search-language filter should behave on
+    entity-name queries.
+    """
+    language = detect_language(text)
+    if language == "unknown":
+        return permissive
+    return language == "en"

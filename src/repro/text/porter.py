@@ -1,0 +1,219 @@
+"""The Porter stemming algorithm (Porter, 1980), implemented from scratch.
+
+This is the stemmer the paper uses on snippet tokens (Section 5.2.1, citing
+van Rijsbergen, Robertson & Porter 1980).  The implementation follows the
+original five-step description.  Words of length <= 2 are returned unchanged,
+as in the reference implementation.
+
+Measure notation: a word has the form ``[C](VC)^m[V]`` where ``C`` is a run
+of consonants and ``V`` a run of vowels; ``m`` is the *measure* used by most
+rule conditions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; use :meth:`stem` on lower-case words."""
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of *word*.
+
+        >>> PorterStemmer().stem("caresses")
+        'caress'
+        >>> PorterStemmer().stem("relational")
+        'relat'
+        """
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- character classification -------------------------------------------
+
+    def _is_consonant(self, word: str, i: int) -> bool:
+        char = word[i]
+        if char in _VOWELS:
+            return False
+        if char == "y":
+            return i == 0 or not self._is_consonant(word, i - 1)
+        return True
+
+    def _measure(self, stem: str) -> int:
+        """Number of VC sequences in *stem* (the ``m`` of the paper)."""
+        m = 0
+        previous_was_vowel = False
+        for i in range(len(stem)):
+            is_vowel = not self._is_consonant(stem, i)
+            if previous_was_vowel and not is_vowel:
+                m += 1
+            previous_was_vowel = is_vowel
+        return m
+
+    def _contains_vowel(self, stem: str) -> bool:
+        return any(not self._is_consonant(stem, i) for i in range(len(stem)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and self._is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        """*o* condition: stem ends consonant-vowel-consonant, last not w/x/y."""
+        if len(word) < 3:
+            return False
+        return (
+            self._is_consonant(word, len(word) - 3)
+            and not self._is_consonant(word, len(word) - 2)
+            and self._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # -- rule application ----------------------------------------------------
+
+    def _replace(self, word: str, suffix: str, replacement: str, m_min: int) -> str | None:
+        """Apply ``(m > m_min) suffix -> replacement``; None when not applied."""
+        if not word.endswith(suffix):
+            return None
+        stem = word[: len(word) - len(suffix)]
+        if self._measure(stem) > m_min:
+            return stem + replacement
+        return word  # suffix matched but condition failed: rule consumed
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        applied = False
+        if word.endswith("ed"):
+            stem = word[:-2]
+            if self._contains_vowel(stem):
+                word = stem
+                applied = True
+        elif word.endswith("ing"):
+            stem = word[:-3]
+            if self._contains_vowel(stem):
+                word = stem
+                applied = True
+        if applied:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"), ("alli", "al"),
+        ("entli", "ent"), ("eli", "e"), ("ousli", "ous"), ("ization", "ize"),
+        ("ation", "ate"), ("ator", "ate"), ("alism", "al"), ("iveness", "ive"),
+        ("fulness", "ful"), ("ousness", "ous"), ("aliti", "al"),
+        ("iviti", "ive"), ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_RULES:
+            result = self._replace(word, suffix, replacement, 0)
+            if result is not None:
+                return result
+        return word
+
+    _STEP3_RULES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_RULES:
+            result = self._replace(word, suffix, replacement, 0)
+            if result is not None:
+                return result
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in "st" and self._measure(stem) > 1:
+                return stem
+            # 'ion' handled exclusively here; fall through only if unmatched
+            if stem and stem[-1] in "st":
+                return word
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = self._measure(stem)
+            if m > 1 or (m == 1 and not self._ends_cvc(stem)):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            word.endswith("ll")
+            and self._measure(word[:-1]) > 1
+        ):
+            return word[:-1]
+        return word
+
+
+_DEFAULT_STEMMER = PorterStemmer()
+
+
+@lru_cache(maxsize=65536)
+def stem(word: str) -> str:
+    """Stem *word* with a shared, memoised :class:`PorterStemmer`.
+
+    The cache matters: the corpus pipelines stem millions of tokens drawn
+    from a vocabulary of a few thousand distinct words.
+
+    >>> stem("annotations")
+    'annot'
+    >>> stem("museums")
+    'museum'
+    """
+    return _DEFAULT_STEMMER.stem(word)

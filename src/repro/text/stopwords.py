@@ -1,0 +1,45 @@
+"""English stopword list.
+
+A curated list in the spirit of the classic SMART / snowball stopword lists,
+restricted to high-frequency function words.  Domain words that carry signal
+for entity typing (``museum``, ``street``, ``school`` ...) are deliberately
+absent: the classifiers rely on them.
+"""
+
+from __future__ import annotations
+
+ENGLISH_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren as at be
+    because been before being below between both but by can cannot could
+    couldn did didn do does doesn doing don down during each few for from
+    further had hadn has hasn have haven having he her here hers herself him
+    himself his how i if in into is isn it its itself just ll me mightn more
+    most mustn my myself needn no nor not now o of off on once only or other
+    our ours ourselves out over own re s same shan she should shouldn so some
+    such t than that the their theirs them themselves then there these they
+    this those through to too under until up ve very was wasn we were weren
+    what when where which while who whom why will with won would wouldn you
+    your yours yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Return ``True`` when *token* (already lower-cased) is a stopword.
+
+    >>> is_stopword("the")
+    True
+    >>> is_stopword("museum")
+    False
+    """
+    return token in ENGLISH_STOPWORDS
+
+
+def remove_stopwords(tokens: list[str]) -> list[str]:
+    """Filter stopwords out of *tokens*, preserving order.
+
+    >>> remove_stopwords(["the", "louvre", "is", "a", "museum"])
+    ['louvre', 'museum']
+    """
+    return [token for token in tokens if token not in ENGLISH_STOPWORDS]

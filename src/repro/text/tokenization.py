@@ -1,0 +1,50 @@
+"""Word tokenization for snippets and cell values.
+
+The paper's pipeline (Section 5.2.1) converts text to lower case and splits
+it into tokens "corresponding to a word in the English dictionary".  We use a
+pragmatic reading: a token is a maximal run of letters (apostrophes inside a
+word are allowed, so ``"simpson's"`` yields ``simpson's`` before stopword
+filtering strips the possessive).  Digits and punctuation separate tokens and
+are never part of one, because numeric content is handled by the
+pre-processing stage of the annotator, not the classifier.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+_WORD_RE = re.compile(r"[a-z]+(?:'[a-z]+)?")
+
+_POSSESSIVE_SUFFIXES = ("'s", "'")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split *text* into lower-case word tokens.
+
+    >>> tokenize("The Louvre Museum, Paris (France)!")
+    ['the', 'louvre', 'museum', 'paris', 'france']
+    >>> tokenize("Simpson's episodes (1989)")
+    ['simpson', 'episodes']
+    """
+    tokens = []
+    for match in _WORD_RE.finditer(text.lower()):
+        token = match.group()
+        for suffix in _POSSESSIVE_SUFFIXES:
+            if token.endswith(suffix):
+                token = token[: -len(suffix)]
+                break
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+def iter_tokens(texts: Iterable[str]) -> Iterator[str]:
+    """Yield tokens from every text in *texts*, in order."""
+    for text in texts:
+        yield from tokenize(text)
+
+
+def token_count(text: str) -> int:
+    """Number of word tokens in *text* (used by the long-value filter)."""
+    return len(tokenize(text))

@@ -1,0 +1,76 @@
+"""Snippet vectorizer: texts -> scipy CSR feature matrices.
+
+Combines :class:`~repro.text.pipeline.TextPipeline` (normalised-frequency
+features) with a :class:`~repro.text.vocabulary.Vocabulary` to produce the
+sparse matrices consumed by the classifiers in :mod:`repro.classify`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.text.pipeline import TextPipeline
+from repro.text.vocabulary import Vocabulary
+
+
+class SnippetVectorizer:
+    """Fit a vocabulary over snippets, then transform snippets to CSR rows.
+
+    >>> vec = SnippetVectorizer()
+    >>> X = vec.fit_transform(["the louvre museum", "a fine museum"])
+    >>> X.shape[0]
+    2
+    """
+
+    def __init__(self, pipeline: TextPipeline | None = None, min_count: int = 1) -> None:
+        self.pipeline = pipeline or TextPipeline()
+        self.vocabulary = Vocabulary(min_count=min_count)
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(self, texts: Iterable[str]) -> "SnippetVectorizer":
+        """Build the vocabulary from *texts*."""
+        self.vocabulary.fit(self.pipeline.tokens(text) for text in texts)
+        return self
+
+    def fit_transform(self, texts: Sequence[str]) -> sparse.csr_matrix:
+        """Fit on *texts* and return their feature matrix."""
+        self.fit(texts)
+        return self.transform(texts)
+
+    # -- transformation ----------------------------------------------------------
+
+    def transform(self, texts: Sequence[str]) -> sparse.csr_matrix:
+        """Vectorize *texts* into an ``(len(texts), len(vocabulary))`` CSR matrix.
+
+        Out-of-vocabulary tokens are dropped, mirroring a classifier that has
+        never seen a feature.  Rows of snippets with no in-vocabulary token
+        are all-zero.
+        """
+        if not self.vocabulary.fitted:
+            raise RuntimeError("SnippetVectorizer must be fitted before transform")
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        for text in texts:
+            features = self.pipeline.features(text)
+            row = {}
+            for token, value in features.items():
+                index = self.vocabulary.index_of(token)
+                if index is not None:
+                    row[index] = value
+            for index in sorted(row):
+                indices.append(index)
+                data.append(row[index])
+            indptr.append(len(indices))
+        return sparse.csr_matrix(
+            (np.asarray(data, dtype=np.float64), indices, indptr),
+            shape=(len(texts), len(self.vocabulary)),
+        )
+
+    def transform_one(self, text: str) -> sparse.csr_matrix:
+        """Vectorize a single snippet into a ``(1, |V|)`` CSR matrix."""
+        return self.transform([text])

@@ -1,0 +1,31 @@
+"""The synthetic web-page model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """One page of the synthetic web.
+
+    ``language`` is an ISO-639-1 code; the search engine only surfaces
+    English pages, matching the paper's "only results in English are
+    considered".
+    """
+
+    url: str
+    title: str
+    body: str
+    language: str = "en"
+
+    def __post_init__(self) -> None:
+        if not self.url:
+            raise ValueError("a web page needs a url")
+        if not self.url.startswith(("http://", "https://")):
+            raise ValueError(f"url must be http(s), got {self.url!r}")
+
+    @property
+    def text(self) -> str:
+        """Title and body together, the indexable content."""
+        return f"{self.title}\n{self.body}"

@@ -1,0 +1,136 @@
+"""Inverted index over web pages.
+
+Tokenisation matches :func:`repro.text.tokenization.tokenize` (lower-case
+word tokens).  Title tokens are counted with a configurable boost, because
+entity homepages carry the entity name in the title and should outrank
+pages that merely mention it.
+
+The index has two phases: an append-only build phase (postings accumulate
+in Python lists) and a frozen query phase (postings become numpy arrays so
+BM25 scoring is vectorised per token).  Freezing happens lazily on first
+query access and is undone transparently when new pages are added.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.text.tokenization import tokenize
+from repro.web.documents import WebPage
+
+
+@dataclass(frozen=True, slots=True)
+class Posting:
+    """One (document, term-frequency) entry of a postings list."""
+
+    doc_id: int
+    term_frequency: float
+
+
+class InvertedIndex:
+    """Token -> postings map with the corpus statistics BM25 needs."""
+
+    def __init__(self, title_boost: float = 3.0) -> None:
+        if title_boost < 1.0:
+            raise ValueError(f"title_boost must be >= 1.0, got {title_boost}")
+        self.title_boost = title_boost
+        self._pages: list[WebPage] = []
+        self._building: dict[str, list[tuple[int, float]]] = {}
+        self._frozen: dict[str, tuple[np.ndarray, np.ndarray]] | None = None
+        self._doc_lengths: list[float] = []
+        self._lengths_array: np.ndarray | None = None
+        self._total_length = 0.0
+
+    # -- construction ---------------------------------------------------------------
+
+    def add(self, page: WebPage) -> int:
+        """Index *page* and return its document id."""
+        if self._frozen is not None:
+            self._thaw()
+        doc_id = len(self._pages)
+        self._pages.append(page)
+        counts: Counter[str] = Counter()
+        for token in tokenize(page.title):
+            counts[token] += self.title_boost
+        for token in tokenize(page.body):
+            counts[token] += 1.0
+        length = float(sum(counts.values()))
+        self._doc_lengths.append(length)
+        self._total_length += length
+        for token, frequency in counts.items():
+            self._building.setdefault(token, []).append((doc_id, frequency))
+        return doc_id
+
+    # -- freeze / thaw -----------------------------------------------------------------
+
+    def _freeze(self) -> None:
+        frozen = {}
+        for token, entries in self._building.items():
+            ids = np.asarray([doc_id for doc_id, _tf in entries], dtype=np.int64)
+            tfs = np.asarray([tf for _doc_id, tf in entries], dtype=np.float64)
+            frozen[token] = (ids, tfs)
+        self._frozen = frozen
+        self._lengths_array = np.asarray(self._doc_lengths, dtype=np.float64)
+
+    def _thaw(self) -> None:
+        self._frozen = None
+        self._lengths_array = None
+
+    def _require_frozen(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        if self._frozen is None:
+            self._freeze()
+        assert self._frozen is not None
+        return self._frozen
+
+    # -- statistics --------------------------------------------------------------------
+
+    @property
+    def n_documents(self) -> int:
+        return len(self._pages)
+
+    @property
+    def average_length(self) -> float:
+        """Mean indexed document length (0.0 for an empty index)."""
+        if not self._pages:
+            return 0.0
+        return self._total_length / len(self._pages)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Document lengths as an array (frozen view)."""
+        self._require_frozen()
+        assert self._lengths_array is not None
+        return self._lengths_array
+
+    def document_length(self, doc_id: int) -> float:
+        return self._doc_lengths[doc_id]
+
+    def document_frequency(self, token: str) -> int:
+        """Number of documents containing *token*."""
+        arrays = self.posting_arrays(token)
+        return 0 if arrays is None else int(arrays[0].shape[0])
+
+    def posting_arrays(self, token: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """(doc_ids, term_frequencies) arrays for *token*, or ``None``."""
+        return self._require_frozen().get(token)
+
+    def postings(self, token: str) -> list[Posting]:
+        """The postings list of *token* (empty when unindexed)."""
+        arrays = self.posting_arrays(token)
+        if arrays is None:
+            return []
+        ids, tfs = arrays
+        return [
+            Posting(doc_id=int(doc_id), term_frequency=float(tf))
+            for doc_id, tf in zip(ids, tfs)
+        ]
+
+    def page(self, doc_id: int) -> WebPage:
+        """The indexed page with this id."""
+        return self._pages[doc_id]
+
+    def vocabulary_size(self) -> int:
+        return len(self._building)

@@ -1,0 +1,66 @@
+"""Okapi BM25 ranking over the inverted index (vectorised)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.web.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class BM25Parameters:
+    """The two free parameters of BM25, at their customary defaults."""
+
+    k1: float = 1.5
+    b: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0:
+            raise ValueError(f"k1 must be >= 0, got {self.k1}")
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {self.b}")
+
+
+def bm25_score_array(
+    index: InvertedIndex,
+    query_tokens: list[str],
+    parameters: BM25Parameters | None = None,
+) -> np.ndarray:
+    """Dense BM25 score per document (zeros for non-matching documents).
+
+    Uses the standard idf form ``ln(1 + (N - df + 0.5) / (df + 0.5))``,
+    which is non-negative for any document frequency.
+    """
+    parameters = parameters or BM25Parameters()
+    n_docs = index.n_documents
+    scores = np.zeros(n_docs, dtype=np.float64)
+    if n_docs == 0 or not query_tokens:
+        return scores
+    average_length = index.average_length or 1.0
+    norms = 1.0 - parameters.b + parameters.b * (index.lengths / average_length)
+    for token in query_tokens:
+        arrays = index.posting_arrays(token)
+        if arrays is None:
+            continue
+        ids, tfs = arrays
+        df = ids.shape[0]
+        idf = math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
+        gains = idf * (tfs * (parameters.k1 + 1.0)) / (
+            tfs + parameters.k1 * norms[ids]
+        )
+        np.add.at(scores, ids, gains)
+    return scores
+
+
+def bm25_scores(
+    index: InvertedIndex,
+    query_tokens: list[str],
+    parameters: BM25Parameters | None = None,
+) -> dict[int, float]:
+    """BM25 scores as a doc-id -> score mapping (matching documents only)."""
+    array = bm25_score_array(index, query_tokens, parameters)
+    matched = np.flatnonzero(array > 0.0)
+    return {int(doc_id): float(array[doc_id]) for doc_id in matched}

@@ -1,0 +1,141 @@
+"""The search-engine facade: the Microsoft Bing stand-in.
+
+Implements the exact contract the annotation step consumes (Section 5.2):
+submit a query, receive the top-k results as (url, title, snippet) triples,
+English results only.  Each query charges a configurable latency to the
+shared :class:`~repro.clock.VirtualClock`; the Section 6.4 efficiency
+experiment reads that clock.
+
+Failure injection: setting :attr:`SearchEngine.available` to ``False`` makes
+every query raise :class:`SearchEngineUnavailable`, and ``failure_rate``
+drops queries pseudo-randomly -- both are exercised by the failure-handling
+tests of the annotator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clock import VirtualClock
+from repro.text.stopwords import ENGLISH_STOPWORDS
+from repro.text.tokenization import tokenize
+from repro.web.documents import WebPage
+from repro.web.index import InvertedIndex
+from repro.web.ranking import BM25Parameters, bm25_score_array
+from repro.web.snippets import extract_snippet
+
+DEFAULT_SEARCH_LATENCY = 0.3
+"""Virtual seconds charged per search request."""
+
+MAX_DF_RATIO = 0.35
+"""Query tokens occurring in more than this fraction of documents are
+ignored during ranking, as real engines effectively do with ubiquitous
+words; stopwords are dropped outright."""
+
+
+class SearchEngineUnavailable(RuntimeError):
+    """Raised when the engine is down or a request is dropped."""
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One search hit: link, title and the query-biased snippet."""
+
+    url: str
+    title: str
+    snippet: str
+
+
+class SearchEngine:
+    """BM25-ranked keyword search over a synthetic page corpus."""
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        latency_seconds: float = DEFAULT_SEARCH_LATENCY,
+        parameters: BM25Parameters | None = None,
+        failure_rate: float = 0.0,
+        seed: int = 13,
+    ) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1], got {failure_rate}")
+        self.clock = clock or VirtualClock()
+        self.latency_seconds = latency_seconds
+        self.parameters = parameters or BM25Parameters()
+        self.failure_rate = failure_rate
+        self.available = True
+        self._rng = random.Random(seed)
+        self._index = InvertedIndex()
+        self.query_count = 0
+
+    # -- corpus ------------------------------------------------------------------------
+
+    def add_page(self, page: WebPage) -> None:
+        """Add one page to the searchable corpus."""
+        self._index.add(page)
+
+    def add_pages(self, pages) -> None:
+        """Add many pages."""
+        for page in pages:
+            self.add_page(page)
+
+    @property
+    def n_pages(self) -> int:
+        return self._index.n_documents
+
+    # -- querying -----------------------------------------------------------------------
+
+    def search(self, query: str, k: int = 10) -> list[SearchResult]:
+        """Top-*k* English results for *query*, best first.
+
+        Raises :class:`SearchEngineUnavailable` when the engine is marked
+        down or the request is dropped by failure injection.  An empty or
+        no-match query yields an empty result list, as a real engine would.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.clock.charge(self.latency_seconds)
+        self.query_count += 1
+        if not self.available:
+            raise SearchEngineUnavailable("search engine is down")
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            raise SearchEngineUnavailable("request dropped")
+        tokens = self._effective_tokens(query)
+        scores = bm25_score_array(self._index, tokens, self.parameters)
+        matched = np.flatnonzero(scores > 0.0)
+        if matched.size == 0:
+            return []
+        # Deterministic order: score descending, then doc id ascending.
+        order = matched[np.lexsort((matched, -scores[matched]))]
+        results: list[SearchResult] = []
+        for doc_id in order:
+            page = self._index.page(int(doc_id))
+            if page.language != "en":
+                continue
+            results.append(
+                SearchResult(
+                    url=page.url,
+                    title=page.title,
+                    snippet=extract_snippet(page.body, query),
+                )
+            )
+            if len(results) == k:
+                break
+        return results
+
+    def _effective_tokens(self, query: str) -> list[str]:
+        """Query tokens minus stopwords and ubiquitous terms."""
+        tokens = [t for t in tokenize(query) if t not in ENGLISH_STOPWORDS]
+        n_docs = self._index.n_documents
+        if n_docs == 0:
+            return tokens
+        cap = MAX_DF_RATIO * n_docs
+        filtered = [
+            t for t in tokens if self._index.document_frequency(t) <= cap
+        ]
+        # If the cap removed everything, keep the original tokens: a query
+        # made only of common words should still return *something*.
+        return filtered or tokens

@@ -1,0 +1,50 @@
+"""Shared fixtures: the reduced-scale world and experiment context.
+
+World and context construction are cached per configuration inside
+:mod:`repro.synth.world` / :mod:`repro.eval.experiments`, so these fixtures
+are cheap wrappers; the first test to touch one pays a few seconds, the
+rest reuse it.  Tests must treat them as read-only -- anything that mutates
+a world builds its own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import experiments
+from repro.synth.world import SyntheticWorld, WorldConfig
+
+
+@pytest.fixture(scope="session")
+def small_config() -> WorldConfig:
+    return WorldConfig.small()
+
+
+@pytest.fixture(scope="session")
+def small_world(small_config) -> SyntheticWorld:
+    return SyntheticWorld.build(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_context(small_config):
+    return experiments.build_context(small_config)
+
+
+@pytest.fixture(scope="session")
+def gft_corpus(small_context):
+    return small_context.gft
+
+
+@pytest.fixture(scope="session")
+def wiki_corpus(small_context):
+    return small_context.wiki
+
+
+@pytest.fixture(scope="session")
+def svm_classifier(small_context):
+    return small_context.classifiers["svm"]
+
+
+@pytest.fixture(scope="session")
+def bayes_classifier(small_context):
+    return small_context.classifiers["bayes"]

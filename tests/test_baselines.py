@@ -1,0 +1,151 @@
+"""Tests for the TIN, TIS and Limaye baselines."""
+
+import pytest
+
+from repro.baselines.limaye import LimayeAnnotator
+from repro.baselines.type_in_name import TypeInNameAnnotator
+from repro.baselines.type_in_snippet import TypeInSnippetAnnotator
+from repro.core.annotation import SnippetCache
+from repro.kb.catalogue import Catalogue
+from repro.tables.model import Column, ColumnType, Table
+
+
+def _table(rows, name="t"):
+    return Table(
+        name=name,
+        columns=[Column("Name", ColumnType.TEXT), Column("City", ColumnType.TEXT)],
+        rows=rows,
+    )
+
+
+class TestTypeInName:
+    def test_matches_type_word_in_cell(self):
+        annotator = TypeInNameAnnotator()
+        table = _table([["Louvre Museum", "Paris"], ["Melisse", "Santa Monica"]])
+        annotation = annotator.annotate_table(table, ["museum", "restaurant"])
+        assert len(annotation.cells) == 1
+        assert annotation.cells[0].type_key == "museum"
+        assert annotation.cells[0].score == 1.0
+
+    def test_plural_matches_stem(self):
+        assert TypeInNameAnnotator.cell_matches("City Museums Guide", "museum")
+
+    def test_substring_not_enough(self):
+        # 'museum' inside another word must not match at token level.
+        assert not TypeInNameAnnotator.cell_matches("Museumsinsel", "museum")
+
+    def test_first_matching_type_wins(self):
+        annotator = TypeInNameAnnotator()
+        table = _table([["Museum Hotel", "Lyon"]])
+        annotation = annotator.annotate_table(table, ["museum", "hotel"])
+        assert [c.type_key for c in annotation.cells] == ["museum"]
+
+    def test_no_search_engine_needed(self):
+        annotator = TypeInNameAnnotator()
+        run = annotator.annotate_tables([_table([["X School", "Y"]])], ["school"])
+        assert len(run) == 1
+
+
+class TestTypeInSnippet:
+    def test_annotates_when_snippets_carry_type_word(self):
+        # Build an engine where every page about "Grand Gallery" says
+        # "museum": TIS must fire with score 1.0.
+        from repro.clock import VirtualClock
+        from repro.web.documents import WebPage
+        from repro.web.search import SearchEngine
+
+        engine = SearchEngine(clock=VirtualClock())
+        for i in range(8):
+            engine.add_page(WebPage(
+                url=f"https://x/{i}", title="Grand Gallery",
+                body="grand gallery is a museum with paintings and exhibits",
+            ))
+        annotator = TypeInSnippetAnnotator(engine, cache=SnippetCache())
+        table = _table([["Grand Gallery", ""]])
+        annotation = annotator.annotate_table(table, ["museum", "hotel"])
+        assert len(annotation.cells) == 1
+        assert annotation.cells[0].type_key == "museum"
+        assert annotation.cells[0].score > 0.5
+
+    def test_fires_on_some_world_cells(self, small_world):
+        # Statistical check on the synthetic world: across school and
+        # university entities (high type-word-in-page rates), TIS finds at
+        # least one cell.
+        annotator = TypeInSnippetAnnotator(
+            small_world.search_engine, cache=SnippetCache()
+        )
+        entities = (
+            small_world.table_entities("school")
+            + small_world.table_entities("university")
+        )
+        table = _table([[e.table_name, ""] for e in entities], name="edu")
+        annotation = annotator.annotate_table(table, ["school", "university"])
+        assert len(annotation.cells) >= 1
+        assert all(0.5 < c.score <= 1.0 for c in annotation.cells)
+
+    def test_snippet_match_is_stem_tolerant(self):
+        assert TypeInSnippetAnnotator.snippet_matches(
+            "the finest museums of Europe", "museum"
+        )
+
+    def test_no_match_no_annotation(self, small_world):
+        annotator = TypeInSnippetAnnotator(small_world.search_engine)
+        table = _table([["zzz unknown zzz", ""]])
+        annotation = annotator.annotate_table(table, ["museum"])
+        assert len(annotation.cells) == 0
+
+    def test_outage_degrades_gracefully(self, small_world):
+        engine = small_world.search_engine
+        annotator = TypeInSnippetAnnotator(engine)
+        engine.available = False
+        try:
+            annotation = annotator.annotate_table(
+                _table([["Louvre", ""]]), ["museum"]
+            )
+        finally:
+            engine.available = True
+        assert len(annotation.cells) == 0
+
+
+class TestLimaye:
+    @pytest.fixture()
+    def catalogue(self):
+        catalogue = Catalogue()
+        catalogue.add("Louvre", "museum")
+        catalogue.add("Orsay", "museum")
+        catalogue.add("Melisse", "restaurant")
+        catalogue.add("Ambiguous Hall", "museum")
+        catalogue.add("Ambiguous Hall", "theatre")
+        return catalogue
+
+    def test_annotates_known_entities_only(self, catalogue):
+        annotator = LimayeAnnotator(catalogue)
+        table = _table([["Louvre", "Paris"], ["Unknown Gallery", "Rome"]])
+        annotation = annotator.annotate_table(table, ["museum"])
+        assert [c.cell_value for c in annotation.cells] == ["Louvre"]
+
+    def test_column_majority_resolves_ambiguity(self, catalogue):
+        annotator = LimayeAnnotator(catalogue)
+        table = _table([
+            ["Louvre", ""], ["Orsay", ""], ["Ambiguous Hall", ""],
+        ])
+        annotation = annotator.annotate_table(table, ["museum", "theatre"])
+        assert all(c.type_key == "museum" for c in annotation.cells)
+        assert len(annotation.cells) == 3
+
+    def test_requested_types_filter(self, catalogue):
+        annotator = LimayeAnnotator(catalogue)
+        table = _table([["Melisse", ""]])
+        annotation = annotator.annotate_table(table, ["museum"])
+        assert len(annotation.cells) == 0
+
+    def test_cannot_discover_unknown_entities(self, catalogue, small_world):
+        # The paper's central criticism, as a test: entities outside the
+        # catalogue are invisible to the Limaye-style baseline.
+        unknown = [
+            e for e in small_world.table_entities("museum") if not e.in_kb
+        ][:5]
+        annotator = LimayeAnnotator(small_world.catalogue)
+        table = _table([[e.table_name, ""] for e in unknown], name="unknowns")
+        annotation = annotator.annotate_table(table, ["museum"])
+        assert len(annotation.cells) == 0

@@ -1,0 +1,128 @@
+"""Tests for the Giuliano-style similarity baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.giuliano import GiulianoAnnotator
+from repro.classify.dataset import TextDataset
+from repro.clock import VirtualClock
+from repro.core.annotation import SnippetCache
+from repro.tables.model import Column, ColumnType, Table
+from repro.web.documents import WebPage
+from repro.web.search import SearchEngine
+
+_MUSEUM = "exhibit gallery paintings curator museum collection".split()
+_RESTAURANT = "menu chef cuisine dining wine tasting".split()
+_REVIEW = "review rated stars recommend loved excellent".split()
+
+
+def _training(seed=0, n=40):
+    rng = random.Random(seed)
+    ds = TextDataset()
+    for _ in range(n):
+        ds.add(" ".join(rng.choices(_MUSEUM, k=10)), "museum")
+        ds.add(" ".join(rng.choices(_RESTAURANT, k=10)), "restaurant")
+    return ds
+
+
+def _engine():
+    engine = SearchEngine(clock=VirtualClock())
+    rng = random.Random(1)
+    for i in range(8):
+        engine.add_page(WebPage(
+            url=f"https://x/m{i}", title="Grand Gallery",
+            body="grand gallery " + " ".join(rng.choices(_MUSEUM, k=18)),
+        ))
+        # Review pages about restaurants: marker-bearing but not entities.
+        engine.add_page(WebPage(
+            url=f"https://x/rev{i}", title="Dining review roundup",
+            body="dining roundup " + " ".join(
+                rng.choices(_REVIEW + _RESTAURANT[:3], k=18)
+            ),
+        ))
+    return engine
+
+
+@pytest.fixture()
+def annotator():
+    return GiulianoAnnotator(_engine(), cache=SnippetCache()).fit(_training())
+
+
+class TestCentroids:
+    def test_one_centroid_per_label(self, annotator):
+        assert set(annotator.centroids_) == {"museum", "restaurant"}
+
+    def test_unfitted_raises(self):
+        bare = GiulianoAnnotator(_engine())
+        with pytest.raises(RuntimeError):
+            bare.type_of_snippets(["x"], ["museum"])
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            GiulianoAnnotator(_engine(), similarity_threshold=0.0)
+
+
+class TestSnippetTyping:
+    def test_clear_museum_snippets(self, annotator):
+        type_key, similarity = annotator.type_of_snippets(
+            ["gallery exhibit curator paintings"], ["museum", "restaurant"]
+        )
+        assert type_key == "museum"
+        assert similarity > 0.3
+
+    def test_unrelated_snippets_below_threshold(self, annotator):
+        type_key, _ = annotator.type_of_snippets(
+            ["quarterly earnings dividend portfolio"], ["museum", "restaurant"]
+        )
+        assert type_key is None
+
+    def test_empty_snippets(self, annotator):
+        assert annotator.type_of_snippets([], ["museum"]) == (None, 0.0)
+
+    def test_unknown_type_keys_skipped(self, annotator):
+        type_key, _ = annotator.type_of_snippets(
+            ["gallery exhibit"], ["airport"]
+        )
+        assert type_key is None
+
+
+class TestAnnotation:
+    def test_annotates_entity_cells(self, annotator):
+        table = Table(
+            name="t", columns=[Column("Name", ColumnType.TEXT)],
+            rows=[["Grand Gallery"]],
+        )
+        annotation = annotator.annotate_table(table, ["museum", "restaurant"])
+        assert [c.type_key for c in annotation.cells] == ["museum"]
+
+    def test_the_papers_critique_review_text_misannotated(self, annotator):
+        # The failure mode §5.2.1 predicts: text ABOUT restaurants scores
+        # as similar to restaurant snippets as a restaurant itself, so the
+        # similarity method annotates the review phrase.
+        table = Table(
+            name="t", columns=[Column("Notes", ColumnType.TEXT)],
+            rows=[["dining review roundup"]],
+        )
+        annotation = annotator.annotate_table(table, ["museum", "restaurant"])
+        assert [c.type_key for c in annotation.cells] == ["restaurant"]
+
+    def test_outage_degrades_gracefully(self):
+        engine = _engine()
+        annotator = GiulianoAnnotator(engine).fit(_training())
+        engine.available = False
+        table = Table(
+            name="t", columns=[Column("Name", ColumnType.TEXT)],
+            rows=[["Grand Gallery"]],
+        )
+        annotation = annotator.annotate_table(table, ["museum"])
+        assert len(annotation.cells) == 0
+
+    def test_corpus_run(self, annotator):
+        tables = [
+            Table(name=f"t{i}", columns=[Column("Name", ColumnType.TEXT)],
+                  rows=[["Grand Gallery"]])
+            for i in range(2)
+        ]
+        run = annotator.annotate_tables(tables, ["museum"])
+        assert len(run) == 2

@@ -1,0 +1,93 @@
+"""Tests for TextDataset and the 75/25 split."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.classify.dataset import TextDataset, train_test_split
+
+
+def _dataset(pairs):
+    ds = TextDataset()
+    ds.extend(pairs)
+    return ds
+
+
+class TestTextDataset:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TextDataset(texts=["a"], labels=[])
+
+    def test_add_and_iterate(self):
+        ds = _dataset([("snippet", "museum")])
+        assert list(ds) == [("snippet", "museum")]
+        assert len(ds) == 1
+
+    def test_label_counts(self):
+        ds = _dataset([("a", "x"), ("b", "x"), ("c", "y")])
+        assert ds.label_counts() == {"x": 2, "y": 1}
+
+    def test_subset_preserves_pairing(self):
+        ds = _dataset([("a", "x"), ("b", "y"), ("c", "z")])
+        sub = ds.subset([2, 0])
+        assert list(sub) == [("c", "z"), ("a", "x")]
+
+    def test_filter_labels(self):
+        ds = _dataset([("a", "x"), ("b", "y")])
+        assert ds.filter_labels(["y"]).labels == ["y"]
+
+
+class TestTrainTestSplit:
+    def test_paper_fractions(self):
+        ds = _dataset([(f"t{i}", "a") for i in range(100)])
+        train, test = train_test_split(ds, train_fraction=0.75)
+        assert len(train) == 75
+        assert len(test) == 25
+
+    def test_partition_is_exact(self):
+        ds = _dataset([(f"t{i}", "a" if i % 2 else "b") for i in range(41)])
+        train, test = train_test_split(ds)
+        assert len(train) + len(test) == len(ds)
+        assert set(train.texts).isdisjoint(test.texts)
+
+    def test_stratified_keeps_small_classes_in_both_parts(self):
+        pairs = [(f"big{i}", "big") for i in range(40)]
+        pairs += [(f"small{i}", "small") for i in range(4)]
+        train, test = train_test_split(_dataset(pairs), seed=7)
+        assert "small" in train.label_counts()
+        assert "small" in test.label_counts()
+
+    def test_deterministic_for_seed(self):
+        ds = _dataset([(f"t{i}", "a") for i in range(30)])
+        first = train_test_split(ds, seed=3)
+        second = train_test_split(ds, seed=3)
+        assert first[0].texts == second[0].texts
+
+    def test_different_seed_shuffles(self):
+        ds = _dataset([(f"t{i}", "a") for i in range(50)])
+        first = train_test_split(ds, seed=1)
+        second = train_test_split(ds, seed=2)
+        assert first[0].texts != second[0].texts
+
+    def test_invalid_fraction_rejected(self):
+        ds = _dataset([("a", "x")])
+        with pytest.raises(ValueError):
+            train_test_split(ds, train_fraction=1.0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.text(min_size=1, max_size=6), st.sampled_from(["a", "b", "c"])),
+        min_size=4,
+        max_size=60,
+    ),
+    st.integers(min_value=0, max_value=99),
+)
+def test_split_is_partition(pairs, seed):
+    ds = _dataset(list(pairs))
+    train, test = train_test_split(ds, seed=seed)
+    assert len(train) + len(test) == len(ds)
+    combined = sorted(zip(train.texts, train.labels)) + sorted(
+        zip(test.texts, test.labels)
+    )
+    assert sorted(combined) == sorted(zip(ds.texts, ds.labels))

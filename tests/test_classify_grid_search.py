@@ -1,0 +1,100 @@
+"""Tests for k-fold cross-validation and grid search."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.classify.grid_search import GridSearchResult, grid_search, k_fold_indices
+from repro.classify.kernel_svm import KernelSVC
+
+
+class TestKFold:
+    def test_every_sample_validated_once(self):
+        splits = k_fold_indices(23, n_folds=5, seed=1)
+        validated = sorted(i for _train, valid in splits for i in valid)
+        assert validated == list(range(23))
+
+    def test_train_and_validation_disjoint(self):
+        for train, valid in k_fold_indices(20, n_folds=4):
+            assert set(train).isdisjoint(valid)
+            assert sorted(set(train) | set(valid)) == list(range(20))
+
+    def test_fold_sizes_balanced(self):
+        splits = k_fold_indices(10, n_folds=3)
+        sizes = sorted(len(valid) for _train, valid in splits)
+        assert sizes == [3, 3, 4]
+
+    def test_ten_folds_default(self):
+        assert len(k_fold_indices(100)) == 10
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            k_fold_indices(3, n_folds=5)
+
+    def test_minimum_two_folds(self):
+        with pytest.raises(ValueError):
+            k_fold_indices(10, n_folds=1)
+
+    def test_deterministic_per_seed(self):
+        assert k_fold_indices(12, seed=9) == k_fold_indices(12, seed=9)
+
+
+class _MajorityStub:
+    """Trivial estimator: predicts the majority training label."""
+
+    def __init__(self, bias: float = 0.0) -> None:
+        self.bias = bias
+        self._majority = 1.0
+
+    def fit(self, X, y):
+        self._majority = 1.0 if np.sum(y > 0) >= len(y) / 2 else -1.0
+        return self
+
+    def predict(self, X):
+        return np.full(X.shape[0], self._majority)
+
+
+class TestGridSearch:
+    def _data(self):
+        X = sparse.csr_matrix(np.vstack([
+            np.tile([1.0, 0.0], (10, 1)),
+            np.tile([0.0, 1.0], (10, 1)),
+        ]))
+        y = np.asarray([1.0] * 10 + [-1.0] * 10)
+        return X, y
+
+    def test_finds_separating_parameters(self):
+        X, y = self._data()
+        result = grid_search(
+            lambda cost, gamma: KernelSVC(cost=cost, gamma=gamma, kernel="rbf"),
+            {"cost": [8.0], "gamma": [0.5, 8.0]},
+            X, y, n_folds=4,
+        )
+        assert result.best_score > 0.9
+        assert result.best_params["cost"] == 8.0
+
+    def test_scores_recorded_per_combination(self):
+        X, y = self._data()
+        result = grid_search(
+            lambda bias: _MajorityStub(bias),
+            {"bias": [0.0, 1.0, 2.0]},
+            X, y, n_folds=4,
+        )
+        assert len(result.scores) == 3
+        assert all(0.0 <= s <= 1.0 for s in result.scores.values())
+
+    def test_score_of_lookup(self):
+        X, y = self._data()
+        result = grid_search(
+            lambda bias: _MajorityStub(bias), {"bias": [0.5]}, X, y, n_folds=4
+        )
+        assert result.score_of(bias=0.5) == result.best_score
+
+    def test_empty_grid_rejected(self):
+        X, y = self._data()
+        with pytest.raises(ValueError):
+            grid_search(lambda: None, {"cost": []}, X, y)
+
+    def test_result_dataclass_roundtrip(self):
+        result = GridSearchResult(best_params={"c": 1}, best_score=0.5)
+        assert result.best_params == {"c": 1}

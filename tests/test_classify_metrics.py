@@ -1,0 +1,120 @@
+"""Tests for classification metrics (the Section 6.2 definitions)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.classify.metrics import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    f_measure,
+    macro_average,
+    precision_recall_f1,
+)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        assert precision_recall_f1(10, 10, 10) == (1.0, 1.0, 1.0)
+
+    def test_paper_style_counts(self):
+        p, r, f = precision_recall_f1(8, 10, 16)
+        assert (p, r) == (0.8, 0.5)
+        assert math.isclose(f, 2 * 0.8 * 0.5 / 1.3)
+
+    def test_zero_predictions(self):
+        assert precision_recall_f1(0, 0, 5) == (0.0, 0.0, 0.0)
+
+    def test_zero_gold(self):
+        p, r, f = precision_recall_f1(0, 3, 0)
+        assert (p, r, f) == (0.0, 0.0, 0.0)
+
+
+class TestFMeasure:
+    def test_harmonic_mean(self):
+        assert math.isclose(f_measure(1.0, 0.5), 2 / 3)
+
+    def test_zero_when_both_zero(self):
+        assert f_measure(0.0, 0.0) == 0.0
+
+    def test_symmetric(self):
+        assert f_measure(0.3, 0.9) == f_measure(0.9, 0.3)
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        assert accuracy(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_half_correct(self):
+        assert accuracy(["a", "b"], ["a", "c"]) == 0.5
+
+    def test_empty_is_zero(self):
+        assert accuracy([], []) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(["a"], ["a", "b"])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_counts_matches(self):
+        matrix = confusion_matrix(["a", "b", "a"], ["a", "b", "b"], ["a", "b"])
+        assert matrix[0, 0] == 1  # a -> a
+        assert matrix[0, 1] == 1  # a -> b
+        assert matrix[1, 1] == 1  # b -> b
+
+    def test_unknown_labels_ignored(self):
+        matrix = confusion_matrix(["a", "z"], ["a", "a"], ["a"])
+        assert matrix.sum() == 1
+
+
+class TestClassificationReport:
+    def test_per_class_scores(self):
+        report = ClassificationReport.from_predictions(
+            ["a", "a", "b"], ["a", "b", "b"], labels=["a", "b"]
+        )
+        assert report.per_class["a"].precision == 1.0
+        assert report.per_class["a"].recall == 0.5
+        assert report.per_class["b"].precision == 0.5
+        assert report.per_class["b"].recall == 1.0
+
+    def test_macro_f1_averages(self):
+        report = ClassificationReport.from_predictions(
+            ["a", "b"], ["a", "b"], labels=["a", "b"]
+        )
+        assert report.macro_f1() == 1.0
+
+    def test_f1_of_unknown_label_is_zero(self):
+        report = ClassificationReport.from_predictions(["a"], ["a"], labels=["a"])
+        assert report.f1_of("nope") == 0.0
+
+    def test_labels_default_to_gold_labels(self):
+        report = ClassificationReport.from_predictions(["a", "b"], ["a", "a"])
+        assert set(report.per_class) == {"a", "b"}
+
+
+class TestMacroAverage:
+    def test_averages_triples(self):
+        result = macro_average({"x": (1.0, 0.5, 0.6), "y": (0.0, 0.5, 0.2)})
+        assert result == (0.5, 0.5, 0.4)
+
+    def test_empty_is_zero(self):
+        assert macro_average({}) == (0.0, 0.0, 0.0)
+
+
+@given(
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=50),
+)
+def test_prf_bounds(n_correct, extra_predicted, extra_gold):
+    n_predicted = n_correct + extra_predicted
+    n_gold = n_correct + extra_gold
+    p, r, f = precision_recall_f1(n_correct, n_predicted, n_gold)
+    assert 0.0 <= p <= 1.0
+    assert 0.0 <= r <= 1.0
+    assert min(p, r) - 1e-12 <= f <= max(p, r) + 1e-12

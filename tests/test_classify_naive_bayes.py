@@ -1,0 +1,112 @@
+"""Tests for the multinomial Naive Bayes classifier."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.classify.naive_bayes import MultinomialNaiveBayes
+
+
+def _matrix(rows):
+    return sparse.csr_matrix(np.asarray(rows, dtype=np.float64))
+
+
+@pytest.fixture()
+def separable():
+    # feature 0 marks class 'a', feature 1 marks class 'b'.
+    X = _matrix([[1.0, 0.0], [0.9, 0.1], [0.0, 1.0], [0.1, 0.9]])
+    labels = ["a", "a", "b", "b"]
+    return X, labels
+
+
+class TestFitPredict:
+    def test_learns_separable_classes(self, separable):
+        X, labels = separable
+        model = MultinomialNaiveBayes().fit(X, labels)
+        assert model.predict(X) == labels
+
+    def test_predicts_new_points(self, separable):
+        X, labels = separable
+        model = MultinomialNaiveBayes().fit(X, labels)
+        assert model.predict(_matrix([[0.8, 0.2]])) == ["a"]
+        assert model.predict(_matrix([[0.2, 0.8]])) == ["b"]
+
+    def test_always_predicts_some_class(self, separable):
+        # NB never abstains: even a zero vector gets the arg-max class.
+        X, labels = separable
+        model = MultinomialNaiveBayes().fit(X, labels)
+        assert model.predict(_matrix([[0.0, 0.0]]))[0] in ("a", "b")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MultinomialNaiveBayes().predict(_matrix([[1.0]]))
+
+    def test_invalid_prior_counts(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes(prior_counts=0.0)
+
+
+class TestProbabilities:
+    def test_log_proba_rows_normalise(self, separable):
+        X, labels = separable
+        model = MultinomialNaiveBayes().fit(X, labels)
+        log_proba = model.predict_log_proba(X)
+        sums = np.exp(log_proba).sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_uniform_priors_by_default(self, separable):
+        X, labels = separable
+        model = MultinomialNaiveBayes().fit(X, labels)
+        assert np.allclose(model.class_log_prior_, -np.log(2))
+
+    def test_estimated_priors_reflect_imbalance(self):
+        X = _matrix([[1, 0]] * 3 + [[0, 1]])
+        labels = ["a"] * 3 + ["b"]
+        model = MultinomialNaiveBayes(uniform_priors=False).fit(X, labels)
+        assert model.class_log_prior_[0] > model.class_log_prior_[1]
+
+    def test_length_normalization_scales_scores(self):
+        # Rows with different total mass: normalisation divides each row's
+        # log-likelihood by its length, changing magnitudes but not winners.
+        X = _matrix([[2.0, 0.0], [0.0, 0.5]])
+        labels = ["a", "b"]
+        plain = MultinomialNaiveBayes().fit(X, labels)
+        normed = MultinomialNaiveBayes(length_normalization=True).fit(X, labels)
+        assert plain.predict(X) == normed.predict(X)
+        assert not np.allclose(
+            plain.joint_log_likelihood(X), normed.joint_log_likelihood(X)
+        )
+
+
+class TestBinaryMarginMode:
+    def test_decision_function_sign_matches_prediction(self):
+        X = _matrix([[1.0, 0.0], [0.0, 1.0], [0.9, 0.1], [0.1, 0.9]])
+        y = np.asarray([1.0, -1.0, 1.0, -1.0])
+        model = MultinomialNaiveBayes().fit(X, y)
+        margins = model.decision_function(X)
+        assert (margins > 0).tolist() == [True, False, True, False]
+
+    def test_decision_function_requires_binary_fit(self, separable):
+        X, labels = separable
+        model = MultinomialNaiveBayes().fit(X, labels)
+        with pytest.raises(RuntimeError):
+            model.decision_function(X)
+
+
+class TestSmoothing:
+    def test_unseen_feature_does_not_zero_probability(self):
+        X = _matrix([[1.0, 0.0], [0.0, 1.0]])
+        model = MultinomialNaiveBayes().fit(X, ["a", "b"])
+        # A point with both features still gets finite scores.
+        scores = model.joint_log_likelihood(_matrix([[0.5, 0.5]]))
+        assert np.all(np.isfinite(scores))
+
+    def test_larger_prior_counts_flatten_distributions(self):
+        X = _matrix([[1.0, 0.0], [0.0, 1.0]])
+        sharp = MultinomialNaiveBayes(prior_counts=0.01).fit(X, ["a", "b"])
+        flat = MultinomialNaiveBayes(prior_counts=100.0).fit(X, ["a", "b"])
+        margin_sharp = sharp.joint_log_likelihood(_matrix([[1.0, 0.0]]))
+        margin_flat = flat.joint_log_likelihood(_matrix([[1.0, 0.0]]))
+        gap_sharp = margin_sharp[0, 0] - margin_sharp[0, 1]
+        gap_flat = margin_flat[0, 0] - margin_flat[0, 1]
+        assert gap_sharp > gap_flat > 0

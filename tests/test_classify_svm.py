@@ -1,0 +1,141 @@
+"""Tests for the linear and kernel SVMs."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.classify.kernel_svm import KernelSVC, linear_kernel, rbf_kernel
+from repro.classify.linear_svm import LinearSVM
+
+
+def _matrix(rows):
+    return sparse.csr_matrix(np.asarray(rows, dtype=np.float64))
+
+
+@pytest.fixture()
+def separable():
+    X = _matrix([[1.0, 0.0], [0.9, 0.1], [0.8, 0.0], [0.0, 1.0], [0.1, 0.9], [0.0, 0.8]])
+    y = np.asarray([1.0, 1.0, 1.0, -1.0, -1.0, -1.0])
+    return X, y
+
+
+class TestLinearSVM:
+    def test_separates_trivial_data(self, separable):
+        X, y = separable
+        model = LinearSVM().fit(X, y)
+        assert np.array_equal(model.predict(X), y)
+
+    def test_margins_signed_correctly(self, separable):
+        X, y = separable
+        model = LinearSVM().fit(X, y)
+        assert np.all(model.decision_function(X) * y > 0)
+
+    def test_deterministic(self, separable):
+        X, y = separable
+        first = LinearSVM().fit(X, y)
+        second = LinearSVM().fit(X, y)
+        assert np.allclose(first.weights_, second.weights_)
+        assert first.intercept_ == second.intercept_
+
+    def test_balanced_handles_imbalance(self):
+        # 1 positive vs 30 negatives: unweighted hinge would give up on the
+        # positive; the balanced default must not.
+        rng = np.random.default_rng(5)
+        negatives = rng.normal(loc=(-1.0, 0.0), scale=0.1, size=(30, 2))
+        positives = np.asarray([[1.0, 0.0], [1.1, 0.1]])
+        X = _matrix(np.vstack([positives, negatives]))
+        y = np.asarray([1.0, 1.0] + [-1.0] * 30)
+        model = LinearSVM(balanced=True).fit(X, y)
+        assert np.all(model.predict(X[:2]) == 1.0)
+
+    def test_rejects_non_binary_labels(self, separable):
+        X, _ = separable
+        with pytest.raises(ValueError):
+            LinearSVM().fit(X, np.asarray([0.0, 1.0, 1.0, -1.0, -1.0, -1.0]))
+
+    def test_rejects_shape_mismatch(self, separable):
+        X, _ = separable
+        with pytest.raises(ValueError):
+            LinearSVM().fit(X, np.asarray([1.0, -1.0]))
+
+    def test_unfitted_raises(self, separable):
+        X, _ = separable
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(X)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LinearSVM(regularization=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(max_iterations=0)
+
+
+class TestKernels:
+    def test_linear_kernel_is_dot_product(self):
+        A = np.asarray([[1.0, 2.0]])
+        B = np.asarray([[3.0, 4.0]])
+        assert linear_kernel(A, B)[0, 0] == 11.0
+
+    def test_rbf_kernel_is_one_on_diagonal(self):
+        A = np.asarray([[1.0, 2.0], [0.5, 0.1]])
+        K = rbf_kernel(A, A, gamma=2.0)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_kernel_decreases_with_distance(self):
+        A = np.asarray([[0.0, 0.0]])
+        near = np.asarray([[0.1, 0.0]])
+        far = np.asarray([[2.0, 0.0]])
+        assert rbf_kernel(A, near)[0, 0] > rbf_kernel(A, far)[0, 0]
+
+    def test_rbf_bounded(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(5, 3))
+        K = rbf_kernel(A, A)
+        assert np.all(K <= 1.0 + 1e-12)
+        assert np.all(K >= 0.0)
+
+
+class TestKernelSVC:
+    def test_separates_linear_data(self, separable):
+        X, y = separable
+        model = KernelSVC(kernel="linear", cost=10.0).fit(X, y)
+        assert np.array_equal(model.predict(X), y)
+
+    def test_rbf_solves_xor(self):
+        # XOR is the canonical not-linearly-separable problem.
+        X = _matrix([[0.0, 0.0], [1.0, 1.0], [0.0, 1.0], [1.0, 0.0]])
+        y = np.asarray([1.0, 1.0, -1.0, -1.0])
+        model = KernelSVC(kernel="rbf", gamma=8.0, cost=8.0).fit(X, y)
+        assert np.array_equal(model.predict(X), y)
+
+    def test_support_vectors_subset_of_training(self, separable):
+        X, y = separable
+        model = KernelSVC(kernel="linear").fit(X, y)
+        assert model.support_vectors_.shape[0] <= X.shape[0]
+        assert model.support_vectors_.shape[0] >= 1
+
+    def test_accepts_dense_input(self):
+        X = np.asarray([[1.0, 0.0], [0.0, 1.0]])
+        y = np.asarray([1.0, -1.0])
+        model = KernelSVC(kernel="linear").fit(X, y)
+        assert np.array_equal(model.predict(X), y)
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ValueError):
+            KernelSVC(kernel="poly")
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError):
+            KernelSVC().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KernelSVC().decision_function(np.zeros((1, 2)))
+
+    def test_deterministic_for_seed(self, separable):
+        X, y = separable
+        first = KernelSVC(kernel="rbf", seed=3).fit(X, y)
+        second = KernelSVC(kernel="rbf", seed=3).fit(X, y)
+        assert np.allclose(
+            first.decision_function(X), second.decision_function(X)
+        )

@@ -1,0 +1,42 @@
+"""Tests for the command-line entry point.
+
+The CLI shares the in-process experiment-context cache, so running the
+cheap experiments against the small world reuses the session's context.
+"""
+
+import pytest
+
+from repro import cli
+
+
+class TestArgumentParsing:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["not-an-experiment"])
+
+    def test_requires_at_least_one_experiment(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+
+class TestExecution:
+    def test_figure7_small(self, capsys, small_context):
+        exit_code = cli.main(["figure7", "--small"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 7" in output
+        assert "Paris, Texas, USA" in output
+
+    def test_figure6_and_coverage_together(self, capsys, small_context):
+        exit_code = cli.main(["figure6", "coverage", "--small"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 6" in output
+        assert "OVERALL" in output
+
+    def test_table2_small(self, capsys, small_context):
+        exit_code = cli.main(["table2", "--small"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "Simpson's episodes" in output

@@ -1,0 +1,36 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.elapsed_seconds == 0.0
+        assert clock.n_charges == 0
+
+    def test_charges_accumulate(self):
+        clock = VirtualClock()
+        clock.charge(0.3)
+        clock.charge(0.2)
+        assert clock.elapsed_seconds == pytest.approx(0.5)
+        assert clock.n_charges == 2
+
+    def test_zero_charge_counts_as_call(self):
+        clock = VirtualClock()
+        clock.charge(0.0)
+        assert clock.n_charges == 1
+        assert clock.elapsed_seconds == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().charge(-0.1)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.charge(1.0)
+        clock.reset()
+        assert clock.elapsed_seconds == 0.0
+        assert clock.n_charges == 0

@@ -1,0 +1,116 @@
+"""Tests for column typing and relations (table-annotation steps a and b)."""
+
+import pytest
+
+from repro.core.column_typing import (
+    HAS_PHONE,
+    HAS_WEBSITE,
+    LOCATED_IN,
+    ColumnAnnotation,
+    detect_relations,
+    type_columns,
+)
+from repro.core.results import CellAnnotation, TableAnnotation
+from repro.tables.model import Column, ColumnType, Table
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        name="pois",
+        columns=[
+            Column("Name", ColumnType.TEXT),
+            Column("Address", ColumnType.LOCATION),
+            Column("Phone", ColumnType.TEXT),
+            Column("Website", ColumnType.TEXT),
+            Column("Opened", ColumnType.DATE),
+        ],
+        rows=[
+            ["Louvre", "Rue de Rivoli, Paris", "(310) 111-2222",
+             "https://louvre.fr", "1793-08-10"],
+            ["Orsay", "1 Rue de la Legion, Paris", "(310) 333-4444",
+             "https://orsay.fr", "1986-12-01"],
+            ["Uffizi", "Piazzale degli Uffizi, Florence", "(310) 555-6666",
+             "https://uffizi.it", "1865-01-01"],
+        ],
+    )
+
+
+@pytest.fixture()
+def annotation(table):
+    ta = TableAnnotation(table_name=table.name)
+    for row in range(3):
+        ta.add(CellAnnotation(table.name, row, 0, "museum", 0.9))
+    return ta
+
+
+class TestTypeColumns:
+    def test_entity_column_typed_from_annotations(self, table, annotation):
+        columns = type_columns(table, annotation)
+        assert columns[0].kind == "museum"
+        assert columns[0].support == pytest.approx(1.0)
+
+    def test_syntactic_columns(self, table, annotation):
+        columns = {c.column: c for c in type_columns(table, annotation)}
+        assert columns[2].kind == "phone"
+        assert columns[3].kind == "url"
+
+    def test_gft_declared_kinds_respected(self, table, annotation):
+        columns = {c.column: c for c in type_columns(table, annotation)}
+        assert columns[1].kind == "location"
+        assert columns[4].kind == "date"
+
+    def test_min_support_threshold(self, table):
+        sparse = TableAnnotation(table_name=table.name)
+        sparse.add(CellAnnotation(table.name, 0, 0, "museum", 0.9))
+        columns = type_columns(table, sparse, min_support=0.5)
+        # 1 of 3 annotated < 0.5 support -> falls back to text.
+        assert columns[0].kind == "text"
+
+    def test_mixed_annotations_majority_wins(self, table):
+        mixed = TableAnnotation(table_name=table.name)
+        mixed.add(CellAnnotation(table.name, 0, 0, "museum", 0.9))
+        mixed.add(CellAnnotation(table.name, 1, 0, "museum", 0.9))
+        mixed.add(CellAnnotation(table.name, 2, 0, "theatre", 0.9))
+        columns = type_columns(table, mixed)
+        assert columns[0].kind == "museum"
+
+    def test_number_column_detected(self):
+        t = Table(name="n", columns=[Column("Count", ColumnType.TEXT)],
+                  rows=[["12"], ["15"], ["999"]])
+        columns = type_columns(t, TableAnnotation(table_name="n"))
+        assert columns[0].kind == "number"
+
+    def test_invalid_min_support(self, table, annotation):
+        with pytest.raises(ValueError):
+            type_columns(table, annotation, min_support=0.0)
+
+
+class TestDetectRelations:
+    def test_located_in_and_companions(self, table, annotation):
+        columns = type_columns(table, annotation)
+        relations = detect_relations(table, columns, {"museum"})
+        predicates = {(r.predicate, r.object_column) for r in relations}
+        assert (LOCATED_IN, 1) in predicates
+        assert (HAS_PHONE, 2) in predicates
+        assert (HAS_WEBSITE, 3) in predicates
+        assert all(r.subject_column == 0 for r in relations)
+
+    def test_no_entity_column_no_relations(self, table):
+        columns = type_columns(table, TableAnnotation(table_name=table.name))
+        assert detect_relations(table, columns, {"museum"}) == []
+
+    def test_figure1_scenario(self):
+        # Figure 1: museum names + city column -> locatedIn.
+        t = Table(
+            name="fig1",
+            columns=[Column("Museum", ColumnType.TEXT),
+                     Column("City", ColumnType.LOCATION)],
+            rows=[["Louvre", "Paris"], ["Met", "New York"]],
+        )
+        ta = TableAnnotation(table_name="fig1")
+        ta.add(CellAnnotation("fig1", 0, 0, "museum", 1.0))
+        ta.add(CellAnnotation("fig1", 1, 0, "museum", 1.0))
+        relations = detect_relations(t, type_columns(t, ta), {"museum"})
+        assert [(r.subject_column, r.predicate, r.object_column)
+                for r in relations] == [(0, LOCATED_IN, 1)]

@@ -1,0 +1,148 @@
+"""Tests for toponym disambiguation (Section 5.2.2, Figure 7)."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.core.config import AnnotatorConfig
+from repro.core.disambiguation import SpatialContextExtractor, ToponymDisambiguator
+from repro.geo.geocoder import Geocoder
+from repro.synth.geography import build_gazetteer
+from repro.tables.model import Column, ColumnType, Table
+
+
+@pytest.fixture(scope="module")
+def geocoder():
+    return Geocoder(build_gazetteer(), clock=VirtualClock())
+
+
+@pytest.fixture(scope="module")
+def figure7_interpretations(geocoder):
+    return {
+        (12, 1): geocoder.geocode("1600 Pennsylvania Ave"),
+        (12, 2): geocoder.geocode("Washington"),
+        (13, 1): geocoder.geocode("Wofford Ln"),
+        (13, 2): geocoder.geocode("College Park"),
+        (20, 1): geocoder.geocode("Clarksville St"),
+        (20, 2): geocoder.geocode("Paris"),
+    }
+
+
+class TestFigure7:
+    def test_paper_outcome_reproduced(self, figure7_interpretations):
+        outcome = ToponymDisambiguator().resolve(figure7_interpretations)
+        chosen = {cell: loc.full_name for cell, loc in outcome.chosen.items()}
+        assert "Washington, District of Columbia" in chosen[(12, 1)]
+        assert "Washington, District of Columbia" in chosen[(12, 2)]
+        assert "College Park, Maryland" in chosen[(13, 1)]
+        assert "College Park, Maryland" in chosen[(13, 2)]
+        assert "Paris, Texas" in chosen[(20, 1)]
+        assert "Paris, Texas" in chosen[(20, 2)]
+
+    def test_scores_normalised_per_cell(self, figure7_interpretations):
+        outcome = ToponymDisambiguator().resolve(figure7_interpretations)
+        for cell, scores in outcome.scores.items():
+            assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_winner_scores_dominate(self, figure7_interpretations):
+        outcome = ToponymDisambiguator().resolve(figure7_interpretations)
+        for cell, location in outcome.chosen.items():
+            scores = outcome.scores[cell]
+            assert scores[location.full_name] == max(scores.values())
+
+
+class TestResolveEdgeCases:
+    def test_empty_input(self):
+        outcome = ToponymDisambiguator().resolve({})
+        assert outcome.chosen == {}
+
+    def test_single_unambiguous_cell(self, geocoder):
+        outcome = ToponymDisambiguator().resolve(
+            {(0, 0): geocoder.geocode("Paris, Texas")}
+        )
+        assert outcome.chosen[(0, 0)].container.name == "Texas"
+
+    def test_isolated_ambiguous_cell_gets_deterministic_pick(self, geocoder):
+        # No votes at all: scores stay uniform, tie broken by seeded RNG.
+        first = ToponymDisambiguator(AnnotatorConfig(seed=13)).resolve(
+            {(0, 0): geocoder.geocode("Paris")}
+        )
+        second = ToponymDisambiguator(AnnotatorConfig(seed=13)).resolve(
+            {(0, 0): geocoder.geocode("Paris")}
+        )
+        assert first.chosen[(0, 0)] == second.chosen[(0, 0)]
+
+    def test_cells_with_no_interpretations_skipped(self, geocoder):
+        outcome = ToponymDisambiguator().resolve({(0, 0): []})
+        assert outcome.chosen == {}
+
+    def test_same_row_voting(self, geocoder):
+        # Unambiguous city in the same row resolves the street.
+        outcome = ToponymDisambiguator().resolve({
+            (5, 0): geocoder.geocode("Pennsylvania Ave"),
+            (5, 1): geocoder.geocode("Baltimore"),
+        })
+        assert outcome.chosen[(5, 0)].container.name == "Baltimore"
+
+    def test_same_column_voting(self, geocoder):
+        # Unambiguous addresses in a column pull the ambiguous one to the
+        # city their containers share.
+        outcome = ToponymDisambiguator().resolve({
+            (0, 0): geocoder.geocode("Main Street, Austin"),
+            (1, 0): geocoder.geocode("Oak Avenue, Austin"),
+            (2, 0): geocoder.geocode("Elm Street"),  # 20 candidates
+        })
+        assert outcome.chosen[(2, 0)].container.name == "Austin"
+
+
+class TestSpatialContextExtractor:
+    def _table(self):
+        return Table(
+            name="t",
+            columns=[
+                Column("Name", ColumnType.TEXT),
+                Column("Address", ColumnType.LOCATION),
+            ],
+            rows=[
+                ["Melisse", "12 Main Street, Santa Monica"],
+                ["Chez Paul", "40 Oak Avenue, Lyon"],
+                ["Mystery", ""],
+            ],
+        )
+
+    def test_row_contexts_extracted(self, geocoder):
+        extractor = SpatialContextExtractor(geocoder)
+        contexts = extractor.row_contexts(self._table())
+        assert contexts[0] == "Santa Monica"
+        assert contexts[1] == "Lyon"
+        assert 2 not in contexts  # empty cell -> no context
+
+    def test_spatial_columns_by_gft_type(self, geocoder):
+        extractor = SpatialContextExtractor(geocoder)
+        assert extractor.spatial_columns(self._table()) == [1]
+
+    def test_header_fallback_without_gft_types(self, geocoder):
+        config = AnnotatorConfig(use_gft_column_types=False)
+        extractor = SpatialContextExtractor(geocoder, config)
+        table = Table(
+            name="t",
+            columns=[Column("Name"), Column("City")],
+            rows=[["Louvre", "Paris"]],
+        )
+        assert extractor.spatial_columns(table) == [1]
+
+    def test_no_spatial_columns_no_contexts(self, geocoder):
+        extractor = SpatialContextExtractor(geocoder)
+        table = Table(name="t", columns=[Column("Name")], rows=[["X"]])
+        assert extractor.row_contexts(table) == {}
+
+    def test_geocode_cache_one_call_per_distinct_value(self):
+        clock = VirtualClock()
+        geocoder = Geocoder(build_gazetteer(), clock=clock)
+        extractor = SpatialContextExtractor(geocoder)
+        table = Table(
+            name="t",
+            columns=[Column("Name"), Column("City", ColumnType.LOCATION)],
+            rows=[["A", "Lyon"], ["B", "Lyon"], ["C", "Genoa"]],
+        )
+        extractor.row_contexts(table)
+        assert clock.n_charges == 2  # Lyon once, Genoa once

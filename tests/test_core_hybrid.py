@@ -1,0 +1,90 @@
+"""Tests for the hybrid (catalogue + web) annotator."""
+
+import pytest
+
+from repro.core.annotation import SnippetCache
+from repro.core.config import AnnotatorConfig
+from repro.core.hybrid import HybridAnnotator
+from repro.kb.catalogue import Catalogue
+from repro.synth.types import TYPE_SPECS
+from repro.tables.model import Column, ColumnType, Table
+
+ALL_KEYS = [spec.key for spec in TYPE_SPECS]
+
+
+@pytest.fixture()
+def hybrid(small_world, small_context):
+    return HybridAnnotator(
+        small_context.classifiers["svm"],
+        small_world.search_engine,
+        small_world.catalogue,
+        AnnotatorConfig(),
+        cache=SnippetCache(),
+    )
+
+
+def _museum_table(small_world, known_count=3, unknown_count=3):
+    known = [e for e in small_world.table_entities("museum") if e.in_kb]
+    unknown = [e for e in small_world.table_entities("museum") if not e.in_kb]
+    entities = known[:known_count] + unknown[:unknown_count]
+    return Table(
+        name="hybrid-museums",
+        columns=[Column("Name", ColumnType.TEXT)],
+        rows=[[e.table_name] for e in entities],
+    ), entities
+
+
+class TestHybridAnnotator:
+    def test_known_cells_skip_the_engine(self, small_world, hybrid):
+        table, entities = _museum_table(small_world)
+        queries_before = small_world.search_engine.query_count
+        annotation = hybrid.annotate_table(table, ALL_KEYS)
+        known = sum(1 for e in entities if e.in_kb)
+        assert hybrid.stats.catalogue_hits >= known - 1  # name collisions may defer
+        assert len(annotation.cells) >= known
+        assert small_world.search_engine.query_count - queries_before == (
+            hybrid.stats.web_queries
+        )
+
+    def test_unknown_cells_still_discovered(self, small_world, hybrid):
+        table, entities = _museum_table(small_world, known_count=0, unknown_count=4)
+        annotation = hybrid.annotate_table(table, ALL_KEYS)
+        assert hybrid.stats.web_queries >= 4
+        assert len(annotation.annotated_rows("museum")) >= 2
+
+    def test_query_savings_reported(self, small_world, hybrid):
+        table, _entities = _museum_table(small_world, known_count=4, unknown_count=2)
+        hybrid.annotate_table(table, ALL_KEYS)
+        assert 0.0 < hybrid.stats.query_savings <= 1.0
+
+    def test_ambiguous_catalogue_names_fall_through_to_web(self, small_world,
+                                                           small_context):
+        catalogue = Catalogue()
+        catalogue.add("Grand Hall", "museum")
+        catalogue.add("Grand Hall", "theatre")  # ambiguous -> must use web
+        annotator = HybridAnnotator(
+            small_context.classifiers["svm"],
+            small_world.search_engine,
+            catalogue,
+        )
+        table = Table(
+            name="amb", columns=[Column("Name", ColumnType.TEXT)],
+            rows=[["Grand Hall"]],
+        )
+        annotator.annotate_table(table, ["museum", "theatre"])
+        assert annotator.stats.catalogue_hits == 0
+        assert annotator.stats.web_queries == 1
+
+    def test_empty_types_rejected(self, hybrid, small_world):
+        table, _ = _museum_table(small_world, 1, 0)
+        with pytest.raises(ValueError):
+            hybrid.annotate_table(table, [])
+
+    def test_stats_empty_initially(self, small_world, small_context):
+        annotator = HybridAnnotator(
+            small_context.classifiers["svm"],
+            small_world.search_engine,
+            small_world.catalogue,
+        )
+        assert annotator.stats.query_savings == 0.0
+        assert annotator.stats.total_cells == 0

@@ -1,0 +1,133 @@
+"""Tests for Equation 2 post-processing (Section 5.3, Figure 8)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.postprocessing import column_scores, eliminate_spurious, winning_column
+from repro.core.results import CellAnnotation, TableAnnotation
+from repro.tables.model import Column, ColumnType, Table
+
+
+def _figure8_table(n_rows=6):
+    """Name column of museums + a repeated 'Museum' label column."""
+    rows = [[f"Gallery {i}", "Museum"] for i in range(n_rows)]
+    return Table(
+        name="fig8",
+        columns=[Column("Name", ColumnType.TEXT), Column("Type", ColumnType.TEXT)],
+        rows=rows,
+    )
+
+
+def _annotation(table, cells):
+    annotation = TableAnnotation(table_name=table.name)
+    for row, column, type_key, score in cells:
+        annotation.add(CellAnnotation(
+            table_name=table.name, row=row, column=column,
+            type_key=type_key, score=score,
+            cell_value=table.cell(row, column),
+        ))
+    return annotation
+
+
+class TestColumnScores:
+    def test_distinct_high_scores_beat_repeated_labels(self):
+        table = _figure8_table(6)
+        cells = [(i, 0, "museum", 0.8) for i in range(6)]
+        cells += [(i, 1, "museum", 1.0) for i in range(6)]
+        scores = column_scores(table, _annotation(table, cells).cells)
+        # Name column: 6 * ln(1.8); label column: 6 * ln(1/6 + 1).
+        assert scores[0] == pytest.approx(6 * math.log(1.8))
+        assert scores[1] == pytest.approx(6 * math.log(1.0 / 6.0 + 1.0))
+        assert scores[0] > scores[1]
+
+    def test_without_repetition_factor_labels_win(self):
+        table = _figure8_table(6)
+        cells = [(i, 0, "museum", 0.8) for i in range(6)]
+        cells += [(i, 1, "museum", 1.0) for i in range(6)]
+        scores = column_scores(
+            table, _annotation(table, cells).cells, use_repetition_factor=False
+        )
+        assert scores[1] > scores[0]  # the ablation: Figure 8 breaks
+
+    def test_empty_annotations(self):
+        assert column_scores(_figure8_table(), []) == {}
+
+
+class TestWinningColumn:
+    def test_argmax(self):
+        assert winning_column({0: 2.0, 1: 5.0}) == 1
+
+    def test_tie_prefers_leftmost(self):
+        assert winning_column({2: 1.0, 0: 1.0}) == 0
+
+    def test_empty_is_none(self):
+        assert winning_column({}) is None
+
+
+class TestEliminateSpurious:
+    def test_figure8_scenario(self):
+        table = _figure8_table(6)
+        cells = [(i, 0, "museum", 0.8) for i in range(6)]
+        cells += [(i, 1, "museum", 1.0) for i in range(6)]
+        cleaned = eliminate_spurious(table, _annotation(table, cells))
+        assert {c.column for c in cleaned.cells} == {0}
+        assert len(cleaned.cells) == 6
+
+    def test_types_resolved_independently(self):
+        table = Table(
+            name="mix",
+            columns=[Column("Name"), Column("Hotel")],
+            rows=[["Louvre", "Grand Hotel"], ["Orsay", "Plaza Lodge"]],
+        )
+        cells = [
+            (0, 0, "museum", 0.9), (1, 0, "museum", 0.9),
+            (0, 1, "hotel", 0.9), (1, 1, "hotel", 0.9),
+        ]
+        cleaned = eliminate_spurious(table, _annotation(table, cells))
+        # Each type keeps its own winning column; nothing is lost.
+        assert len(cleaned.cells) == 4
+
+    def test_input_not_mutated(self):
+        table = _figure8_table(3)
+        annotation = _annotation(
+            table,
+            [(0, 0, "museum", 0.8), (0, 1, "museum", 1.0)],
+        )
+        before = len(annotation.cells)
+        eliminate_spurious(table, annotation)
+        assert len(annotation.cells) == before
+
+    def test_empty_annotation_passthrough(self):
+        table = _figure8_table(2)
+        cleaned = eliminate_spurious(table, TableAnnotation(table_name="fig8"))
+        assert len(cleaned.cells) == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),     # row
+            st.integers(min_value=0, max_value=1),     # column
+            st.floats(min_value=0.51, max_value=1.0),  # score
+        ),
+        min_size=1, max_size=30, unique_by=lambda t: (t[0], t[1]),
+    )
+)
+def test_postprocessing_keeps_exactly_one_column_per_type(cells):
+    table = Table(
+        name="t",
+        columns=[Column("A"), Column("B")],
+        rows=[[f"a{i}", f"b{i}"] for i in range(10)],
+    )
+    annotation = _annotation(
+        table, [(row, col, "museum", score) for row, col, score in cells]
+    )
+    cleaned = eliminate_spurious(table, annotation)
+    columns = {c.column for c in cleaned.cells}
+    assert len(columns) == 1
+    # Survivors are exactly the input annotations of the winning column.
+    winner = columns.pop()
+    assert len(cleaned.cells) == sum(1 for _r, c, _s in cells if c == winner)

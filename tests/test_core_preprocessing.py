@@ -1,0 +1,141 @@
+"""Tests for pre-processing filters (Section 5.1)."""
+
+import pytest
+
+from repro.core.config import AnnotatorConfig
+from repro.core.preprocessing import (
+    Preprocessor,
+    looks_like_coordinates,
+    looks_like_email,
+    looks_like_number,
+    looks_like_phone,
+    looks_like_url,
+)
+from repro.tables.model import Column, ColumnType, Table
+
+
+class TestDetectors:
+    @pytest.mark.parametrize("value", [
+        "http://melisse.com", "https://www.louvre.fr/en", "www.example.org/path",
+    ])
+    def test_urls(self, value):
+        assert looks_like_url(value)
+
+    def test_plain_word_not_url(self):
+        assert not looks_like_url("Melisse")
+
+    @pytest.mark.parametrize("value", ["info@melisse.com", "a.b+c@x-y.co.uk"])
+    def test_emails(self, value):
+        assert looks_like_email(value)
+
+    def test_sentence_not_email(self):
+        assert not looks_like_email("contact us at melisse")
+
+    @pytest.mark.parametrize("value", ["42", "-3.5", "1,200", "99%", "+7"])
+    def test_numbers(self, value):
+        assert looks_like_number(value)
+
+    def test_address_not_number(self):
+        assert not looks_like_number("1104 Wilshire Blvd")
+
+    @pytest.mark.parametrize("value", [
+        "34.0195, -118.4912", "48.8606;2.3376", "-12.5, 130.8",
+    ])
+    def test_coordinates(self, value):
+        assert looks_like_coordinates(value)
+
+    @pytest.mark.parametrize("value", [
+        "(310) 395-0881", "+33 1 40 20 53 17", "310-395-0881", "310.395.0881",
+    ])
+    def test_phones(self, value):
+        assert looks_like_phone(value)
+
+    def test_short_number_not_phone(self):
+        assert not looks_like_phone("42")
+
+    def test_name_with_digits_not_phone(self):
+        assert not looks_like_phone("Studio 54 Club")
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        name="t",
+        columns=[
+            Column("Name", ColumnType.TEXT),
+            Column("Address", ColumnType.LOCATION),
+            Column("Phone", ColumnType.TEXT),
+            Column("Opened", ColumnType.DATE),
+            Column("Notes", ColumnType.TEXT),
+        ],
+        rows=[
+            ["Melisse", "1104 Wilshire Blvd", "(310) 395-0881", "1999-06-01",
+             "a very long verbose description that goes on and on for many words"],
+            ["Louvre", "Rue de Rivoli, Paris", "+33 1 40 20 53 17", "1793-08-10",
+             "short note"],
+        ],
+    )
+
+
+class TestPreprocessor:
+    def test_candidate_cells_keep_names_and_short_notes(self, table):
+        candidates = Preprocessor().candidate_cells(table)
+        values = {c.value for c in candidates}
+        assert values == {"Melisse", "Louvre", "short note"}
+
+    def test_gft_location_column_skipped(self, table):
+        pre = Preprocessor()
+        assert pre.column_exclusion_reason(table, 1) == "gft-type-location"
+        assert pre.column_exclusion_reason(table, 0) is None
+
+    def test_gft_types_can_be_disabled(self, table):
+        config = AnnotatorConfig(use_gft_column_types=False)
+        pre = Preprocessor(config)
+        assert pre.column_exclusion_reason(table, 1) is None
+        # The address cell is then kept (it is not phone/url/number shaped).
+        values = {c.value for c in pre.candidate_cells(table)}
+        assert "1104 Wilshire Blvd" in values
+
+    def test_exclusion_reasons(self):
+        pre = Preprocessor()
+        assert pre.exclusion_reason("") == "empty"
+        assert pre.exclusion_reason("https://x.com") == "url"
+        assert pre.exclusion_reason("a@b.com") == "email"
+        assert pre.exclusion_reason("12.5, -8.1") == "coordinates"
+        assert pre.exclusion_reason("1234") == "number"
+        assert pre.exclusion_reason("(310) 395-0881") == "phone"
+        assert pre.exclusion_reason("Melisse") is None
+
+    def test_long_value_limit_configurable(self):
+        text = "one two three four five"
+        strict = Preprocessor(AnnotatorConfig(long_value_token_limit=3))
+        lax = Preprocessor(AnnotatorConfig(long_value_token_limit=10))
+        assert strict.exclusion_reason(text) == "long-value"
+        assert lax.exclusion_reason(text) is None
+
+    def test_exclusion_summary_accounts_every_cell(self, table):
+        summary = Preprocessor().exclusion_summary(table)
+        assert sum(summary.values()) == table.n_rows * table.n_columns
+        assert summary["kept"] == 3
+        assert summary["gft-type-location"] == 2
+        assert summary["gft-type-date"] == 2
+        assert summary["phone"] == 2
+        assert summary["long-value"] == 1
+
+
+class TestConfigValidation:
+    def test_bad_top_k(self):
+        with pytest.raises(ValueError):
+            AnnotatorConfig(top_k=0)
+
+    def test_bad_majority_fraction(self):
+        with pytest.raises(ValueError):
+            AnnotatorConfig(majority_fraction=1.0)
+
+    def test_bad_token_limit(self):
+        with pytest.raises(ValueError):
+            AnnotatorConfig(long_value_token_limit=0)
+
+    def test_majority_count(self):
+        assert AnnotatorConfig(top_k=10).majority_count == 5.0
+        assert AnnotatorConfig(top_k=10, majority_fraction=0.3).majority_count == 3.0

@@ -1,0 +1,86 @@
+"""Tests for the Section 5.2.1 training-set construction."""
+
+import pytest
+
+from repro.classify.snippet import OTHER_LABEL
+from repro.core.training import TrainingCorpusBuilder
+from repro.synth.types import TYPE_SPECS, type_spec
+
+
+@pytest.fixture(scope="module")
+def builder(small_world):
+    return TrainingCorpusBuilder(
+        small_world.kb, small_world.search_engine, seed=13
+    )
+
+
+class TestPositiveSnippets:
+    def test_snippets_collected_for_museum(self, builder, small_world):
+        snippets = builder.positive_snippets(type_spec("museum"))
+        n_entities = len(small_world.kb_entities("museum"))
+        assert len(snippets) >= n_entities  # several snippets per entity
+
+    def test_max_entities_cap(self, small_world):
+        capped = TrainingCorpusBuilder(
+            small_world.kb, small_world.search_engine,
+            max_entities_per_type=3, snippets_per_entity=5, seed=13,
+        )
+        snippets = capped.positive_snippets(type_spec("museum"))
+        assert len(snippets) <= 3 * 5
+
+    def test_deterministic(self, builder):
+        first = builder.positive_snippets(type_spec("mine"))
+        second = builder.positive_snippets(type_spec("mine"))
+        assert first == second
+
+
+class TestBackgroundSnippets:
+    def test_collects_noise(self, builder):
+        snippets = builder.background_snippets()
+        assert len(snippets) > 50
+
+    def test_engine_outage_yields_empty(self, small_world):
+        engine = small_world.search_engine
+        builder = TrainingCorpusBuilder(small_world.kb, engine, seed=13)
+        engine.available = False
+        try:
+            assert builder.positive_snippets(type_spec("museum")) == []
+            assert builder.background_snippets() == []
+        finally:
+            engine.available = True
+
+
+class TestBuildSplit:
+    def test_paper_default_gamma_only(self, builder):
+        train, test, stats = builder.build_split([type_spec("mine")])
+        labels = set(train.labels) | set(test.labels)
+        assert labels == {"mine"}
+
+    def test_other_class_optional(self, builder):
+        train, _test, _stats = builder.build_split(
+            [type_spec("mine")], include_other=True
+        )
+        assert OTHER_LABEL in set(train.labels)
+
+    def test_split_fractions(self, builder):
+        train, test, _stats = builder.build_split([type_spec("mine")])
+        total = len(train) + len(test)
+        assert len(train) / total == pytest.approx(0.75, abs=0.03)
+
+    def test_stats_match_dataset(self, builder):
+        train, test, stats = builder.build_split([type_spec("mine")])
+        assert stats.train_counts["mine"] == len(train)
+        assert stats.test_counts["mine"] == len(test)
+
+    def test_small_types_smaller_corpora(self, small_context):
+        # Table 2's salient feature: Simpsons episodes and Mines corpora
+        # are much smaller than the rest.
+        stats = small_context.corpus_stats
+        assert stats.train_counts["simpsons_episode"] < stats.train_counts["museum"]
+        assert stats.train_counts["mine"] < stats.train_counts["museum"]
+
+    def test_invalid_snippets_per_entity(self, small_world):
+        with pytest.raises(ValueError):
+            TrainingCorpusBuilder(
+                small_world.kb, small_world.search_engine, snippets_per_entity=0
+            )

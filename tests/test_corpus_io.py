@@ -1,0 +1,48 @@
+"""Tests for corpus persistence."""
+
+import pytest
+
+from repro.synth.corpus_io import (
+    corpus_from_json,
+    corpus_to_json,
+    load_corpus,
+    save_corpus,
+)
+
+
+class TestCorpusRoundtrip:
+    def test_json_roundtrip_preserves_tables(self, gft_corpus):
+        restored = corpus_from_json(corpus_to_json(gft_corpus))
+        assert restored.name == gft_corpus.name
+        assert len(restored.tables) == len(gft_corpus.tables)
+        for original, parsed in zip(gft_corpus.tables, restored.tables):
+            assert parsed.name == original.name
+            assert parsed.columns == original.columns
+            assert parsed.rows == original.rows
+
+    def test_json_roundtrip_preserves_gold(self, gft_corpus):
+        restored = corpus_from_json(corpus_to_json(gft_corpus))
+        assert len(restored.gold) == len(gft_corpus.gold)
+        for original, parsed in zip(
+            gft_corpus.gold.references, restored.gold.references
+        ):
+            assert parsed == original
+
+    def test_file_roundtrip(self, gft_corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(gft_corpus, path)
+        restored = load_corpus(path)
+        assert restored.n_rows_total == gft_corpus.n_rows_total
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_from_json('{"name": "x", "tables": []}')
+
+    def test_restored_corpus_evaluates_identically(self, gft_corpus, small_context):
+        from repro.eval.evaluator import evaluate_annotations
+
+        restored = corpus_from_json(corpus_to_json(gft_corpus))
+        run = small_context.annotation_run(backend="svm", postprocess=True)
+        original_eval = evaluate_annotations(run, gft_corpus.gold)
+        restored_eval = evaluate_annotations(run, restored.gold)
+        assert original_eval.micro_f1() == restored_eval.micro_f1()

@@ -1,0 +1,121 @@
+"""Tests for gold standard, evaluator and text reporting."""
+
+import pytest
+
+from repro.core.results import AnnotationRun, CellAnnotation
+from repro.eval.evaluator import evaluate_annotations
+from repro.eval.gold import GoldEntityReference, GoldStandard
+from repro.eval.reporting import format_cell, format_table
+
+
+def _gold():
+    gold = GoldStandard()
+    gold.add(GoldEntityReference("t1", 0, 0, "museum", "Louvre"))
+    gold.add(GoldEntityReference("t1", 1, 0, "museum", "Orsay"))
+    gold.add(GoldEntityReference("t1", 2, 0, "hotel", "Ritz"))
+    gold.add(GoldEntityReference("t2", 0, 0, "museum", "Uffizi"))
+    return gold
+
+
+class TestGoldStandard:
+    def test_lookup(self):
+        gold = _gold()
+        assert gold.lookup("t1", 0, 0).cell_value == "Louvre"
+        assert gold.lookup("t1", 9, 9) is None
+
+    def test_totals_per_type(self):
+        gold = _gold()
+        assert gold.total_of_type("museum") == 3
+        assert gold.total_of_type("hotel") == 1
+        assert gold.total_of_type("airport") == 0
+
+    def test_of_table(self):
+        assert len(_gold().of_table("t1")) == 3
+
+    def test_duplicate_cell_rejected(self):
+        gold = _gold()
+        with pytest.raises(ValueError):
+            gold.add(GoldEntityReference("t1", 0, 0, "hotel", "X"))
+
+    def test_type_keys_sorted(self):
+        assert _gold().type_keys() == ["hotel", "museum"]
+
+
+class TestEvaluator:
+    def _run(self, annotations):
+        run = AnnotationRun()
+        for table, row, col, type_key in annotations:
+            run.add(CellAnnotation(table, row, col, type_key, 0.9))
+        return run
+
+    def test_perfect_run(self):
+        run = self._run([
+            ("t1", 0, 0, "museum"), ("t1", 1, 0, "museum"),
+            ("t1", 2, 0, "hotel"), ("t2", 0, 0, "museum"),
+        ])
+        result = evaluate_annotations(run, _gold())
+        assert result.per_type["museum"].f1 == 1.0
+        assert result.per_type["hotel"].f1 == 1.0
+        assert result.micro_f1() == 1.0
+
+    def test_wrong_type_costs_both_sides(self):
+        run = self._run([("t1", 2, 0, "museum")])  # hotel cell called museum
+        result = evaluate_annotations(run, _gold())
+        museum = result.per_type["museum"]
+        assert museum.precision == 0.0
+        assert result.per_type["hotel"].recall == 0.0
+
+    def test_non_gold_cell_is_false_positive(self):
+        run = self._run([("t1", 0, 1, "museum")])
+        result = evaluate_annotations(run, _gold())
+        assert result.per_type["museum"].n_predicted == 1
+        assert result.per_type["museum"].n_correct == 0
+
+    def test_empty_run_zero_recall(self):
+        result = evaluate_annotations(AnnotationRun(), _gold())
+        assert result.per_type["museum"].recall == 0.0
+
+    def test_average_over_selected_types(self):
+        run = self._run([("t1", 0, 0, "museum"), ("t1", 1, 0, "museum"),
+                         ("t2", 0, 0, "museum")])
+        result = evaluate_annotations(run, _gold())
+        p, r, f = result.average(["museum"])
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_accepts_plain_cell_iterable(self):
+        cells = [CellAnnotation("t1", 0, 0, "museum", 1.0)]
+        result = evaluate_annotations(cells, _gold(), ["museum"])
+        assert result.per_type["museum"].n_correct == 1
+
+    def test_f1_of_unknown_type(self):
+        result = evaluate_annotations(AnnotationRun(), _gold())
+        assert result.f1_of("airport") == 0.0
+
+
+class TestReporting:
+    def test_format_cell_variants(self):
+        assert format_cell(None) == "-"
+        assert format_cell(0.5) == "0.50"
+        assert format_cell(12) == "12"
+        assert format_cell("x") == "x"
+
+    def test_format_table_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, None]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+        assert lines[3].startswith("10")
+        assert lines[3].endswith("-")
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [["v"]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "f"], [["long-value", 0.123], ["x", 1.0]])
+        lines = text.splitlines()
+        assert lines[2].index("0.12") == lines[3].index("1.00")

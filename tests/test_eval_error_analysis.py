@@ -1,0 +1,101 @@
+"""Tests for the error-analysis tooling."""
+
+import pytest
+
+from repro.core.results import AnnotationRun, CellAnnotation
+from repro.eval.error_analysis import (
+    CORRECT,
+    MISSED,
+    WRONG_TYPE,
+    analyse_errors,
+)
+from repro.eval.gold import GoldEntityReference, GoldStandard
+
+
+@pytest.fixture()
+def gold():
+    g = GoldStandard()
+    g.add(GoldEntityReference("t", 0, 0, "museum", "Louvre"))
+    g.add(GoldEntityReference("t", 1, 0, "museum", "Orsay"))
+    g.add(GoldEntityReference("t", 2, 0, "hotel", "Ritz"))
+    g.add(GoldEntityReference("t", 3, 0, "hotel", "Plaza"))
+    return g
+
+
+@pytest.fixture()
+def run():
+    r = AnnotationRun()
+    r.add(CellAnnotation("t", 0, 0, "museum", 0.9, cell_value="Louvre"))   # correct
+    r.add(CellAnnotation("t", 2, 0, "museum", 0.8, cell_value="Ritz"))     # wrong type
+    r.add(CellAnnotation("t", 5, 1, "museum", 0.7, cell_value="Review"))   # FP
+    # rows 1 and 3 missed
+    return r
+
+
+class TestOutcomes:
+    def test_every_gold_reference_classified(self, run, gold):
+        report = analyse_errors(run, gold)
+        assert len(report.gold_outcomes) == len(gold)
+
+    def test_outcome_kinds(self, run, gold):
+        report = analyse_errors(run, gold)
+        by_value = {o.cell_value: o.outcome for o in report.gold_outcomes}
+        assert by_value["Louvre"] == CORRECT
+        assert by_value["Ritz"] == WRONG_TYPE
+        assert by_value["Orsay"] == MISSED
+        assert by_value["Plaza"] == MISSED
+
+    def test_counts_per_type(self, run, gold):
+        report = analyse_errors(run, gold)
+        museum = report.outcome_counts("museum")
+        assert museum == {CORRECT: 1, WRONG_TYPE: 0, MISSED: 1}
+        hotel = report.outcome_counts("hotel")
+        assert hotel == {CORRECT: 0, WRONG_TYPE: 1, MISSED: 1}
+
+    def test_global_counts(self, run, gold):
+        counts = analyse_errors(run, gold).outcome_counts()
+        assert sum(counts.values()) == 4
+
+
+class TestFalsePositives:
+    def test_fp_includes_wrong_type_and_non_gold(self, run, gold):
+        report = analyse_errors(run, gold)
+        values = {fp.cell_value for fp in report.false_positives}
+        assert values == {"Ritz", "Review"}
+
+    def test_fp_gold_type_recorded(self, run, gold):
+        report = analyse_errors(run, gold)
+        by_value = {fp.cell_value: fp.gold_type for fp in report.false_positives}
+        assert by_value["Ritz"] == "hotel"
+        assert by_value["Review"] is None
+
+    def test_fp_columns_surface_systematic_sources(self, gold):
+        run = AnnotationRun()
+        for row in range(4):
+            run.add(CellAnnotation("t", row, 2, "museum", 0.9, cell_value="Museum"))
+        report = analyse_errors(run, gold)
+        assert report.fp_columns("museum") == {("t", 2): 4}
+
+
+class TestConfusionsAndRendering:
+    def test_confusion_pairs(self, run, gold):
+        report = analyse_errors(run, gold)
+        assert report.confusions() == {("hotel", "museum"): 1}
+
+    def test_misses_listed(self, run, gold):
+        report = analyse_errors(run, gold)
+        assert [o.cell_value for o in report.misses("museum")] == ["Orsay"]
+
+    def test_render_includes_confusions(self, run, gold):
+        text = analyse_errors(run, gold).render()
+        assert "hotel -> museum: 1" in text
+        assert "False positives" in text
+
+    def test_on_real_run(self, small_context):
+        run = small_context.annotation_run(backend="svm", postprocess=True)
+        report = analyse_errors(run, small_context.gft.gold)
+        counts = report.outcome_counts()
+        assert sum(counts.values()) == len(small_context.gft.gold)
+        assert counts[CORRECT] > counts[WRONG_TYPE]
+        # Render works at corpus scale.
+        assert "Error analysis" in report.render()

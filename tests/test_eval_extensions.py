@@ -1,0 +1,70 @@
+"""Tests for the extension experiments (on the reduced-scale world)."""
+
+import pytest
+
+from repro.eval import ablation, extensions
+
+
+class TestHybridExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, small_context):
+        return extensions.run_hybrid(small_context)
+
+    def test_quality_parity(self, result):
+        assert abs(result.hybrid_micro_f - result.pure_micro_f) < 0.12
+
+    def test_savings_positive(self, result):
+        assert result.query_savings > 0.0
+        assert result.catalogue_hits > 0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "hybrid" in text
+        assert "queries saved" in text
+
+
+class TestClusteringExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, small_context):
+        return extensions.run_clustering(small_context, max_entities=20)
+
+    def test_counts_bounded(self, result):
+        assert 0 <= result.plain_recovered <= result.n_ambiguous
+        assert 0 <= result.clustered_recovered <= result.n_ambiguous
+
+    def test_clustering_not_worse(self, result):
+        assert result.clustered_recovered >= result.plain_recovered
+
+    def test_render(self, result):
+        assert "cluster" in result.render()
+
+
+class TestGiulianoExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, small_context):
+        return extensions.run_giuliano(small_context)
+
+    def test_classifier_wins_on_f(self, result):
+        assert result.classifier_f >= result.similarity_f
+
+    def test_similarity_loses_precision(self, result):
+        assert result.similarity_precision <= result.classifier_precision
+
+    def test_render(self, result):
+        assert "similarity" in result.render()
+
+
+class TestAblationFunctions:
+    def test_repetition_ablation(self, small_context):
+        result = ablation.run_repetition_ablation(small_context)
+        assert result.mean_gain() >= -0.05
+        assert set(result.with_factor) == set(result.without_factor)
+        assert "1/o" in result.render()
+
+    def test_topk_ablation_small_sweep(self, small_context):
+        result = ablation.run_topk_ablation(
+            small_context, top_ks=(10,), fractions=(0.5,),
+        )
+        assert (10, 0.5) in result.scores
+        assert 0.0 <= result.f_of(10, 0.5) <= 1.0
+        assert result.table_names

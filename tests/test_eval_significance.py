@@ -1,0 +1,86 @@
+"""Tests for bootstrap confidence intervals."""
+
+import pytest
+
+from repro.core.results import AnnotationRun, CellAnnotation
+from repro.eval.gold import GoldEntityReference, GoldStandard
+from repro.eval.significance import ConfidenceInterval, bootstrap_f1
+
+
+def _gold(n=20):
+    gold = GoldStandard()
+    for i in range(n):
+        gold.add(GoldEntityReference("t", i, 0, "museum", f"M{i}"))
+    return gold
+
+
+def _run(hit_rows, fp_rows=()):
+    run = AnnotationRun()
+    for row in hit_rows:
+        run.add(CellAnnotation("t", row, 0, "museum", 0.9))
+    for row in fp_rows:
+        run.add(CellAnnotation("t", row, 1, "museum", 0.9))
+    return run
+
+
+class TestBootstrapF1:
+    def test_perfect_run_tight_interval_at_one(self):
+        ci = bootstrap_f1(_run(range(20)), _gold(20), "museum")
+        assert ci.point == 1.0
+        assert ci.low == ci.high == 1.0
+
+    def test_point_estimate_matches_direct_f(self):
+        ci = bootstrap_f1(_run(range(10)), _gold(20), "museum")
+        # P = 1.0, R = 0.5 -> F = 2/3.
+        assert ci.point == pytest.approx(2 / 3)
+
+    def test_interval_contains_point(self):
+        ci = bootstrap_f1(_run(range(12), fp_rows=range(3)), _gold(20), "museum")
+        assert ci.point in ci
+        assert ci.low <= ci.point <= ci.high
+
+    def test_interval_narrows_with_more_gold(self):
+        wide = bootstrap_f1(_run(range(5)), _gold(10), "museum", seed=1)
+        narrow = bootstrap_f1(_run(range(100)), _gold(200), "museum", seed=1)
+        assert narrow.width() < wide.width()
+
+    def test_deterministic_per_seed(self):
+        first = bootstrap_f1(_run(range(8)), _gold(20), "museum", seed=4)
+        second = bootstrap_f1(_run(range(8)), _gold(20), "museum", seed=4)
+        assert (first.low, first.high) == (second.low, second.high)
+
+    def test_false_positives_lower_the_interval(self):
+        clean = bootstrap_f1(_run(range(10)), _gold(20), "museum", seed=2)
+        noisy = bootstrap_f1(
+            _run(range(10), fp_rows=range(10)), _gold(20), "museum", seed=2
+        )
+        assert noisy.point < clean.point
+        assert noisy.high <= clean.high
+
+    def test_empty_type_zero_interval(self):
+        ci = bootstrap_f1(AnnotationRun(), _gold(5), "museum")
+        assert ci.point == 0.0
+        assert ci.low == ci.high == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_f1(AnnotationRun(), _gold(5), "museum", confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_f1(AnnotationRun(), _gold(5), "museum", n_resamples=0)
+
+    def test_interval_on_real_run(self, small_context):
+        run = small_context.annotation_run(backend="svm", postprocess=True)
+        ci = bootstrap_f1(run, small_context.gft.gold, "museum", n_resamples=200)
+        assert 0.0 < ci.low <= ci.point <= ci.high <= 1.0
+        assert ci.width() < 0.5
+
+
+class TestConfidenceInterval:
+    def test_contains(self):
+        ci = ConfidenceInterval(point=0.5, low=0.4, high=0.6, confidence=0.95)
+        assert 0.45 in ci
+        assert 0.7 not in ci
+
+    def test_width(self):
+        ci = ConfidenceInterval(point=0.5, low=0.4, high=0.6, confidence=0.95)
+        assert ci.width() == pytest.approx(0.2)

@@ -1,0 +1,150 @@
+"""Tests for the experiment harness (on the reduced-scale world).
+
+These assert the *shape* invariants the paper reports; the full-scale
+numbers live in the benchmarks.
+"""
+
+import pytest
+
+from repro.eval import experiments
+from repro.synth.types import TYPE_SPECS
+
+
+@pytest.fixture(scope="module")
+def ctx(small_context):
+    return small_context
+
+
+class TestContext:
+    def test_cached_per_config(self, ctx, small_config):
+        assert experiments.build_context(small_config) is ctx
+
+    def test_annotation_runs_memoised(self, ctx):
+        first = ctx.annotation_run(backend="svm", postprocess=True)
+        second = ctx.annotation_run(backend="svm", postprocess=True)
+        assert first is second
+
+    def test_raw_and_post_differ_in_object(self, ctx):
+        raw = ctx.annotation_run(backend="svm", postprocess=False)
+        post = ctx.annotation_run(backend="svm", postprocess=True)
+        assert raw is not post
+        assert len(post) <= len(raw)
+
+    def test_unknown_corpus_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.annotation_run(corpus="nope")
+
+
+class TestTable2:
+    def test_rows_cover_all_types(self, ctx):
+        result = experiments.run_table2(ctx)
+        assert len(result.rows) == 12
+        assert {row[0] for row in result.rows} == {s.display for s in TYPE_SPECS}
+
+    def test_small_corpora_flagged(self, ctx):
+        result = experiments.run_table2(ctx)
+        by_type = {row[0]: row for row in result.rows}
+        assert by_type["Simpson's episodes"][1] < by_type["Museums"][1]
+
+    def test_classifier_f_reasonable(self, ctx):
+        result = experiments.run_table2(ctx)
+        for row in result.rows:
+            assert row[4] > 0.6  # SVM F per type
+
+    def test_render_contains_header(self, ctx):
+        text = experiments.run_table2(ctx).render()
+        assert "|TR|" in text and "SVM" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return experiments.run_table1(ctx)
+
+    def test_four_methods(self, result):
+        assert result.methods == ["SVM", "BAYES", "TIN", "TIS"]
+
+    def test_tin_tis_zero_on_people_and_cinema(self, result):
+        for type_key in ("actor", "singer", "scientist", "film", "simpsons_episode"):
+            assert result.f_of("TIN", type_key) == 0.0
+            assert result.f_of("TIS", type_key) == 0.0
+
+    def test_svm_beats_baselines_on_poi_average(self, result):
+        poi = [s.key for s in TYPE_SPECS if s.category == "poi"]
+        svm = result.evaluations["SVM"].average(poi)[2]
+        tin = result.evaluations["TIN"].average(poi)[2]
+        tis = result.evaluations["TIS"].average(poi)[2]
+        assert svm > tin and svm > tis
+
+    def test_bayes_recall_at_least_svm_on_average(self, result):
+        keys = [s.key for s in TYPE_SPECS]
+        svm_r = result.evaluations["SVM"].average(keys)[1]
+        bayes_r = result.evaluations["BAYES"].average(keys)[1]
+        assert bayes_r >= svm_r - 0.05
+
+    def test_render_has_average_rows(self, result):
+        text = result.render()
+        assert text.count("AVERAGE") == 3
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return experiments.run_table3(ctx)
+
+    def test_postprocessing_never_much_worse(self, result):
+        for row in result.rows:
+            assert row[2] >= row[1] - 0.08
+
+    def test_disambiguation_only_for_spatial_types(self, result):
+        by_display = {row[0]: row for row in result.rows}
+        assert by_display["Mines"][3] is None
+        assert by_display["Actors"][3] is None
+        assert by_display["Restaurants"][3] is not None
+
+    def test_render_uses_dashes(self, result):
+        assert "-" in result.render()
+
+
+class TestComparisonAndCoverage:
+    def test_comparison_close_to_limaye(self, ctx):
+        result = experiments.run_comparison(ctx)
+        assert abs(result.ours_f - result.limaye_f) < 0.25
+        assert result.ours_f > 0.5
+        assert 0.5 < result.catalogue_coverage <= 1.0
+
+    def test_coverage_near_paper(self, ctx):
+        result = experiments.run_coverage(ctx)
+        assert 0.08 < result.overall < 0.40
+        assert "OVERALL" in result.render()
+
+
+class TestEfficiency:
+    def test_seconds_per_row_latency_bound(self, ctx):
+        result = experiments.run_efficiency(ctx, sizes=(10, 25))
+        per_row = result.seconds_per_row(10)
+        # one search per candidate name cell, 0.3 virtual s each
+        assert 0.2 < per_row < 1.0
+        # disambiguation adds geocoding latency
+        assert result.with_disambiguation[0][3] > per_row
+
+    def test_linear_scaling(self, ctx):
+        result = experiments.run_efficiency(ctx, sizes=(10, 25))
+        assert result.seconds_per_row(10) == pytest.approx(
+            result.seconds_per_row(25), rel=0.2
+        )
+
+
+class TestFigures:
+    def test_figure6_heuristic(self, ctx):
+        result = experiments.run_figure6(ctx)
+        assert "Curators" in result.dropped
+        assert result.n_positive_entities > 0
+        assert "[x] Museums contains Curators" in result.render()
+
+    def test_figure7_paper_resolution(self, ctx):
+        result = experiments.run_figure7(ctx)
+        assert "Washington, District of Columbia" in result.chosen[(12, 1)]
+        assert "Paris, Texas" in result.chosen[(20, 2)]
+        assert "College Park, Maryland" in result.chosen[(13, 1)]
+        assert result.render().count("T(") == 6

@@ -1,0 +1,119 @@
+"""Tests for the gazetteer and addresses."""
+
+import pytest
+
+from repro.geo.addresses import Address
+from repro.geo.gazetteer import Gazetteer, normalize_street_name
+from repro.geo.model import LocationKind
+from repro.synth.geography import build_gazetteer, home_cities
+
+
+class TestStreetNormalization:
+    def test_suffix_abbreviations_expand(self):
+        assert normalize_street_name("Pennsylvania Ave.") == "pennsylvania avenue"
+        assert normalize_street_name("Wofford Ln") == "wofford lane"
+        assert normalize_street_name("Clarksville St") == "clarksville street"
+
+    def test_full_suffix_untouched(self):
+        assert normalize_street_name("Main Street") == "main street"
+
+
+class TestGazetteer:
+    @pytest.fixture()
+    def gazetteer(self):
+        g = Gazetteer()
+        usa = g.add_country("USA")
+        texas = g.add_state("Texas", usa)
+        tennessee = g.add_state("Tennessee", usa)
+        paris_tx = g.add_city("Paris", texas)
+        g.add_city("Paris", tennessee)
+        g.add_street("Clarksville Street", paris_tx)
+        return g
+
+    def test_country_lookup(self, gazetteer):
+        assert gazetteer.find_country("usa").name == "USA"
+        assert gazetteer.find_country("Mars") is None
+
+    def test_ambiguous_city_lookup(self, gazetteer):
+        cities = gazetteer.find_cities("Paris")
+        assert len(cities) == 2
+        assert {c.container.name for c in cities} == {"Texas", "Tennessee"}
+
+    def test_street_lookup_with_abbreviation(self, gazetteer):
+        assert len(gazetteer.find_streets("Clarksville St")) == 1
+
+    def test_idempotent_registration(self, gazetteer):
+        before = len(gazetteer)
+        usa = gazetteer.find_country("USA")
+        gazetteer.add_state("Texas", usa)
+        assert len(gazetteer) == before
+
+    def test_counts_by_kind(self, gazetteer):
+        counts = gazetteer.counts()
+        assert counts["country"] == 1
+        assert counts["state"] == 2
+        assert counts["city"] == 2
+        assert counts["street"] == 1
+
+
+class TestWorldGazetteer:
+    @pytest.fixture(scope="class")
+    def gazetteer(self):
+        return build_gazetteer()
+
+    def test_paper_city_ambiguities_planted(self, gazetteer):
+        assert len(gazetteer.find_cities("Paris")) == 3
+        assert len(gazetteer.find_cities("Washington")) == 2
+        assert len(gazetteer.find_cities("College Park")) == 2
+
+    def test_paper_street_ambiguities_planted(self, gazetteer):
+        assert len(gazetteer.find_streets("Pennsylvania Avenue")) == 2
+        assert len(gazetteer.find_streets("Wofford Lane")) == 3
+        assert len(gazetteer.find_streets("Clarksville Street")) == 3
+
+    def test_common_streets_in_every_home_city(self, gazetteer):
+        assert len(gazetteer.find_streets("Main Street")) == 20
+
+    def test_home_cities_unambiguous(self, gazetteer):
+        for city in home_cities(gazetteer):
+            assert len(gazetteer.find_cities(city.name)) == 1
+
+
+class TestAddress:
+    @pytest.fixture()
+    def street(self):
+        g = Gazetteer()
+        usa = g.add_country("USA")
+        state = g.add_state("California", usa)
+        city = g.add_city("Santa Monica", state)
+        return g.add_street("Wilshire Boulevard", city)
+
+    def test_partial_form(self, street):
+        assert Address(1104, street).partial() == "1104 Wilshire Boulevard"
+
+    def test_with_city(self, street):
+        assert Address(1104, street).with_city() == (
+            "1104 Wilshire Boulevard, Santa Monica"
+        )
+
+    def test_full_form_with_zip(self, street):
+        address = Address(1104, street, zip_code="90401")
+        assert address.full() == (
+            "1104 Wilshire Boulevard, Santa Monica, California, USA 90401"
+        )
+
+    def test_partial_with_zip(self, street):
+        assert Address(7, street, zip_code="90401").partial_with_zip() == (
+            "7 Wilshire Boulevard 90401"
+        )
+
+    def test_city_property(self, street):
+        assert Address(1, street).city.name == "Santa Monica"
+
+    def test_rejects_non_street(self, street):
+        with pytest.raises(ValueError):
+            Address(1, street.container)
+
+    def test_rejects_bad_number(self, street):
+        with pytest.raises(ValueError):
+            Address(0, street)

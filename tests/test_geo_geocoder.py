@@ -1,0 +1,102 @@
+"""Tests for the geocoder stand-in."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.geo.geocoder import Geocoder
+from repro.geo.model import LocationKind
+from repro.synth.geography import build_gazetteer
+
+
+@pytest.fixture(scope="module")
+def geocoder():
+    return Geocoder(build_gazetteer(), clock=VirtualClock())
+
+
+class TestStreetResolution:
+    def test_partial_address_is_ambiguous(self, geocoder):
+        results = geocoder.geocode("1600 Pennsylvania Ave")
+        assert len(results) == 2
+        cities = {r.container.name for r in results}
+        assert cities == {"Washington", "Baltimore"}
+
+    def test_city_context_disambiguates(self, geocoder):
+        results = geocoder.geocode("1600 Pennsylvania Ave, Washington")
+        assert len(results) == 1
+        assert results[0].container.name == "Washington"
+
+    def test_zip_code_stripped(self, geocoder):
+        with_zip = geocoder.geocode("12 Main Street 78701")
+        without = geocoder.geocode("12 Main Street")
+        assert len(with_zip) == len(without) == 20
+
+    def test_street_number_not_required(self, geocoder):
+        assert geocoder.geocode("Wofford Ln")  # three interpretations
+        assert len(geocoder.geocode("Wofford Ln")) == 3
+
+
+class TestCityResolution:
+    def test_bare_city_name(self, geocoder):
+        results = geocoder.geocode("Paris")
+        assert len(results) == 3
+        assert all(r.kind is LocationKind.CITY for r in results)
+
+    def test_state_context_filters(self, geocoder):
+        results = geocoder.geocode("Paris, Texas")
+        assert len(results) == 1
+        assert results[0].container.name == "Texas"
+
+    def test_country_context_filters(self, geocoder):
+        results = geocoder.geocode("Paris, France")
+        assert len(results) == 1
+        assert results[0].container.container.name == "France"
+
+    def test_resolve_city_helper(self, geocoder):
+        results = geocoder.resolve_city("College Park")
+        assert len(results) == 2
+
+    def test_unknown_context_keeps_candidates(self, geocoder):
+        # A context that matches nothing must not wipe out the candidates.
+        results = geocoder.geocode("Paris, Wonderland")
+        assert len(results) == 3
+
+
+class TestFallbacks:
+    def test_unknown_text_empty(self, geocoder):
+        assert geocoder.geocode("completely unknown place") == []
+
+    def test_empty_text(self, geocoder):
+        assert geocoder.geocode("   ") == []
+
+    def test_state_resolution(self, geocoder):
+        results = geocoder.geocode("Texas")
+        assert len(results) == 1
+        assert results[0].kind is LocationKind.STATE
+
+    def test_country_resolution(self, geocoder):
+        results = geocoder.geocode("France")
+        assert results[0].kind is LocationKind.COUNTRY
+
+
+class TestLatency:
+    def test_each_call_charges_clock(self):
+        clock = VirtualClock()
+        geocoder = Geocoder(build_gazetteer(), clock=clock, latency_seconds=0.2)
+        geocoder.geocode("Paris")
+        geocoder.geocode("Austin")
+        assert clock.elapsed_seconds == pytest.approx(0.4)
+        assert clock.n_charges == 2
+
+
+class TestCityOf:
+    def test_city_of_street(self, geocoder):
+        street = geocoder.geocode("1600 Pennsylvania Ave, Washington")[0]
+        assert geocoder.city_of(street).name == "Washington"
+
+    def test_city_of_city_is_itself(self, geocoder):
+        city = geocoder.geocode("Paris, Texas")[0]
+        assert geocoder.city_of(city) is city
+
+    def test_city_of_country_is_none(self, geocoder):
+        country = geocoder.geocode("France")[0]
+        assert geocoder.city_of(country) is None

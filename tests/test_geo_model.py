@@ -1,0 +1,93 @@
+"""Tests for geographic locations and the relatedness predicate."""
+
+import pytest
+
+from repro.geo.model import GeoLocation, LocationKind, are_related
+
+
+@pytest.fixture()
+def usa():
+    return GeoLocation("USA", LocationKind.COUNTRY)
+
+
+@pytest.fixture()
+def dc(usa):
+    return GeoLocation("District of Columbia", LocationKind.STATE, usa)
+
+
+@pytest.fixture()
+def washington(dc):
+    return GeoLocation("Washington", LocationKind.CITY, dc)
+
+
+@pytest.fixture()
+def pennsylvania_ave(washington):
+    return GeoLocation("Pennsylvania Avenue", LocationKind.STREET, washington)
+
+
+class TestConstruction:
+    def test_country_cannot_have_container(self, usa):
+        with pytest.raises(ValueError):
+            GeoLocation("France", LocationKind.COUNTRY, usa)
+
+    def test_state_needs_country(self):
+        with pytest.raises(ValueError):
+            GeoLocation("Texas", LocationKind.STATE)
+
+    def test_city_needs_state_not_country(self, usa):
+        with pytest.raises(ValueError):
+            GeoLocation("Austin", LocationKind.CITY, usa)
+
+    def test_street_needs_city(self, dc):
+        with pytest.raises(ValueError):
+            GeoLocation("Main Street", LocationKind.STREET, dc)
+
+
+class TestContainment:
+    def test_containers_most_specific_first(self, pennsylvania_ave, washington, dc, usa):
+        assert pennsylvania_ave.containers == (washington, dc, usa)
+
+    def test_full_name(self, pennsylvania_ave):
+        assert pennsylvania_ave.full_name == (
+            "Pennsylvania Avenue, Washington, District of Columbia, USA"
+        )
+
+    def test_contains_transitive(self, pennsylvania_ave, usa, washington):
+        assert usa.contains(pennsylvania_ave)
+        assert washington.contains(pennsylvania_ave)
+        assert not pennsylvania_ave.contains(usa)
+
+    def test_str_is_full_name(self, washington):
+        assert str(washington) == washington.full_name
+
+
+class TestAreRelated:
+    def test_streets_in_same_city(self, washington):
+        first = GeoLocation("A Street", LocationKind.STREET, washington)
+        second = GeoLocation("B Street", LocationKind.STREET, washington)
+        assert are_related(first, second)
+
+    def test_street_and_its_city(self, pennsylvania_ave, washington):
+        # The paper's own example: the street and the city it lies in.
+        assert are_related(pennsylvania_ave, washington)
+        assert are_related(washington, pennsylvania_ave)
+
+    def test_cities_in_same_state(self, usa):
+        georgia = GeoLocation("Georgia", LocationKind.STATE, usa)
+        washington_ga = GeoLocation("Washington", LocationKind.CITY, georgia)
+        college_park_ga = GeoLocation("College Park", LocationKind.CITY, georgia)
+        assert are_related(washington_ga, college_park_ga)
+
+    def test_unrelated_cities(self, usa, washington):
+        texas = GeoLocation("Texas", LocationKind.STATE, usa)
+        paris_tx = GeoLocation("Paris", LocationKind.CITY, texas)
+        assert not are_related(washington, paris_tx)
+
+    def test_countries_not_mutually_related(self, usa):
+        france = GeoLocation("France", LocationKind.COUNTRY)
+        assert not are_related(usa, france)
+
+    def test_street_unrelated_to_city_elsewhere(self, pennsylvania_ave, usa):
+        maryland = GeoLocation("Maryland", LocationKind.STATE, usa)
+        baltimore = GeoLocation("Baltimore", LocationKind.CITY, maryland)
+        assert not are_related(pennsylvania_ave, baltimore)

@@ -1,0 +1,97 @@
+"""Tests for the category network (Figure 6)."""
+
+import pytest
+
+from repro.kb.categories import CategoryNetwork
+
+
+@pytest.fixture()
+def figure6():
+    """The exact excerpt of Figure 6."""
+    net = CategoryNetwork()
+    net.add_containment("Museums", "Museums by continent")
+    net.add_containment("Museums", "Museums by country")
+    net.add_containment("Museums", "Museum people")
+    net.add_containment("Museums by continent", "Museums in Europe")
+    net.add_containment("Museums in Europe", "Museums in France")
+    net.add_containment("Museums by country", "Museums in France")
+    net.add_containment("Museums in France", "History museums in France")
+    net.add_containment("Museum people", "Curators")
+    return net
+
+
+class TestStructure:
+    def test_children(self, figure6):
+        assert figure6.children("Museums") == [
+            "Museum people", "Museums by continent", "Museums by country",
+        ]
+
+    def test_multiple_parents(self, figure6):
+        assert figure6.parents("Museums in France") == [
+            "Museums by country", "Museums in Europe",
+        ]
+
+    def test_roots(self, figure6):
+        assert figure6.roots() == ["Museums"]
+
+    def test_contains(self, figure6):
+        assert "Curators" in figure6
+        assert "Airports" not in figure6
+
+    def test_unknown_category_raises(self, figure6):
+        with pytest.raises(KeyError):
+            figure6.children("Airports")
+
+    def test_self_containment_rejected(self, figure6):
+        with pytest.raises(ValueError):
+            figure6.add_containment("Museums", "Museums")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryNetwork().add_category("")
+
+
+class TestTraversal:
+    def test_descendants_reach_deep_nodes(self, figure6):
+        descendants = figure6.descendants("Museums")
+        assert "History museums in France" in descendants
+        assert "Curators" in descendants
+        assert "Museums" not in descendants
+
+    def test_descendants_no_duplicates_on_diamond(self, figure6):
+        descendants = figure6.descendants("Museums")
+        assert descendants.count("Museums in France") == 1
+
+    def test_max_depth_limits(self, figure6):
+        shallow = figure6.descendants("Museums", max_depth=1)
+        assert "Museums by continent" in shallow
+        assert "Museums in Europe" not in shallow
+
+    def test_subtree_includes_root(self, figure6):
+        assert figure6.subtree("Museums")[0] == "Museums"
+
+    def test_cycle_safe(self):
+        net = CategoryNetwork()
+        net.add_containment("A", "B")
+        net.add_containment("B", "C")
+        net.add_containment("C", "A")  # cycle
+        assert sorted(net.descendants("A")) == ["B", "C"]
+
+
+class TestTypeNameFilter:
+    def test_keeps_matching_drops_noise(self, figure6):
+        descendants = figure6.descendants("Museums")
+        kept = figure6.filter_by_type_name(descendants, "museum")
+        assert "History museums in France" in kept
+        assert "Curators" not in kept
+        assert "Museum people" in kept  # contains the word "museum"
+
+    def test_plural_type_words_stem_match(self):
+        net = CategoryNetwork()
+        net.add_containment("Universities", "Universities in Europe")
+        net.add_containment("Universities", "Chancellors")
+        kept = net.filter_by_type_name(net.subtree("Universities"), "university")
+        assert kept == ["Universities", "Universities in Europe"]
+
+    def test_empty_input(self, figure6):
+        assert figure6.filter_by_type_name([], "museum") == []

@@ -1,0 +1,131 @@
+"""Tests for the DBpedia stand-in knowledge base and the catalogue."""
+
+import pytest
+
+from repro.kb.catalogue import Catalogue, normalize_name
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+@pytest.fixture()
+def kb():
+    base = KnowledgeBase()
+    base.add_category("Museums")
+    base.add_category("Museums in France", parent="Museums")
+    base.add_category("History museums in France", parent="Museums in France")
+    base.add_category("Curators", parent="Museums")
+    base.add_entity("db:louvre", "Musee du Louvre", "museum",
+                    ["Museums in France", "History museums in France"])
+    base.add_entity("db:orsay", "Musee d'Orsay", "museum", ["Museums in France"])
+    base.add_entity("db:smith", "Jane Smith", "person", ["Curators"])
+    return base
+
+
+class TestEntities:
+    def test_get_by_uri(self, kb):
+        assert kb.get("db:louvre").name == "Musee du Louvre"
+
+    def test_unknown_uri_raises(self, kb):
+        with pytest.raises(KeyError):
+            kb.get("db:nothing")
+
+    def test_duplicate_uri_rejected(self, kb):
+        with pytest.raises(ValueError):
+            kb.add_entity("db:louvre", "Copy", "museum")
+
+    def test_entities_of_type(self, kb):
+        assert [e.uri for e in kb.entities_of_type("museum")] == [
+            "db:louvre", "db:orsay",
+        ]
+
+    def test_entities_in_category(self, kb):
+        assert [e.uri for e in kb.entities_in_category("Curators")] == ["db:smith"]
+
+    def test_union_over_categories_deduplicates(self, kb):
+        entities = kb.entities_in_categories(
+            ["Museums in France", "History museums in France"]
+        )
+        assert [e.uri for e in entities] == ["db:louvre", "db:orsay"]
+
+    def test_len_and_contains(self, kb):
+        assert len(kb) == 3
+        assert "db:orsay" in kb
+
+
+class TestTriplesMirror:
+    def test_type_triples(self, kb):
+        assert kb.triples.subjects("rdf:type", "museum") == ["db:louvre", "db:orsay"]
+
+    def test_category_triples(self, kb):
+        assert "db:smith" in kb.triples.subjects("dcterms:subject", "Curators")
+
+    def test_broader_triples(self, kb):
+        assert kb.subcategories_sparql("Museums") == ["Curators", "Museums in France"]
+
+
+class TestPositiveWalk:
+    def test_positive_categories_exclude_noise(self, kb):
+        categories = kb.positive_categories("Museums", "museum")
+        assert "Curators" not in categories
+        assert "History museums in France" in categories
+        assert categories[0] == "Museums"
+
+    def test_positive_entities_are_type_clean(self, kb):
+        entities = kb.positive_entities("Museums", "museum")
+        assert {e.entity_type for e in entities} == {"museum"}
+        assert len(entities) == 2
+
+
+class TestNormalizeName:
+    def test_strips_punctuation_and_case(self):
+        assert normalize_name("  The Louvre,  Museum! ") == "the louvre museum"
+
+    def test_idempotent(self):
+        once = normalize_name("Chez  Panisse!")
+        assert normalize_name(once) == once
+
+
+class TestCatalogue:
+    def test_from_knowledge_base(self, kb):
+        catalogue = Catalogue.from_knowledge_base(kb)
+        assert catalogue.types_of("musee du louvre") == {"museum"}
+        assert len(catalogue) == 3
+
+    def test_lookup_is_normalised(self, kb):
+        catalogue = Catalogue.from_knowledge_base(kb)
+        assert "MUSEE DU LOUVRE!!" in catalogue
+
+    def test_unknown_name_empty_types(self):
+        assert Catalogue().types_of("nothing") == set()
+
+    def test_ambiguous_name_many_types(self):
+        catalogue = Catalogue()
+        catalogue.add("Melisse", "restaurant")
+        catalogue.add("Melisse", "music_label")
+        assert catalogue.types_of("melisse") == {"restaurant", "music_label"}
+
+    def test_duplicate_add_idempotent(self):
+        catalogue = Catalogue()
+        catalogue.add("X", "museum")
+        catalogue.add("X", "museum")
+        assert len(catalogue) == 1
+
+    def test_coverage_fraction(self):
+        catalogue = Catalogue()
+        catalogue.add("known", "museum")
+        assert catalogue.coverage(["known", "unknown", "missing", "known"]) == 0.5
+
+    def test_coverage_empty_names(self):
+        assert Catalogue().coverage([]) == 0.0
+
+    def test_merge_unions(self):
+        first = Catalogue()
+        first.add("A", "museum")
+        second = Catalogue()
+        second.add("B", "hotel")
+        merged = first.merge(second)
+        assert "A" in merged and "B" in merged
+        assert len(merged) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Catalogue().add("   !!! ", "museum")

@@ -1,0 +1,70 @@
+"""Tests for automatic root-category selection."""
+
+import pytest
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.root_selection import candidate_roots, select_root
+
+
+@pytest.fixture()
+def kb():
+    base = KnowledgeBase()
+    base.add_category("Museums")
+    base.add_category("Museums in France", parent="Museums")
+    base.add_category("Art museums", parent="Museums")
+    base.add_category("Curators", parent="Museums")
+    # A narrower museum category that also names the type, but holds less.
+    base.add_category("Maritime museums")
+    base.add_category("Hotels")
+    for i in range(6):
+        base.add_entity(f"db:m{i}", f"Museum {i}", "museum",
+                        ["Museums in France" if i % 2 else "Art museums"])
+    base.add_entity("db:mm", "Harbour Museum", "museum", ["Maritime museums"])
+    base.add_entity("db:h", "Grand Hotel", "hotel", ["Hotels"])
+    return base
+
+
+class TestSelectRoot:
+    def test_picks_the_richest_naming_category(self, kb):
+        assert select_root(kb, "museum") == "Museums"
+
+    def test_hotel_root(self, kb):
+        assert select_root(kb, "hotel") == "Hotels"
+
+    def test_unknown_type_returns_none(self, kb):
+        assert select_root(kb, "airport") is None
+
+    def test_plural_type_word(self, kb):
+        assert select_root(kb, "museums") == "Museums"
+
+    def test_category_without_entities_not_selected(self):
+        base = KnowledgeBase()
+        base.add_category("Castles")
+        assert select_root(base, "castle") is None
+
+
+class TestCandidateRoots:
+    def test_all_naming_categories_listed(self, kb):
+        names = {c.category for c in candidate_roots(kb, "museum")}
+        assert names == {"Museums", "Museums in France", "Art museums",
+                         "Maritime museums"}
+
+    def test_sorted_by_entity_yield(self, kb):
+        candidates = candidate_roots(kb, "museum")
+        yields = [c.n_entities for c in candidates]
+        assert yields == sorted(yields, reverse=True)
+        assert candidates[0].category == "Museums"
+
+    def test_noise_category_not_a_candidate(self, kb):
+        names = {c.category for c in candidate_roots(kb, "museum")}
+        assert "Curators" not in names
+
+    def test_world_roots_recovered(self, small_world):
+        # On the synthetic world, automatic selection must agree with the
+        # manually chosen roots for every type.
+        from repro.synth.types import TYPE_SPECS
+
+        for spec in TYPE_SPECS:
+            assert select_root(small_world.kb, spec.type_word) == (
+                spec.root_category
+            ), spec.key

@@ -1,0 +1,95 @@
+"""Tests for the mini-SPARQL evaluator."""
+
+import pytest
+
+from repro.kb.sparql import SparqlError, parse_query, select
+from repro.kb.triples import TripleStore
+
+
+@pytest.fixture()
+def store():
+    s = TripleStore()
+    s.add("db:louvre", "rdf:type", "museum")
+    s.add("db:louvre", "dcterms:subject", "Museums in France")
+    s.add("db:orsay", "rdf:type", "museum")
+    s.add("db:orsay", "dcterms:subject", "Museums in France")
+    s.add("db:melisse", "rdf:type", "restaurant")
+    s.add("Museums in France", "skos:broader", "Museums in Europe")
+    s.add("Museums in Europe", "skos:broader", "Museums")
+    return s
+
+
+class TestParse:
+    def test_single_pattern(self):
+        variables, patterns = parse_query('SELECT ?x WHERE { ?x rdf:type "museum" }')
+        assert variables == ["?x"]
+        assert len(patterns) == 1
+
+    def test_multi_pattern(self):
+        _vars, patterns = parse_query(
+            "SELECT ?x WHERE { ?x rdf:type ?t . ?x dcterms:subject ?c }"
+        )
+        assert len(patterns) == 2
+
+    def test_unbound_projection_rejected(self):
+        with pytest.raises(SparqlError):
+            parse_query('SELECT ?z WHERE { ?x rdf:type "museum" }')
+
+    def test_empty_where_rejected(self):
+        with pytest.raises(SparqlError):
+            parse_query("SELECT ?x WHERE { }")
+
+    def test_two_term_pattern_rejected(self):
+        with pytest.raises(SparqlError):
+            parse_query("SELECT ?x WHERE { ?x rdf:type }")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SparqlError):
+            parse_query("ASK { ?x ?y ?z }")
+
+
+class TestSelect:
+    def test_simple_lookup(self, store):
+        rows = select(store, 'SELECT ?x WHERE { ?x rdf:type "museum" }')
+        assert rows == [("db:louvre",), ("db:orsay",)]
+
+    def test_join_on_shared_variable(self, store):
+        rows = select(
+            store,
+            'SELECT ?x WHERE { ?x rdf:type "museum" . '
+            '?x dcterms:subject "Museums in France" }',
+        )
+        assert rows == [("db:louvre",), ("db:orsay",)]
+
+    def test_chain_traversal(self, store):
+        rows = select(
+            store,
+            'SELECT ?c WHERE { ?c skos:broader ?p . ?p skos:broader "Museums" }',
+        )
+        assert rows == [("Museums in France",)]
+
+    def test_multi_variable_projection(self, store):
+        rows = select(store, "SELECT ?x ?t WHERE { ?x rdf:type ?t }")
+        assert ("db:melisse", "restaurant") in rows
+        assert len(rows) == 3
+
+    def test_no_results(self, store):
+        assert select(store, 'SELECT ?x WHERE { ?x rdf:type "airport" }') == []
+
+    def test_quoted_constants_with_spaces(self, store):
+        rows = select(
+            store, 'SELECT ?x WHERE { ?x dcterms:subject "Museums in France" }'
+        )
+        assert len(rows) == 2
+
+    def test_repeated_variable_consistency(self, store):
+        # ?x must bind to the same value across patterns.
+        rows = select(
+            store,
+            'SELECT ?x WHERE { ?x rdf:type "museum" . ?x rdf:type "restaurant" }',
+        )
+        assert rows == []
+
+    def test_results_deduplicated_and_sorted(self, store):
+        rows = select(store, "SELECT ?t WHERE { ?x rdf:type ?t }")
+        assert rows == [("museum",), ("restaurant",)]

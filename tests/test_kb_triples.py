@@ -1,0 +1,66 @@
+"""Tests for the triple store."""
+
+import pytest
+
+from repro.kb.triples import Triple, TripleStore
+
+
+@pytest.fixture()
+def store():
+    s = TripleStore()
+    s.add("louvre", "rdf:type", "museum")
+    s.add("louvre", "locatedIn", "paris")
+    s.add("orsay", "rdf:type", "museum")
+    s.add("melisse", "rdf:type", "restaurant")
+    return s
+
+
+class TestAdd:
+    def test_idempotent(self, store):
+        before = len(store)
+        store.add("louvre", "rdf:type", "museum")
+        assert len(store) == before
+
+    def test_contains(self, store):
+        assert Triple("louvre", "rdf:type", "museum") in store
+        assert Triple("louvre", "rdf:type", "hotel") not in store
+
+    def test_add_all(self):
+        s = TripleStore()
+        s.add_all([("a", "p", "b"), ("c", "p", "d")])
+        assert len(s) == 2
+
+
+class TestMatch:
+    def test_wildcard_subject(self, store):
+        matches = store.match(None, "rdf:type", "museum")
+        assert [t.subject for t in matches] == ["louvre", "orsay"]
+
+    def test_wildcard_all(self, store):
+        assert len(store.match()) == 4
+
+    def test_exact_triple(self, store):
+        assert len(store.match("louvre", "rdf:type", "museum")) == 1
+
+    def test_no_match(self, store):
+        assert store.match("nothing", None, None) == []
+
+    def test_results_sorted(self, store):
+        matches = store.match(None, "rdf:type", None)
+        assert matches == sorted(
+            matches, key=lambda t: (t.subject, t.predicate, t.object)
+        )
+
+
+class TestConvenience:
+    def test_objects(self, store):
+        assert store.objects("louvre", "rdf:type") == ["museum"]
+
+    def test_subjects(self, store):
+        assert store.subjects("rdf:type", "museum") == ["louvre", "orsay"]
+
+    def test_iteration_sorted(self, store):
+        triples = list(store)
+        assert triples == sorted(
+            triples, key=lambda t: (t.subject, t.predicate, t.object)
+        )

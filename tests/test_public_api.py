@@ -1,0 +1,67 @@
+"""Public-API smoke tests: every documented export exists and imports."""
+
+import importlib
+
+import pytest
+
+_PACKAGES = [
+    "repro",
+    "repro.baselines",
+    "repro.classify",
+    "repro.core",
+    "repro.eval",
+    "repro.geo",
+    "repro.kb",
+    "repro.rdfstore",
+    "repro.synth",
+    "repro.tables",
+    "repro.text",
+    "repro.web",
+]
+
+
+@pytest.mark.parametrize("package_name", _PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    assert exported, f"{package_name} must declare __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_version_declared():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_world_small(small_context):
+    # The one-call entry point advertised in the README; the session's
+    # cached world is reused, only the classifier is (re)trained.
+    from repro import quickstart_world
+
+    world, classifier = quickstart_world(small=True)
+    assert world.page_count > 0
+    assert classifier.types_  # trained over the 12 types
+    label = classifier.classify(
+        "exhibition gallery collection curator artifacts heritage"
+    )
+    assert label == "museum"
+
+
+def test_readme_quickstart_snippet_runs(small_context):
+    from repro import AnnotatorConfig, Column, ColumnType, EntityAnnotator, Table
+    from repro import quickstart_world
+
+    world, classifier = quickstart_world(small=True)
+    entity = world.table_entities("museum")[0]
+    table = Table(
+        name="my-pois",
+        columns=[Column("Name", ColumnType.TEXT),
+                 Column("City", ColumnType.LOCATION)],
+        rows=[[entity.table_name, entity.city.name if entity.city else ""]],
+    )
+    annotator = EntityAnnotator(classifier, world.search_engine, AnnotatorConfig())
+    annotation = annotator.annotate_table(table, ["museum", "restaurant"])
+    assert all(cell.type_key in ("museum", "restaurant")
+               for cell in annotation.cells)

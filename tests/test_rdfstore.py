@@ -1,0 +1,136 @@
+"""Tests for the POI repository, extraction and faceted browsing."""
+
+import pytest
+
+from repro.core.results import CellAnnotation, TableAnnotation
+from repro.rdfstore.extract import extract_pois
+from repro.rdfstore.facets import FacetedBrowser
+from repro.rdfstore.store import PoiRecord, PoiStore
+from repro.tables.model import Column, ColumnType, Table
+
+
+@pytest.fixture()
+def store():
+    s = PoiStore()
+    s.add_all([
+        PoiRecord("Melisse", "restaurant", city="Santa Monica",
+                  phone="(310) 395-0881", source_table="gft-1"),
+        PoiRecord("Louvre", "museum", city="Paris", source_table="gft-2"),
+        PoiRecord("Orsay", "museum", city="Paris", source_table="gft-2"),
+        PoiRecord("Ritz", "hotel", city="Paris", source_table="gft-3"),
+    ])
+    return s
+
+
+class TestPoiStore:
+    def test_uris_minted_sequentially(self, store):
+        assert store.uris() == ["poi:00001", "poi:00002", "poi:00003", "poi:00004"]
+
+    def test_get_roundtrip(self, store):
+        assert store.get("poi:00001").name == "Melisse"
+
+    def test_unknown_uri(self, store):
+        with pytest.raises(KeyError):
+            store.get("poi:99999")
+
+    def test_of_type(self, store):
+        assert len(store.of_type("museum")) == 2
+
+    def test_in_city(self, store):
+        assert len(store.in_city("Paris")) == 3
+
+    def test_triples_queryable_with_sparql(self, store):
+        from repro.kb.sparql import select
+        rows = select(
+            store.triples,
+            'SELECT ?x WHERE { ?x poi:type "museum" . ?x poi:city "Paris" }',
+        )
+        assert len(rows) == 2
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            PoiRecord("", "museum")
+        with pytest.raises(ValueError):
+            PoiRecord("X", "")
+
+
+class TestFacets:
+    def test_counts_by_type(self, store):
+        counts = FacetedBrowser(store).facet_counts("type")
+        assert counts == {"restaurant": 1, "museum": 2, "hotel": 1}
+
+    def test_counts_with_filter(self, store):
+        counts = FacetedBrowser(store).facet_counts("type", city="Paris")
+        assert counts == {"museum": 2, "hotel": 1}
+
+    def test_select_intersects_filters(self, store):
+        records = FacetedBrowser(store).select(city="Paris", type="hotel")
+        assert [r.name for r in records] == ["Ritz"]
+
+    def test_unknown_facet_rejected(self, store):
+        browser = FacetedBrowser(store)
+        with pytest.raises(ValueError):
+            browser.facet_counts("rating")
+        with pytest.raises(ValueError):
+            browser.select(rating="5")
+
+    def test_summary_mentions_counts(self, store):
+        summary = FacetedBrowser(store).summary()
+        assert "4 entries" in summary
+        assert "museum (2)" in summary
+
+
+class TestExtraction:
+    @pytest.fixture()
+    def table(self):
+        return Table(
+            name="gft-demo",
+            columns=[
+                Column("Name", ColumnType.TEXT),
+                Column("Address", ColumnType.LOCATION),
+                Column("Phone", ColumnType.TEXT),
+                Column("Website", ColumnType.TEXT),
+            ],
+            rows=[
+                ["Melisse", "1104 Wilshire Blvd, Santa Monica",
+                 "(310) 395-0881", "https://www.melisse.com"],
+                ["Not An Entity", "", "", ""],
+            ],
+        )
+
+    def _annotation(self, table):
+        annotation = TableAnnotation(table_name=table.name)
+        annotation.add(CellAnnotation(
+            table.name, 0, 0, "restaurant", 0.9, cell_value="Melisse"
+        ))
+        return annotation
+
+    def test_extracts_annotated_rows_only(self, table):
+        records = extract_pois(table, self._annotation(table))
+        assert len(records) == 1
+        assert records[0].name == "Melisse"
+
+    def test_companion_columns_harvested(self, table):
+        record = extract_pois(table, self._annotation(table))[0]
+        assert record.phone == "(310) 395-0881"
+        assert record.website == "https://www.melisse.com"
+        assert record.address == "1104 Wilshire Blvd, Santa Monica"
+        assert record.city == "Santa Monica"
+        assert record.source_table == "gft-demo"
+        assert record.score == pytest.approx(0.9)
+
+    def test_type_filter(self, table):
+        records = extract_pois(table, self._annotation(table), type_keys=["hotel"])
+        assert records == []
+
+    def test_city_only_location_column(self):
+        table = Table(
+            name="t",
+            columns=[Column("Name", ColumnType.TEXT),
+                     Column("City", ColumnType.LOCATION)],
+            rows=[["Louvre", "Paris"]],
+        )
+        annotation = TableAnnotation(table_name="t")
+        annotation.add(CellAnnotation("t", 0, 0, "museum", 1.0))
+        record = extract_pois(table, annotation)[0]
+        assert record.city == "Paris"

@@ -1,0 +1,115 @@
+"""Tests for seeded RNG plumbing and name generation."""
+
+import random
+
+import pytest
+
+from repro.synth.names import GeneratedName, NameGenerator, _acronym
+from repro.synth.rng import derive, rng_for, weighted_choice
+from repro.synth.types import TYPE_SPECS, type_spec
+
+
+class TestDerive:
+    def test_stable(self):
+        assert derive(13, "a", "b") == derive(13, "a", "b")
+
+    def test_key_sensitivity(self):
+        assert derive(13, "a") != derive(13, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive(13, "a") != derive(14, "a")
+
+    def test_path_order_matters(self):
+        assert derive(13, "a", "b") != derive(13, "b", "a")
+
+    def test_int_keys_supported(self):
+        assert derive(13, 1, 2) == derive(13, "1", "2")
+
+    def test_rng_for_reproducible(self):
+        assert rng_for(13, "x").random() == rng_for(13, "x").random()
+
+
+class TestWeightedChoice:
+    def test_single_key(self):
+        rng = random.Random(0)
+        assert weighted_choice(rng, {"only": 1.0}) == "only"
+
+    def test_respects_weights_statistically(self):
+        rng = random.Random(0)
+        draws = [weighted_choice(rng, {"a": 9.0, "b": 1.0}) for _ in range(500)]
+        assert draws.count("a") > 350
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), {})
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), {"a": 0.0})
+
+
+class TestAcronym:
+    def test_skips_of_and_the(self):
+        assert _acronym("Pemberton Institute of Technology") == "PIT"
+
+    def test_plain_initials(self):
+        assert _acronym("Crimson State University") == "CSU"
+
+
+class TestNameGenerator:
+    @pytest.mark.parametrize("spec", TYPE_SPECS, ids=lambda s: s.key)
+    def test_generates_unique_names(self, spec):
+        generator = NameGenerator(spec, random.Random(7))
+        names = [generator.generate().name for _ in range(30)]
+        assert len(set(names)) == 30
+
+    def test_university_aliases_always_present(self):
+        spec = type_spec("university")
+        generator = NameGenerator(spec, random.Random(7))
+        generated = [generator.generate() for _ in range(20)]
+        assert all(g.alias is not None for g in generated)
+        assert all(g.alias.isupper() for g in generated)
+
+    def test_person_names_never_contain_type_word(self):
+        spec = type_spec("singer")
+        generator = NameGenerator(spec, random.Random(7))
+        for _ in range(30):
+            assert "singer" not in generator.generate().name.lower()
+
+    def test_museum_type_word_rate_roughly_matches_spec(self):
+        spec = type_spec("museum")
+        generator = NameGenerator(spec, random.Random(7))
+        generated = [generator.generate() for _ in range(200)]
+        rate = sum(g.contains_type_word for g in generated) / len(generated)
+        assert abs(rate - spec.type_word_in_name_rate) < 0.12
+
+    def test_reserve_blocks_name(self):
+        spec = type_spec("restaurant")
+        generator = NameGenerator(spec, random.Random(7))
+        first = generator.generate()
+        generator2 = NameGenerator(spec, random.Random(7))
+        generator2.reserve(first.name)
+        assert generator2.generate().name != first.name
+
+    def test_deterministic_per_rng_seed(self):
+        spec = type_spec("hotel")
+        first = NameGenerator(spec, random.Random(3)).generate()
+        second = NameGenerator(spec, random.Random(3)).generate()
+        assert first == second
+
+
+class TestTypeSpecs:
+    def test_twelve_types(self):
+        assert len(TYPE_SPECS) == 12
+
+    def test_paper_reference_counts_sum(self):
+        total = sum(spec.table_references for spec in TYPE_SPECS)
+        assert total == 1371  # 287+240+160+67+109+150+30+50+120+100+24+34
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            type_spec("airport")
+
+    def test_mines_not_spatial(self):
+        assert not type_spec("mine").spatial
+        assert type_spec("restaurant").spatial

@@ -1,0 +1,89 @@
+"""Tests for the GFT and Wiki Manual corpus builders."""
+
+import pytest
+
+from repro.synth.table_corpus import build_gft_corpus, build_wiki_manual
+from repro.synth.types import TYPE_SPECS
+from repro.tables.model import ColumnType
+
+
+class TestGftCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self, small_context):
+        return small_context.gft
+
+    def test_gold_counts_match_scaled_pools(self, corpus, small_world):
+        for spec in TYPE_SPECS:
+            expected = len(small_world.table_entities(spec.key))
+            assert corpus.gold.total_of_type(spec.key) == expected
+
+    def test_every_gold_cell_value_matches_table(self, corpus):
+        for ref in corpus.gold.references:
+            table = corpus.table(ref.table_name)
+            assert table.cell(ref.row, ref.column) == ref.cell_value
+
+    def test_directory_tables_have_location_columns(self, corpus):
+        directory = [t for t in corpus.tables if t.name == "gft-restaurant-1"]
+        assert directory
+        types = [c.column_type for c in directory[0].columns]
+        assert ColumnType.LOCATION in types
+
+    def test_mixed_tables_interleave_types(self, corpus):
+        mixed = [t for t in corpus.tables if t.name.startswith("gft-mixed")]
+        assert mixed
+        gold_types = {
+            ref.type_key
+            for table in mixed
+            for ref in corpus.gold.of_table(table.name)
+        }
+        assert len(gold_types) >= 2
+
+    def test_people_tables_have_occupation_labels(self, corpus):
+        singer_tables = [t for t in corpus.tables if "singer" in t.name]
+        assert singer_tables
+        occupations = set(
+            singer_tables[0].column_values(
+                singer_tables[0].column_index("Occupation")
+            )
+        )
+        assert "Singer" in occupations
+
+    def test_deterministic(self, small_world):
+        first = build_gft_corpus(small_world)
+        second = build_gft_corpus(small_world)
+        assert [t.rows for t in first.tables] == [t.rows for t in second.tables]
+
+    def test_table_lookup_by_name(self, corpus):
+        name = corpus.tables[0].name
+        assert corpus.table(name).name == name
+        with pytest.raises(KeyError):
+            corpus.table("nope")
+
+    def test_average_rows_positive(self, corpus):
+        assert corpus.average_rows() > 0
+
+
+class TestWikiCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self, small_context):
+        return small_context.wiki
+
+    def test_thirty_six_tables(self, corpus):
+        assert len(corpus.tables) == 36
+
+    def test_all_columns_text(self, corpus):
+        for table in corpus.tables:
+            assert all(c.column_type is ColumnType.TEXT for c in table.columns)
+
+    def test_high_catalogue_coverage(self, corpus, small_world):
+        names = [ref.cell_value for ref in corpus.gold.references]
+        coverage = small_world.catalogue.coverage(names)
+        assert coverage > 0.6
+
+    def test_no_duplicate_names_within_table(self, corpus):
+        for table in corpus.tables:
+            names = table.column_values(0)
+            assert len(names) == len(set(names))
+
+    def test_gold_types_span_the_cycle(self, corpus):
+        assert len(set(corpus.gold.type_keys())) >= 10

@@ -1,0 +1,70 @@
+"""Tests for the Fusion Tables service."""
+
+import pytest
+
+from repro.tables.fusion import FusionTableService
+from repro.tables.model import Column, ColumnType, Table
+from repro.tables.sql import SqlError
+
+
+def _table(name, rows):
+    return Table(
+        name=name,
+        columns=[Column("Name", ColumnType.TEXT), Column("City", ColumnType.TEXT)],
+        rows=rows,
+    )
+
+
+@pytest.fixture()
+def service():
+    svc = FusionTableService()
+    svc.publish(_table("LA restaurants", [["Melisse", "Santa Monica"]]))
+    svc.publish(_table("Paris museums", [["Louvre", "Paris"], ["Orsay", "Paris"]]))
+    return svc
+
+
+class TestHosting:
+    def test_ids_are_sequential(self, service):
+        assert service.table_ids() == ["gft-1", "gft-2"]
+
+    def test_get_returns_table(self, service):
+        assert service.get("gft-2").name == "Paris museums"
+
+    def test_get_unknown_raises(self, service):
+        with pytest.raises(KeyError):
+            service.get("gft-99")
+
+    def test_len_counts_tables(self, service):
+        assert len(service) == 2
+
+
+class TestSearch:
+    def test_matches_table_name(self, service):
+        assert service.search("restaurants") == ["gft-1"]
+
+    def test_matches_cell_content(self, service):
+        assert service.search("louvre") == ["gft-2"]
+
+    def test_conjunctive_keywords(self, service):
+        assert service.search("paris museums") == ["gft-2"]
+        assert service.search("paris restaurants") == []
+
+    def test_case_insensitive(self, service):
+        assert service.search("MELISSE") == ["gft-1"]
+
+    def test_empty_query(self, service):
+        assert service.search("") == []
+
+    def test_matches_column_headers(self, service):
+        # every published table has a City column
+        assert service.search("city") == ["gft-1", "gft-2"]
+
+
+class TestSqlApi:
+    def test_query_hosted_table(self, service):
+        rows = service.query("SELECT Name FROM gft-2 WHERE City = 'Paris'")
+        assert rows == [["Louvre"], ["Orsay"]]
+
+    def test_unknown_table_id(self, service):
+        with pytest.raises(SqlError):
+            service.query("SELECT * FROM gft-42")

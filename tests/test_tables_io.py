@@ -1,0 +1,77 @@
+"""Tests for table CSV/JSON serialisation."""
+
+import pytest
+
+from repro.tables.io import (
+    table_from_csv,
+    table_from_json,
+    table_to_csv,
+    table_to_json,
+)
+from repro.tables.model import Column, ColumnType, Table
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        name="pois",
+        columns=[
+            Column("Name", ColumnType.TEXT),
+            Column("Address", ColumnType.LOCATION),
+        ],
+        rows=[["Melisse", "1104 Wilshire Blvd, Santa Monica"], ["Louvre", "Paris"]],
+    )
+
+
+class TestCsv:
+    def test_roundtrip_preserves_everything(self, table):
+        parsed = table_from_csv(table_to_csv(table), name="pois")
+        assert parsed.rows == table.rows
+        assert parsed.columns == table.columns
+        assert parsed.name == "pois"
+
+    def test_types_row_serialised(self, table):
+        lines = table_to_csv(table).splitlines()
+        assert lines[0] == "Name,Address"
+        assert lines[1] == "Text,Location"
+
+    def test_values_with_commas_quoted(self, table):
+        text = table_to_csv(table)
+        parsed = table_from_csv(text)
+        assert parsed.cell(0, 1) == "1104 Wilshire Blvd, Santa Monica"
+
+    def test_missing_types_row_rejected(self):
+        with pytest.raises(ValueError):
+            table_from_csv("Name,City\n")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            table_from_csv("")
+
+    def test_mismatched_header_widths_rejected(self):
+        with pytest.raises(ValueError):
+            table_from_csv("A,B\nText\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            table_from_csv("A\nGeometry\n")
+
+
+class TestJson:
+    def test_roundtrip(self, table):
+        parsed = table_from_json(table_to_json(table))
+        assert parsed.name == table.name
+        assert parsed.columns == table.columns
+        assert parsed.rows == table.rows
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError):
+            table_from_json('{"name": "x", "columns": []}')
+
+    def test_numeric_row_values_coerced_to_str(self):
+        text = (
+            '{"name": "t", "columns": [{"name": "A", "type": "Number"}],'
+            ' "rows": [[42]]}'
+        )
+        parsed = table_from_json(text)
+        assert parsed.cell(0, 0) == "42"

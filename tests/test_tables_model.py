@@ -1,0 +1,111 @@
+"""Tests for the table model."""
+
+import pytest
+
+from repro.tables.model import Cell, Column, ColumnType, Table
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        name="demo",
+        columns=[
+            Column("Name", ColumnType.TEXT),
+            Column("City", ColumnType.LOCATION),
+            Column("Visitors", ColumnType.NUMBER),
+        ],
+        rows=[
+            ["Louvre", "Paris", "9700000"],
+            ["Met", "New York", "6200000"],
+        ],
+    )
+
+
+class TestColumnType:
+    def test_from_name_case_insensitive(self):
+        assert ColumnType.from_name("location") is ColumnType.LOCATION
+        assert ColumnType.from_name("TEXT") is ColumnType.TEXT
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ValueError):
+            ColumnType.from_name("Geometry")
+
+    def test_all_four_gft_types_exist(self):
+        assert {t.value for t in ColumnType} == {"Text", "Number", "Location", "Date"}
+
+
+class TestConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table(name="t", columns=[])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            Table(name="t", columns=[Column("A")], rows=[["x", "y"]])
+
+    def test_rejects_non_string_values(self):
+        with pytest.raises(TypeError):
+            Table(name="t", columns=[Column("A")], rows=[[42]])
+
+
+class TestAccess:
+    def test_shape(self, table):
+        assert table.shape == (2, 3)
+        assert table.n_rows == 2
+        assert table.n_columns == 3
+
+    def test_cell_lookup(self, table):
+        assert table.cell(0, 0) == "Louvre"
+        assert table.cell(1, 2) == "6200000"
+
+    def test_cell_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.cell(5, 0)
+        with pytest.raises(IndexError):
+            table.cell(0, 9)
+
+    def test_column_values(self, table):
+        assert table.column_values(1) == ["Paris", "New York"]
+
+    def test_column_index_by_name(self, table):
+        assert table.column_index("City") == 1
+        with pytest.raises(KeyError):
+            table.column_index("Country")
+
+    def test_column_type(self, table):
+        assert table.column_type(2) is ColumnType.NUMBER
+
+    def test_iter_cells_row_major(self, table):
+        cells = list(table.iter_cells())
+        assert cells[0] == Cell(0, 0, "Louvre")
+        assert cells[3] == Cell(1, 0, "Met")
+        assert len(cells) == 6
+
+    def test_row_copy_is_independent(self, table):
+        row = table.row(0)
+        row[0] = "changed"
+        assert table.cell(0, 0) == "Louvre"
+
+    def test_header(self, table):
+        assert table.header() == ["Name", "City", "Visitors"]
+
+
+class TestMutation:
+    def test_append_row(self, table):
+        table.append_row(["Uffizi", "Florence", "2200000"])
+        assert table.n_rows == 3
+
+    def test_append_validates_width(self, table):
+        with pytest.raises(ValueError):
+            table.append_row(["just one"])
+
+
+class TestStatistics:
+    def test_distinct_count(self):
+        t = Table(name="t", columns=[Column("A")], rows=[["x"], ["x"], ["y"]])
+        assert t.distinct_count(0) == 2
+
+    def test_value_occurrences_matches_eq2_o(self):
+        t = Table(name="t", columns=[Column("A")], rows=[["Museum"]] * 3 + [["Gallery"]])
+        occurrences = t.value_occurrences(0)
+        assert occurrences == {"Museum": 3, "Gallery": 1}

@@ -1,0 +1,70 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.core.results import CellAnnotation, TableAnnotation
+from repro.tables.model import Column, ColumnType, Table
+from repro.tables.render import annotation_marker, render_markdown, render_text
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        name="demo",
+        columns=[Column("Name", ColumnType.TEXT), Column("City", ColumnType.LOCATION)],
+        rows=[["Louvre", "Paris"], ["Melisse", "Santa Monica"]],
+    )
+
+
+class TestRenderText:
+    def test_header_carries_gft_types(self, table):
+        text = render_text(table)
+        assert "Name [Text]" in text
+        assert "City [Location]" in text
+
+    def test_all_values_present(self, table):
+        text = render_text(table)
+        for row in table.rows:
+            for value in row:
+                assert value in text
+
+    def test_title_line(self, table):
+        assert render_text(table).splitlines()[0] == "demo (2 x 2)"
+
+    def test_long_values_clipped(self):
+        t = Table(name="t", columns=[Column("A")], rows=[["x" * 100]])
+        text = render_text(t, max_value_width=10)
+        assert "x" * 11 not in text
+        assert "..." in text
+
+    def test_invalid_width(self, table):
+        with pytest.raises(ValueError):
+            render_text(table, max_value_width=2)
+
+
+class TestRenderMarkdown:
+    def test_structure(self, table):
+        lines = render_markdown(table).splitlines()
+        assert lines[0] == "| Name | City |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| Louvre | Paris |"
+
+    def test_pipes_escaped(self):
+        t = Table(name="t", columns=[Column("A")], rows=[["a|b"]])
+        assert "a\\|b" in render_markdown(t)
+
+
+class TestAnnotationMarker:
+    def test_annotated_cells_marked(self, table):
+        annotation = TableAnnotation(table_name="demo")
+        annotation.add(CellAnnotation("demo", 0, 0, "museum", 0.9))
+        marker = annotation_marker(annotation)
+        text = render_text(table, marker=marker)
+        assert "<-museum:0.9" in text
+        assert text.count("<-") == 1
+
+    def test_marker_in_markdown(self, table):
+        annotation = TableAnnotation(table_name="demo")
+        annotation.add(CellAnnotation("demo", 1, 0, "restaurant", 1.0))
+        text = render_markdown(table, marker=annotation_marker(annotation))
+        assert "Melisse  <-restaurant:1.0" in text

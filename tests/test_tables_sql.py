@@ -1,0 +1,101 @@
+"""Tests for the mini-SQL SELECT executor."""
+
+import pytest
+
+from repro.tables.model import Column, ColumnType, Table
+from repro.tables.sql import SqlError, execute_sql, parse_select
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        name="pois",
+        columns=[
+            Column("Name", ColumnType.TEXT),
+            Column("City", ColumnType.TEXT),
+            Column("Rating", ColumnType.NUMBER),
+        ],
+        rows=[
+            ["Melisse", "Santa Monica", "4.5"],
+            ["Louvre", "Paris", "4.9"],
+            ["Chez Panisse", "Berkeley", "4.4"],
+            ["Ledoyen", "Paris", "4.7"],
+        ],
+    )
+
+
+class TestParse:
+    def test_star_projection(self):
+        query = parse_select("SELECT * FROM gft-1")
+        assert query.columns == []
+        assert query.table_id == "gft-1"
+
+    def test_explicit_columns(self):
+        query = parse_select("select Name, City from gft-9")
+        assert query.columns == ["Name", "City"]
+
+    def test_where_and_limit(self):
+        query = parse_select(
+            "SELECT Name FROM t WHERE City = 'Paris' AND Rating > 4.5 LIMIT 3"
+        )
+        assert len(query.conditions) == 2
+        assert query.limit == 3
+
+    def test_quoted_literals(self):
+        query = parse_select("SELECT Name FROM t WHERE City = 'Santa Monica'")
+        assert query.conditions[0].literal == "Santa Monica"
+
+    def test_contains_operator(self):
+        query = parse_select("SELECT Name FROM t WHERE Name CONTAINS 'chez'")
+        assert query.conditions[0].operator == "contains"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select("DROP TABLE everything")
+
+    def test_bad_where_clause_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select("SELECT a FROM t WHERE City LIKE 'x'")
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_select("SELECT * FROM t;").table_id == "t"
+
+
+class TestExecute:
+    def test_equality_filter(self, table):
+        rows = execute_sql("SELECT Name FROM t WHERE City = 'Paris'", table)
+        assert rows == [["Louvre"], ["Ledoyen"]]
+
+    def test_numeric_comparison(self, table):
+        rows = execute_sql("SELECT Name FROM t WHERE Rating >= 4.7", table)
+        assert rows == [["Louvre"], ["Ledoyen"]]
+
+    def test_string_comparison_fallback(self, table):
+        rows = execute_sql("SELECT Name FROM t WHERE City < 'C'", table)
+        assert rows == [["Chez Panisse"]]
+
+    def test_contains_case_insensitive(self, table):
+        rows = execute_sql("SELECT Name FROM t WHERE Name contains 'CHEZ'", table)
+        assert rows == [["Chez Panisse"]]
+
+    def test_limit_stops_scan(self, table):
+        rows = execute_sql("SELECT Name FROM t LIMIT 2", table)
+        assert len(rows) == 2
+
+    def test_star_returns_all_columns(self, table):
+        rows = execute_sql("SELECT * FROM t LIMIT 1", table)
+        assert rows == [["Melisse", "Santa Monica", "4.5"]]
+
+    def test_and_conjunction(self, table):
+        rows = execute_sql(
+            "SELECT Name FROM t WHERE City = 'Paris' AND Rating < 4.8", table
+        )
+        assert rows == [["Ledoyen"]]
+
+    def test_not_equal(self, table):
+        rows = execute_sql("SELECT Name FROM t WHERE City != 'Paris'", table)
+        assert [r[0] for r in rows] == ["Melisse", "Chez Panisse"]
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(KeyError):
+            execute_sql("SELECT Country FROM t", table)

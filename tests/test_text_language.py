@@ -1,0 +1,82 @@
+"""Tests for the language-identification future-work module."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.language import (
+    LANGUAGE_PROFILES,
+    detect_language,
+    is_english,
+    language_scores,
+)
+
+
+class TestDetectLanguage:
+    def test_english_sentence(self):
+        assert detect_language(
+            "the museum is in the centre of the city and it is open"
+        ) == "en"
+
+    def test_french_sentence(self):
+        assert detect_language(
+            "le musee de la ville est dans le centre et il est ouvert"
+        ) == "fr"
+
+    def test_german_sentence(self):
+        assert detect_language(
+            "das museum ist in der mitte der stadt und es ist offen"
+        ) == "de"
+
+    def test_italian_sentence(self):
+        assert detect_language(
+            "il museo della citta e nel centro e sono aperti"
+        ) == "it"
+
+    def test_entity_name_is_unknown(self):
+        assert detect_language("Louvre") == "unknown"
+        assert detect_language("Golden Table Bistro") == "unknown"
+
+    def test_empty_text(self):
+        assert detect_language("") == "unknown"
+
+    def test_custom_default(self):
+        assert detect_language("Melisse", default="en") == "en"
+
+    def test_function_word_free_text_unknown(self):
+        assert detect_language("quantum genetics microscope laboratory") == (
+            "unknown"
+        )
+
+
+class TestScores:
+    def test_scores_cover_all_profiles(self):
+        scores = language_scores("the cat sat on the mat")
+        assert set(scores) == set(LANGUAGE_PROFILES)
+
+    def test_scores_bounded(self):
+        scores = language_scores("le chat est sur le tapis")
+        assert all(0.0 <= value <= 1.0 for value in scores.values())
+
+    def test_empty_text_all_zero(self):
+        assert set(language_scores("").values()) == {0.0}
+
+
+class TestIsEnglish:
+    def test_english_accepted(self):
+        assert is_english("the gallery is open to the public and it is free")
+
+    def test_french_rejected(self):
+        assert not is_english("le restaurant est dans la rue principale de la ville")
+
+    def test_names_pass_permissively(self):
+        assert is_english("Chez Joshua")
+
+    def test_names_fail_strictly(self):
+        assert not is_english("Chez Joshua", permissive=False)
+
+
+@given(st.text(max_size=120))
+def test_detect_language_total(text):
+    result = detect_language(text)
+    assert result in set(LANGUAGE_PROFILES) | {"unknown"}

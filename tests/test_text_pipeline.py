@@ -1,0 +1,82 @@
+"""Tests for stopwords and the snippet feature pipeline."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.pipeline import TextPipeline
+from repro.text.stopwords import ENGLISH_STOPWORDS, is_stopword, remove_stopwords
+
+
+class TestStopwords:
+    def test_common_function_words_are_stopwords(self):
+        for word in ("the", "is", "a", "of", "and", "in"):
+            assert is_stopword(word)
+
+    def test_domain_words_are_not_stopwords(self):
+        for word in ("museum", "restaurant", "street", "school"):
+            assert not is_stopword(word)
+
+    def test_remove_preserves_order(self):
+        assert remove_stopwords(["the", "louvre", "is", "a", "museum"]) == [
+            "louvre", "museum",
+        ]
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(word == word.lower() for word in ENGLISH_STOPWORDS)
+
+
+class TestPipelineTokens:
+    def test_full_pipeline(self):
+        tokens = TextPipeline().tokens("The Museums of Paris are charming")
+        assert tokens == ["museum", "pari", "charm"]
+
+    def test_stopword_removal_can_be_disabled(self):
+        pipeline = TextPipeline(remove_stopwords=False)
+        assert "the" in pipeline.tokens("the museum")
+
+    def test_stemming_can_be_disabled(self):
+        pipeline = TextPipeline(apply_stemming=False)
+        assert pipeline.tokens("museums galleries") == ["museums", "galleries"]
+
+
+class TestPipelineFeatures:
+    def test_normalised_frequencies_sum_to_one(self):
+        features = TextPipeline().features("menu chef menu dining wine")
+        assert features
+        assert math.isclose(sum(features.values()), 1.0)
+
+    def test_repeated_token_counts_proportionally(self):
+        features = TextPipeline().features("menu menu wine")
+        assert math.isclose(features["menu"], 2 / 3)
+        assert math.isclose(features["wine"], 1 / 3)
+
+    def test_empty_snippet_gives_empty_features(self):
+        assert TextPipeline().features("") == {}
+
+    def test_all_stopwords_gives_empty_features(self):
+        assert TextPipeline().features("the of and is") == {}
+
+    def test_counts_are_integers(self):
+        counts = TextPipeline().counts("menu menu chef")
+        assert counts["menu"] == 2
+        assert counts["chef"] == 1
+
+
+@given(st.text(max_size=150))
+def test_features_sum_to_one_or_empty(text):
+    features = TextPipeline().features(text)
+    if features:
+        assert math.isclose(sum(features.values()), 1.0)
+        assert all(value > 0 for value in features.values())
+
+
+@given(st.lists(st.sampled_from(["menu", "chef", "wine", "museum"]), max_size=30))
+def test_feature_values_match_manual_count(tokens):
+    text = " ".join(tokens)
+    features = TextPipeline().features(text)
+    total = len(tokens)
+    for token in set(tokens):
+        assert math.isclose(features[token], tokens.count(token) / total)

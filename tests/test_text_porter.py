@@ -1,0 +1,131 @@
+"""Tests for the Porter stemmer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.porter import PorterStemmer, stem
+
+# Classic examples from Porter's 1980 paper, step by step.
+PORTER_PAPER_CASES = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", PORTER_PAPER_CASES)
+def test_porter_paper_cases(word, expected):
+    assert stem(word) == expected
+
+
+class TestDomainWords:
+    def test_museum_family_collapses(self):
+        assert stem("museums") == stem("museum")
+
+    def test_university_family_collapses(self):
+        assert stem("universities") == stem("university")
+
+    def test_annotation_family_collapses(self):
+        assert stem("annotations") == stem("annotated") == stem("annotation")
+
+    def test_dining_keeps_stem(self):
+        assert stem("dining") == "dine"
+
+
+class TestEdgeCases:
+    def test_short_words_unchanged(self):
+        for word in ("a", "is", "on", "by"):
+            assert stem(word) == word
+
+    def test_three_letter_word(self):
+        assert stem("sky") == "sky"
+
+    def test_instance_and_module_function_agree(self):
+        stemmer = PorterStemmer()
+        for word in ("caresses", "running", "happiness"):
+            assert stemmer.stem(word) == stem(word)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+               min_size=1, max_size=20))
+def test_stem_never_longer_than_word(word):
+    assert len(stem(word)) <= len(word)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+               min_size=1, max_size=20))
+def test_stem_deterministic(word):
+    assert stem(word) == stem(word)

@@ -1,0 +1,74 @@
+"""Tests for repro.text.tokenization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenization import iter_tokens, token_count, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("LOUVRE Museum") == ["louvre", "museum"]
+
+    def test_splits_on_punctuation(self):
+        assert tokenize("Paris,France;Genoa.Italy") == [
+            "paris", "france", "genoa", "italy",
+        ]
+
+    def test_drops_digits(self):
+        assert tokenize("1600 Pennsylvania Avenue") == ["pennsylvania", "avenue"]
+
+    def test_strips_possessive_s(self):
+        assert tokenize("Simpson's episodes") == ["simpson", "episodes"]
+
+    def test_strips_trailing_apostrophe(self):
+        assert tokenize("the actors' guild") == ["the", "actors", "guild"]
+
+    def test_keeps_internal_apostrophe_word(self):
+        # "don't" tokenizes as one word before the possessive strip.
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_only_punctuation_and_digits(self):
+        assert tokenize("123 ... 456 !!!") == []
+
+    def test_unicode_accents_split(self):
+        # Non-ASCII letters are token boundaries for this ASCII tokenizer.
+        tokens = tokenize("Musée du Louvre")
+        assert "du" in tokens
+        assert "louvre" in tokens
+
+    def test_hyphenated_words_split(self):
+        assert tokenize("state-of-the-art") == ["state", "of", "the", "art"]
+
+
+class TestIterTokens:
+    def test_chains_documents(self):
+        assert list(iter_tokens(["a b", "c"])) == ["a", "b", "c"]
+
+    def test_empty_iterable(self):
+        assert list(iter_tokens([])) == []
+
+
+class TestTokenCount:
+    def test_counts_words_not_chars(self):
+        assert token_count("three word phrase") == 3
+
+    def test_numbers_do_not_count(self):
+        assert token_count("42 is the answer") == 3
+
+
+@given(st.text(max_size=200))
+def test_tokenize_always_lowercase_alpha(text):
+    for token in tokenize(text):
+        assert token
+        assert all(ch.isalpha() or ch == "'" for ch in token)
+        assert token == token.lower()
+
+
+@given(st.text(max_size=200))
+def test_tokenize_idempotent_on_joined_output(text):
+    tokens = tokenize(text)
+    assert tokenize(" ".join(tokens)) == tokens

@@ -1,0 +1,92 @@
+"""Tests for Vocabulary and SnippetVectorizer."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.text.vectorizer import SnippetVectorizer
+from repro.text.vocabulary import Vocabulary
+
+
+class TestVocabulary:
+    def test_fit_assigns_sorted_contiguous_indices(self):
+        vocab = Vocabulary().fit([["b", "a"], ["c", "a"]])
+        assert [vocab.index_of(t) for t in ("a", "b", "c")] == [0, 1, 2]
+
+    def test_min_count_filters_rare_tokens(self):
+        vocab = Vocabulary(min_count=2).fit([["a", "b"], ["a"]])
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_unknown_token_maps_to_none(self):
+        vocab = Vocabulary().fit([["a"]])
+        assert vocab.index_of("zzz") is None
+
+    def test_token_at_inverse(self):
+        vocab = Vocabulary().fit([["x", "y"]])
+        for token in vocab:
+            assert vocab.token_at(vocab.index_of(token)) == token
+
+    def test_double_fit_rejected(self):
+        vocab = Vocabulary().fit([["a"]])
+        with pytest.raises(RuntimeError):
+            vocab.fit([["b"]])
+
+    def test_invalid_min_count_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_count=0)
+
+    def test_len_and_iteration(self):
+        vocab = Vocabulary.from_tokens(["a", "b", "a"])
+        assert len(vocab) == 2
+        assert list(vocab) == ["a", "b"]
+
+
+class TestSnippetVectorizer:
+    def test_fit_transform_shape(self):
+        vectorizer = SnippetVectorizer(min_count=1)
+        X = vectorizer.fit_transform(["menu chef", "museum gallery chef"])
+        assert X.shape == (2, len(vectorizer.vocabulary))
+        assert sparse.issparse(X)
+
+    def test_rows_are_normalised_frequencies(self):
+        vectorizer = SnippetVectorizer(min_count=1)
+        X = vectorizer.fit_transform(["menu menu wine"])
+        row = np.asarray(X.todense()).ravel()
+        assert np.isclose(row.sum(), 1.0)
+
+    def test_out_of_vocabulary_tokens_dropped(self):
+        vectorizer = SnippetVectorizer(min_count=1)
+        vectorizer.fit(["menu chef"])
+        X = vectorizer.transform(["menu saxophone"])
+        # only 'menu' lands in the vocabulary
+        assert X.nnz == 1
+
+    def test_empty_snippet_gives_zero_row(self):
+        vectorizer = SnippetVectorizer(min_count=1)
+        vectorizer.fit(["menu"])
+        X = vectorizer.transform([""])
+        assert X.nnz == 0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SnippetVectorizer().transform(["menu"])
+
+    def test_transform_one_is_single_row(self):
+        vectorizer = SnippetVectorizer(min_count=1)
+        vectorizer.fit(["menu chef wine"])
+        X = vectorizer.transform_one("menu wine")
+        assert X.shape[0] == 1
+
+    def test_stemming_merges_inflections(self):
+        vectorizer = SnippetVectorizer(min_count=1)
+        X = vectorizer.fit_transform(["museum museums"])
+        # both tokens stem to the same feature
+        assert len(vectorizer.vocabulary) == 1
+        assert np.isclose(X[0, 0], 1.0)
+
+    def test_min_count_two_requires_repetition(self):
+        vectorizer = SnippetVectorizer(min_count=2)
+        vectorizer.fit(["menu chef", "menu wine"])
+        assert vectorizer.vocabulary.index_of("menu") is not None
+        assert vectorizer.vocabulary.index_of("chef") is None

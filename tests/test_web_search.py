@@ -1,0 +1,140 @@
+"""Tests for snippet extraction and the search-engine facade."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.web.documents import WebPage
+from repro.web.search import SearchEngine, SearchEngineUnavailable
+from repro.web.snippets import extract_snippet
+
+
+class TestExtractSnippet:
+    def test_short_body_returned_whole(self):
+        assert extract_snippet("just five words in body", "query") == (
+            "just five words in body"
+        )
+
+    def test_window_centres_on_query_terms(self):
+        body = " ".join(["filler"] * 30 + ["melisse", "restaurant"] + ["pad"] * 30)
+        snippet = extract_snippet(body, "melisse", max_words=10)
+        assert "melisse" in snippet
+
+    def test_ellipsis_markers(self):
+        body = " ".join(["a"] * 30 + ["target"] + ["b"] * 30)
+        snippet = extract_snippet(body, "target", max_words=5)
+        assert snippet.startswith("... ")
+        assert snippet.endswith(" ...")
+
+    def test_leading_window_fallback_when_no_match(self):
+        body = " ".join(f"w{i}" for i in range(50))
+        snippet = extract_snippet(body, "absent", max_words=8)
+        assert snippet.startswith("w0 w1")
+
+    def test_max_words_respected(self):
+        body = " ".join(["x"] * 100)
+        snippet = extract_snippet(body, "x", max_words=20)
+        words = [w for w in snippet.split() if w != "..."]
+        assert len(words) == 20
+
+    def test_invalid_max_words(self):
+        with pytest.raises(ValueError):
+            extract_snippet("body", "q", max_words=0)
+
+
+def _engine(**kwargs):
+    engine = SearchEngine(clock=VirtualClock(), **kwargs)
+    engine.add_pages([
+        WebPage(url="https://x/melisse-0", title="Melisse - Official",
+                body="melisse menu chef cuisine santa monica dining"),
+        WebPage(url="https://x/melisse-1", title="Melisse | Guide",
+                body="melisse reviews dining wine menu"),
+        WebPage(url="https://x/label", title="Melisse Records",
+                body="melisse jazz label vinyl roster"),
+        WebPage(url="https://x/fr", title="Melisse", body="melisse cuisine",
+                language="fr"),
+        WebPage(url="https://x/noise", title="Weather", body="forecast rainfall"),
+    ])
+    return engine
+
+
+class TestSearch:
+    def test_returns_ranked_results(self):
+        results = _engine().search("melisse", k=10)
+        assert len(results) == 3  # french page filtered, noise unmatched
+        assert all("melisse" in r.title.lower() for r in results)
+
+    def test_k_limits_results(self):
+        assert len(_engine().search("melisse", k=2)) == 2
+
+    def test_english_only(self):
+        urls = [r.url for r in _engine().search("melisse", k=10)]
+        assert "https://x/fr" not in urls
+
+    def test_city_context_boosts_entity_pages(self):
+        results = _engine().search("melisse santa monica", k=1)
+        assert results[0].url == "https://x/melisse-0"
+
+    def test_no_match_empty(self):
+        assert _engine().search("zebra", k=5) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            _engine().search("melisse", k=0)
+
+    def test_stopwords_ignored_in_ranking(self):
+        engine = _engine()
+        with_stop = engine.search("the melisse", k=3)
+        without = engine.search("melisse", k=3)
+        assert [r.url for r in with_stop] == [r.url for r in without]
+
+    def test_query_count_increments(self):
+        engine = _engine()
+        engine.search("melisse")
+        engine.search("weather")
+        assert engine.query_count == 2
+
+
+class TestLatency:
+    def test_clock_charged_per_query(self):
+        engine = _engine(latency_seconds=0.3)
+        engine.search("melisse")
+        engine.search("nothing at all")
+        assert engine.clock.elapsed_seconds == pytest.approx(0.6)
+
+
+class TestFailureInjection:
+    def test_unavailable_engine_raises(self):
+        engine = _engine()
+        engine.available = False
+        with pytest.raises(SearchEngineUnavailable):
+            engine.search("melisse")
+
+    def test_unavailable_still_charges_latency(self):
+        engine = _engine(latency_seconds=0.5)
+        engine.available = False
+        with pytest.raises(SearchEngineUnavailable):
+            engine.search("melisse")
+        assert engine.clock.elapsed_seconds == pytest.approx(0.5)
+
+    def test_failure_rate_drops_some_requests(self):
+        engine = _engine(failure_rate=0.5, seed=3)
+        outcomes = []
+        for _ in range(40):
+            try:
+                engine.search("melisse")
+                outcomes.append(True)
+            except SearchEngineUnavailable:
+                outcomes.append(False)
+        assert any(outcomes) and not all(outcomes)
+
+    def test_invalid_failure_rate(self):
+        with pytest.raises(ValueError):
+            SearchEngine(failure_rate=1.5)
+
+
+class TestDeterminism:
+    def test_same_query_same_results(self):
+        engine = _engine()
+        first = engine.search("melisse", k=5)
+        second = engine.search("melisse", k=5)
+        assert first == second
