@@ -1,0 +1,63 @@
+"""Benchmark: real wall-clock throughput of the batched annotation engine.
+
+Unlike E1 (``test_bench_efficiency``), which reports *virtual* network
+seconds and must keep reproducing the paper's ~0.5 s/row accounting, this
+benchmark measures the actual compute cost of the in-process pipeline on
+synthetic directory tables of 100-2,000 rows, comparing the batched
+table-at-a-time path (the ``annotate_table`` default) against the retained
+seed per-cell path.  Both paths must agree on every annotation.
+
+The measured regime is a stream of same-shape tables over one entity
+directory: the batched engine pays a cold start on the first table
+(reported as ``batch_cold_seconds``) and is then timed at steady state,
+which is where a production deployment serving sustained traffic lives.
+Results land in ``benchmarks/output/BENCH_throughput.json`` so future
+performance work has a trajectory to beat.
+
+Set ``REPRO_THROUGHPUT_SMOKE=1`` (CI) to run a single small size with no
+artifact writing and no speedup assertion.
+"""
+
+import json
+import os
+
+from repro.eval import experiments
+
+SMOKE = os.environ.get("REPRO_THROUGHPUT_SMOKE") == "1"
+SIZES = (100,) if SMOKE else (100, 500, 1000, 2000)
+
+MIN_STEADY_SPEEDUP = 5.0
+"""Required steady-state speedup on the 500-row table (the ISSUE target)."""
+
+
+def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
+    result = benchmark.pedantic(
+        experiments.run_throughput,
+        args=(full_context,),
+        kwargs={"sizes": SIZES},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Correctness first: the batch path must reproduce the per-cell path's
+    # annotations exactly, at every size, in smoke mode too.
+    assert all(row.identical for row in result.rows)
+
+    if SMOKE:
+        return
+
+    save_artifact("throughput", result.render())
+    payload = result.to_json()
+    (artifact_dir / "BENCH_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # The headline claim: >= 5x steady-state wall-clock speedup on the
+    # 500-row efficiency table versus the seed per-cell loop.
+    assert result.speedup_at(500) >= MIN_STEADY_SPEEDUP
+
+    # At every size the batch path must at least not collapse versus the
+    # per-cell loop (generous margin: small sizes never reach steady state
+    # within the stream, and wall-clock is noisy).
+    for row in result.rows:
+        assert row.batch_steady_seconds <= 1.5 * row.per_cell_seconds

@@ -59,11 +59,13 @@ class OneVsRestClassifier:
         self._factory = factory
         self.encoder = LabelEncoder()
         self.estimators_: list[BinaryClassifier] = []
+        self._stacked: tuple[np.ndarray, np.ndarray] | None = None
 
     def fit(self, X: sparse.csr_matrix, labels: Sequence[str]) -> "OneVsRestClassifier":
         """Train one binary classifier per distinct label in *labels*."""
         codes = self.encoder.fit_transform(labels)
         self.estimators_ = []
+        self._stacked = None
         for class_code in range(len(self.encoder)):
             y = np.where(codes == class_code, 1.0, -1.0)
             estimator = self._factory()
@@ -71,10 +73,37 @@ class OneVsRestClassifier:
             self.estimators_.append(estimator)
         return self
 
+    def _stacked_weights(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Stacked ``(n_features, n_classes)`` weights + intercepts, if linear.
+
+        Linear estimators expose ``weights_`` / ``intercept_``; stacking
+        them turns ``n_classes`` sparse mat-vec calls into one mat-mat
+        product, the same per-element accumulation in one pass.  Kernel
+        estimators have no weight vector, so the per-estimator loop stays.
+        """
+        if self._stacked is None:
+            columns = []
+            intercepts = []
+            for estimator in self.estimators_:
+                weights = getattr(estimator, "weights_", None)
+                if weights is None:
+                    return None
+                columns.append(weights)
+                intercepts.append(getattr(estimator, "intercept_", 0.0))
+            self._stacked = (
+                np.column_stack(columns),
+                np.asarray(intercepts, dtype=np.float64),
+            )
+        return self._stacked
+
     def decision_matrix(self, X: sparse.csr_matrix) -> np.ndarray:
         """``(n_samples, n_classes)`` matrix of per-class margins."""
         if not self.estimators_:
             raise RuntimeError("OneVsRestClassifier is not fitted")
+        stacked = self._stacked_weights()
+        if stacked is not None:
+            weights, intercepts = stacked
+            return np.asarray(X @ weights) + intercepts
         columns = [est.decision_function(X) for est in self.estimators_]
         return np.column_stack(columns)
 

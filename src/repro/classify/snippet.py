@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from scipy import sparse
+import numpy as np
 
 from repro.classify.base import OneVsRestClassifier
 from repro.classify.dataset import TextDataset
@@ -111,12 +111,14 @@ class SnippetTypeClassifier:
         if isinstance(self._model, MultinomialNaiveBayes):
             return self._model.predict(X)
         margins = self._model.decision_matrix(X)
-        labels = []
-        classes = self._model.encoder.classes_
-        for row in margins:
-            best = int(row.argmax())
-            labels.append(classes[best] if row[best] >= 0.0 else OTHER_LABEL)
-        return labels
+        best = margins.argmax(axis=1)
+        classes = np.asarray(self._model.encoder.classes_, dtype=object)
+        labels = np.where(
+            margins[np.arange(margins.shape[0]), best] >= 0.0,
+            classes[best],
+            OTHER_LABEL,
+        )
+        return labels.tolist()
 
     def decision_matrix(self, snippets: Sequence[str]):
         """Per-class scores; column order follows the fitted label encoder."""

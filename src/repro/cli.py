@@ -27,6 +27,7 @@ _EXPERIMENTS: dict[str, Callable] = {
     "table3": experiments.run_table3,
     "comparison": experiments.run_comparison,
     "efficiency": experiments.run_efficiency,
+    "throughput": experiments.run_throughput,
     "coverage": experiments.run_coverage,
     "figure6": experiments.run_figure6,
     "figure7": experiments.run_figure7,

@@ -5,15 +5,31 @@ context), the annotator retrieves the top-k snippets, classifies each one,
 and annotates the cell with the winning type ``t_max`` provided strictly
 more than ``k/2`` snippets were classified as ``t_max``.  The annotation
 score is ``S_ij = s_t / k`` (Equation 1).
+
+Two execution paths produce identical decisions:
+
+* :meth:`CellAnnotator.annotate_value` -- one cell at a time, one engine
+  round trip and one classifier call per cell (the seed behaviour, kept as
+  the parity baseline);
+* :meth:`CellAnnotator.annotate_values` -- a whole table's cells at once:
+  unique queries are resolved through
+  :meth:`~repro.web.search.SearchEngine.search_many`, every retrieved
+  snippet is pooled into a single ``classify_many`` call (deduplicated,
+  since classification is a pure function of the snippet text), and the
+  labels are demultiplexed back into per-cell majority votes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.classify.snippet import SnippetTypeClassifier
 from repro.core.config import AnnotatorConfig
 from repro.web.search import SearchEngine, SearchEngineUnavailable
+
+_FAILED = object()
+"""Sentinel marking a unique query whose (single) engine request failed."""
 
 
 @dataclass(frozen=True)
@@ -37,6 +53,10 @@ class SnippetCache:
     Different classifier backends evaluated over the same corpus reuse the
     same searches; caching the snippet lists avoids recomputing BM25 while
     leaving each engine call's latency accounting to the first requester.
+
+    Accounting lives entirely in :meth:`get`: a lookup that finds nothing
+    is a miss whether or not a ``put`` ever follows (an engine failure
+    after a miss used to be invisible).  :meth:`put` is pure storage.
     """
 
     def __init__(self) -> None:
@@ -46,13 +66,20 @@ class SnippetCache:
 
     def get(self, query: str, k: int) -> list[str] | None:
         snippets = self._store.get((query, k))
-        if snippets is not None:
+        if snippets is None:
+            self.misses += 1
+        else:
             self.hits += 1
         return snippets
 
     def put(self, query: str, k: int, snippets: list[str]) -> None:
-        self.misses += 1
         self._store[(query, k)] = snippets
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class CellAnnotator:
@@ -70,6 +97,15 @@ class CellAnnotator:
         self.config = config or AnnotatorConfig()
         self.cache = cache
         self.failure_count = 0
+        # snippet text -> label, filled by the batched path.  Classification
+        # is a pure function of the text, so a long-lived annotator streaming
+        # many tables about overlapping entities classifies each distinct
+        # snippet once.  Bounded by the distinct snippets seen; invalidated
+        # automatically when self.classifier is swapped out.
+        self._label_memo: dict[str, str] = {}
+        self._label_memo_owner: SnippetTypeClassifier = classifier
+
+    # -- per-cell path -----------------------------------------------------------------
 
     def annotate_value(
         self,
@@ -103,6 +139,131 @@ class CellAnnotator:
         if not snippets:
             return CellDecision(type_key=None, score=0.0, query=query)
         labels = self.classifier.classify_many(snippets)
+        return self._decide(labels, type_keys, query)
+
+    # -- batched path ------------------------------------------------------------------
+
+    def annotate_values(
+        self,
+        values_with_context: Sequence[tuple[str, str | None]],
+        type_keys: list[str],
+    ) -> list[CellDecision]:
+        """Annotate a table's worth of (value, spatial_context) pairs at once.
+
+        Semantics match calling :meth:`annotate_value` per pair, but the
+        work is batched at every layer:
+
+        * unique queries are resolved through the engine's
+          :meth:`~repro.web.search.SearchEngine.search_many` (one request,
+          one virtual-clock charge per unique query; the shared
+          :class:`SnippetCache` is consulted first and populated after);
+        * every retrieved snippet is pooled and deduplicated into a single
+          ``classify_many`` call -- one vectorizer pass and one
+          decision-matrix product for the whole table;
+        * labels are demultiplexed back into per-cell Equation 1 votes,
+          including per-cell failure handling.
+
+        A failed unique query fails every cell sharing it (each counts
+        toward :attr:`failure_count`) and is not cached, so a later batch
+        retries it.
+
+        Accounting note: duplicate query strings within one batch are
+        issued (and charged) once *by design* -- the protocol-level
+        deduplication is the point of the batched path.  The per-cell
+        path only collapses duplicates through a shared
+        :class:`SnippetCache`, so for a table with repeated values and
+        *no* cache it charges once per occurrence where this path charges
+        once per unique query; with distinct values, or any values plus a
+        shared cache, the two paths account identically.
+        """
+        if not type_keys:
+            raise ValueError("type_keys must be non-empty")
+        if self._label_memo_owner is not self.classifier:
+            self._label_memo = {}
+            self._label_memo_owner = self.classifier
+        k = self.config.top_k
+        queries = [
+            value if context is None else f"{value} {context}"
+            for value, context in values_with_context
+        ]
+        # Resolve unique queries: cache first, then one batched search.
+        snippets_by_query: dict[str, object] = {}
+        to_issue: list[str] = []
+        for query in queries:
+            if query in snippets_by_query:
+                # Within-batch duplicate: served by the shared resolution;
+                # its cache accounting happens at demux time, once the
+                # shared request's outcome is known.
+                continue
+            cached = self.cache.get(query, k) if self.cache is not None else None
+            if cached is not None:
+                snippets_by_query[query] = cached
+            else:
+                snippets_by_query[query] = _FAILED  # placeholder until issued
+                to_issue.append(query)
+        for query, results in zip(to_issue, self.engine.search_many(to_issue, k=k)):
+            if results is None:
+                snippets_by_query[query] = _FAILED
+                continue
+            snippets = [result.snippet for result in results]
+            snippets_by_query[query] = snippets
+            if self.cache is not None:
+                self.cache.put(query, k, snippets)
+        # Pool every snippet of every cell, deduplicated against both this
+        # batch and the annotator-lifetime label memo: classification is a
+        # pure function of the text, so each distinct snippet is vectorised
+        # and classified exactly once.
+        label_memo = self._label_memo
+        pool_index: dict[str, int] = {}
+        pooled: list[str] = []
+        for snippets in snippets_by_query.values():
+            if snippets is _FAILED:
+                continue
+            for snippet in snippets:  # type: ignore[union-attr]
+                if snippet not in label_memo and snippet not in pool_index:
+                    pool_index[snippet] = len(pooled)
+                    pooled.append(snippet)
+        if pooled:
+            labels = self.classifier.classify_many(pooled)
+            for snippet, position in pool_index.items():
+                label_memo[snippet] = labels[position]
+        # Demultiplex back into per-cell decisions.  Duplicate occurrences
+        # of a query are accounted against the cache the way the per-cell
+        # path would see them: a hit when the shared resolution succeeded,
+        # another miss when it failed (failures are never cached).
+        decisions: list[CellDecision] = []
+        seen: set[str] = set()
+        for query in queries:
+            snippets = snippets_by_query[query]
+            if self.cache is not None:
+                if query in seen:
+                    if snippets is _FAILED:
+                        self.cache.misses += 1
+                    else:
+                        self.cache.hits += 1
+                else:
+                    seen.add(query)
+            if snippets is _FAILED:
+                self.failure_count += 1
+                decisions.append(
+                    CellDecision(type_key=None, score=0.0, query=query, failed=True)
+                )
+            elif not snippets:
+                decisions.append(CellDecision(type_key=None, score=0.0, query=query))
+            else:
+                cell_labels = [
+                    label_memo[snippet]
+                    for snippet in snippets  # type: ignore[union-attr]
+                ]
+                decisions.append(self._decide(cell_labels, type_keys, query))
+        return decisions
+
+    # -- Equation 1 --------------------------------------------------------------------
+
+    def _decide(
+        self, labels: Sequence[str], type_keys: list[str], query: str
+    ) -> CellDecision:
+        """Majority vote over snippet labels (Equation 1), shared by both paths."""
         counts: dict[str, int] = {}
         for label in labels:
             counts[label] = counts.get(label, 0) + 1
@@ -121,7 +282,7 @@ class CellAnnotator:
             )
         return CellDecision(
             type_key=best_type,
-            score=best_count / k,
+            score=best_count / self.config.top_k,
             snippet_counts=counts,
             query=query,
         )

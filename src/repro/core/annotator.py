@@ -4,10 +4,11 @@
 
 1. **Pre-processing** (:class:`~repro.core.preprocessing.Preprocessor`)
    keeps only cells that could plausibly name an entity;
-2. **Annotation** (:class:`~repro.core.annotation.CellAnnotator`) queries
-   the search engine per candidate cell -- augmented with a disambiguated
-   city context when spatial disambiguation is enabled -- and applies the
-   snippet-majority rule (Equation 1);
+2. **Annotation** (:class:`~repro.core.annotation.CellAnnotator`) resolves
+   all candidate cells of a table in one batch -- queries augmented with a
+   disambiguated city context when spatial disambiguation is enabled,
+   deduplicated at the engine, snippets pooled into one classifier call --
+   and applies the snippet-majority rule (Equation 1) per cell;
 3. **Post-processing** (:mod:`~repro.core.postprocessing`) eliminates
    spurious annotations via the column-coherence score (Equation 2).
 """
@@ -77,21 +78,55 @@ class EntityAnnotator:
     def annotate_table(
         self, table: Table, type_keys: Sequence[str]
     ) -> TableAnnotation:
-        """Annotate one table for the requested types (all three stages)."""
+        """Annotate one table for the requested types (all three stages).
+
+        Runs table-at-a-time: spatial contexts are computed up front (as
+        before), then every candidate cell is resolved through the batched
+        :meth:`~repro.core.annotation.CellAnnotator.annotate_values` --
+        deduplicated searches, pooled snippet classification -- producing
+        exactly the decisions of the per-cell loop, faster.
+        """
         type_keys = list(type_keys)
         if not type_keys:
             raise ValueError("type_keys must be non-empty")
-        annotation = TableAnnotation(table_name=table.name)
         candidates = self.preprocessor.candidate_cells(table)
-        contexts: dict[int, str] = {}
-        if self.config.use_spatial_disambiguation and self._context_extractor:
-            contexts = self._context_extractor.row_contexts(table)
-        for candidate in candidates:
-            decision = self.cell_annotator.annotate_value(
+        contexts = self._row_contexts(table)
+        decisions = self.cell_annotator.annotate_values(
+            [(c.value, contexts.get(c.row)) for c in candidates], type_keys
+        )
+        return self._collect(table, candidates, decisions)
+
+    def _annotate_table_per_cell(
+        self, table: Table, type_keys: Sequence[str]
+    ) -> TableAnnotation:
+        """The seed cell-by-cell path: one search + one classification per
+        cell.  Retained (private) as the parity and throughput baseline the
+        batched path is regression-tested against."""
+        type_keys = list(type_keys)
+        if not type_keys:
+            raise ValueError("type_keys must be non-empty")
+        candidates = self.preprocessor.candidate_cells(table)
+        contexts = self._row_contexts(table)
+        decisions = [
+            self.cell_annotator.annotate_value(
                 candidate.value,
                 type_keys,
                 spatial_context=contexts.get(candidate.row),
             )
+            for candidate in candidates
+        ]
+        return self._collect(table, candidates, decisions)
+
+    def _row_contexts(self, table: Table) -> dict[int, str]:
+        """Disambiguated per-row city contexts (empty when disabled)."""
+        if self.config.use_spatial_disambiguation and self._context_extractor:
+            return self._context_extractor.row_contexts(table)
+        return {}
+
+    def _collect(self, table: Table, candidates, decisions) -> TableAnnotation:
+        """Fold per-cell decisions into a (post-processed) TableAnnotation."""
+        annotation = TableAnnotation(table_name=table.name)
+        for candidate, decision in zip(candidates, decisions):
             if decision.annotated:
                 annotation.add(
                     CellAnnotation(

@@ -394,14 +394,21 @@ class EfficiencyResult:
         raise KeyError(n_rows)
 
 
-def _efficiency_table(context: ExperimentContext, n_rows: int) -> Table:
-    """A directory table with *n_rows* rows cycling over restaurant entities."""
+def _efficiency_table(
+    context: ExperimentContext, n_rows: int, start: int = 0
+) -> Table:
+    """A directory table with *n_rows* rows cycling over restaurant entities.
+
+    *start* offsets the row numbering, producing a table with entirely new
+    cell strings over the same entity directory -- the shape of "the next
+    table arriving" in a stream, used by the throughput benchmark.
+    """
     import random
 
-    rng = random.Random(context.world.config.seed + n_rows)
+    rng = random.Random(context.world.config.seed + n_rows + start)
     entities = context.world.table_entities("restaurant")
     table = Table(
-        name=f"efficiency-{n_rows}",
+        name=f"efficiency-{n_rows}-{start}" if start else f"efficiency-{n_rows}",
         columns=[
             Column("Name", ColumnType.TEXT),
             Column("Address", ColumnType.LOCATION),
@@ -410,7 +417,7 @@ def _efficiency_table(context: ExperimentContext, n_rows: int) -> Table:
     )
     from repro.synth.table_corpus import _address_cell, _phone
 
-    for i in range(n_rows):
+    for i in range(start, start + n_rows):
         entity = entities[i % len(entities)]
         table.append_row(
             [
@@ -453,6 +460,201 @@ def run_efficiency(
             calls = clock.n_charges - start_charges
             bucket.append((n_rows, calls, seconds, seconds / n_rows))
     return EfficiencyResult(rows=plain, with_disambiguation=disambig)
+
+
+# ======================================================================== throughput
+
+
+@dataclass
+class ThroughputRow:
+    """Wall-clock cost of annotating tables of one size, both paths.
+
+    The batched engine is measured twice: *cold* (first table of the
+    stream, the engine's compute caches freshly reset) and *steady*
+    (subsequent tables over the same entity directory but entirely new
+    cell strings -- the sustained-traffic regime the ROADMAP targets).
+    The per-cell path has no compute caches, so one number describes it.
+    """
+
+    n_rows: int
+    n_candidates: int
+    batch_cold_seconds: float
+    batch_steady_seconds: float
+    per_cell_seconds: float
+    identical: bool
+
+    @property
+    def batch_cells_per_second(self) -> float:
+        if not self.batch_steady_seconds:
+            return 0.0
+        return self.n_candidates / self.batch_steady_seconds
+
+    @property
+    def per_cell_cells_per_second(self) -> float:
+        if not self.per_cell_seconds:
+            return 0.0
+        return self.n_candidates / self.per_cell_seconds
+
+    @property
+    def cold_speedup(self) -> float:
+        if not self.batch_cold_seconds:
+            return 0.0
+        return self.per_cell_seconds / self.batch_cold_seconds
+
+    @property
+    def steady_speedup(self) -> float:
+        if not self.batch_steady_seconds:
+            return 0.0
+        return self.per_cell_seconds / self.batch_steady_seconds
+
+
+@dataclass
+class ThroughputResult:
+    """Real wall-clock throughput: batched path versus the per-cell path.
+
+    Unlike :class:`EfficiencyResult` (virtual network seconds, the paper's
+    Section 6.4 quantity), this measures *actual* compute time of the
+    in-process pipeline -- the number future perf PRs have to beat.
+    """
+
+    rows: list[ThroughputRow]
+    tables_per_size: int
+
+    def render(self) -> str:
+        table = format_table(
+            [
+                "Table rows",
+                "Cells",
+                "Batch cold s",
+                "Batch steady s",
+                "Per-cell s",
+                "Batch cells/s",
+                "Per-cell cells/s",
+                "Cold x",
+                "Steady x",
+                "Identical",
+            ],
+            [
+                (
+                    row.n_rows,
+                    row.n_candidates,
+                    row.batch_cold_seconds,
+                    row.batch_steady_seconds,
+                    row.per_cell_seconds,
+                    row.batch_cells_per_second,
+                    row.per_cell_cells_per_second,
+                    row.cold_speedup,
+                    row.steady_speedup,
+                    row.identical,
+                )
+                for row in self.rows
+            ],
+            title="Throughput: batched annotation engine vs per-cell path (wall clock)",
+        )
+        return (
+            f"{table}\n(steady = per-table cost over a stream of "
+            f"{self.tables_per_size} fresh same-shape tables after the cold "
+            "first table; identical = both paths agree on every annotation)"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "throughput",
+            "unit": "wall-clock seconds",
+            "tables_per_size": self.tables_per_size,
+            "sizes": [
+                {
+                    "n_rows": row.n_rows,
+                    "n_candidates": row.n_candidates,
+                    "batch_cold_seconds": row.batch_cold_seconds,
+                    "batch_steady_seconds": row.batch_steady_seconds,
+                    "per_cell_seconds": row.per_cell_seconds,
+                    "batch_cells_per_second": row.batch_cells_per_second,
+                    "per_cell_cells_per_second": row.per_cell_cells_per_second,
+                    "cold_speedup": row.cold_speedup,
+                    "steady_speedup": row.steady_speedup,
+                    "identical_annotations": row.identical,
+                }
+                for row in self.rows
+            ],
+        }
+
+    def speedup_at(self, n_rows: int) -> float:
+        """Steady-state speedup for one table size."""
+        for row in self.rows:
+            if row.n_rows == n_rows:
+                return row.steady_speedup
+        raise KeyError(n_rows)
+
+
+def run_throughput(
+    context: ExperimentContext,
+    sizes: tuple[int, ...] = (100, 500, 1000, 2000),
+    stream_length: int = 2,
+) -> ThroughputResult:
+    """Measure real cells/second of the batched path against the per-cell path.
+
+    Per size, a stream of ``1 + stream_length`` synthetic directory tables
+    (same entity directory, entirely fresh cell strings each) is annotated:
+
+    * the **batched** annotator pays its cold start on the first table and
+      is then timed per table over the rest of the stream (steady state);
+    * the **per-cell** annotator is timed over the same measured tables --
+      it has no compute caches, so warm-up would not change it.
+
+    Both paths must produce identical :class:`TableAnnotation` output for
+    every measured table.  Wall-clock time comes from ``perf_counter``
+    while the virtual clock keeps charging latencies unobserved.
+    """
+    import time
+
+    if stream_length < 1:
+        raise ValueError(f"stream_length must be >= 1, got {stream_length}")
+    rows: list[ThroughputRow] = []
+    for n_rows in sizes:
+        # A true cold start per size: signature/result/window caches may
+        # have been warmed by earlier sizes (or other experiments).
+        context.world.search_engine.reset_compute_caches()
+        config = AnnotatorConfig()
+        batch_annotator = EntityAnnotator(
+            context.classifiers["svm"], context.world.search_engine, config
+        )
+        per_cell_annotator = EntityAnnotator(
+            context.classifiers["svm"], context.world.search_engine, config
+        )
+        stream = [
+            _efficiency_table(context, n_rows, start=index * n_rows)
+            for index in range(1 + stream_length)
+        ]
+        n_candidates = len(
+            batch_annotator.preprocessor.candidate_cells(stream[0])
+        )
+        start = time.perf_counter()
+        batch_annotator.annotate_table(stream[0], ALL_TYPE_KEYS)
+        batch_cold_seconds = time.perf_counter() - start
+        batch_results = []
+        start = time.perf_counter()
+        for table in stream[1:]:
+            batch_results.append(batch_annotator.annotate_table(table, ALL_TYPE_KEYS))
+        batch_steady_seconds = (time.perf_counter() - start) / stream_length
+        per_cell_results = []
+        start = time.perf_counter()
+        for table in stream[1:]:
+            per_cell_results.append(
+                per_cell_annotator._annotate_table_per_cell(table, ALL_TYPE_KEYS)
+            )
+        per_cell_seconds = (time.perf_counter() - start) / stream_length
+        rows.append(
+            ThroughputRow(
+                n_rows=n_rows,
+                n_candidates=n_candidates,
+                batch_cold_seconds=batch_cold_seconds,
+                batch_steady_seconds=batch_steady_seconds,
+                per_cell_seconds=per_cell_seconds,
+                identical=batch_results == per_cell_results,
+            )
+        )
+    return ThroughputResult(rows=rows, tables_per_size=stream_length)
 
 
 # ======================================================================== X1

@@ -9,7 +9,7 @@ the number of occurrences divided by the snippet length (in kept tokens).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.text.porter import stem
 from repro.text.stopwords import ENGLISH_STOPWORDS
@@ -23,12 +23,23 @@ class TextPipeline:
     Parameters mirror the paper's choices and are all on by default;
     switching one off supports the ablation benchmarks.
 
+    A per-instance memo caches each token's fate (dropped as a stopword,
+    or its stem) so feature extraction over thousands of snippets pays
+    the stopword lookup and stemmer only once per distinct token; the
+    memo is discarded if the configuration flags are changed mid-flight.
+
     >>> TextPipeline().features("The Louvre is a museum in Paris")
     {'louvr': 0.3333333333333333, 'museum': 0.3333333333333333, 'pari': 0.3333333333333333}
     """
 
     remove_stopwords: bool = True
     apply_stemming: bool = True
+    _memo: dict[str, str | None] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _memo_config: tuple[bool, bool] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def tokens(self, text: str) -> list[str]:
         """Lower-cased, stopword-filtered, stemmed tokens of *text*."""
@@ -41,7 +52,16 @@ class TextPipeline:
 
     def counts(self, text: str) -> Counter[str]:
         """Raw token counts after the full pipeline."""
-        return Counter(self.tokens(text))
+        counter: Counter[str] = Counter()
+        memo = self._token_memo()
+        for token in tokenize(text):
+            mapped = memo.get(token, "")
+            if mapped == "":
+                mapped = self._map_token(token)
+                memo[token] = mapped
+            if mapped is not None:
+                counter[mapped] += 1
+        return counter
 
     def features(self, text: str) -> dict[str, float]:
         """Normalised-frequency features: count / snippet length.
@@ -55,3 +75,18 @@ class TextPipeline:
         if total == 0:
             return {}
         return {token: count / total for token, count in counts.items()}
+
+    # -- token memo ---------------------------------------------------------------
+
+    def _token_memo(self) -> dict[str, str | None]:
+        config = (self.remove_stopwords, self.apply_stemming)
+        if self._memo_config != config:
+            self._memo = {}
+            self._memo_config = config
+        return self._memo
+
+    def _map_token(self, token: str) -> str | None:
+        """Fate of one tokenised word: ``None`` when dropped, else its stem."""
+        if self.remove_stopwords and token in ENGLISH_STOPWORDS:
+            return None
+        return stem(token) if self.apply_stemming else token

@@ -49,27 +49,37 @@ class SnippetVectorizer:
         Out-of-vocabulary tokens are dropped, mirroring a classifier that has
         never seen a feature.  Rows of snippets with no in-vocabulary token
         are all-zero.
+
+        Assembly is flat: per text the (index, value) pairs are appended
+        unsorted (a feature dict never repeats a token, so no duplicates
+        need summing) and the matrix is canonicalised once with
+        ``sort_indices`` -- no per-row dict or Python sort, so transforming
+        thousands of pooled snippets is a single pass.
         """
         if not self.vocabulary.fitted:
             raise RuntimeError("SnippetVectorizer must be fitted before transform")
-        indptr = [0]
+        features_of = self.pipeline.features
+        index_of = self.vocabulary.index_of
+        indptr = np.zeros(len(texts) + 1, dtype=np.int64)
         indices: list[int] = []
         data: list[float] = []
-        for text in texts:
-            features = self.pipeline.features(text)
-            row = {}
-            for token, value in features.items():
-                index = self.vocabulary.index_of(token)
+        for position, text in enumerate(texts):
+            for token, value in features_of(text).items():
+                index = index_of(token)
                 if index is not None:
-                    row[index] = value
-            for index in sorted(row):
-                indices.append(index)
-                data.append(row[index])
-            indptr.append(len(indices))
-        return sparse.csr_matrix(
-            (np.asarray(data, dtype=np.float64), indices, indptr),
+                    indices.append(index)
+                    data.append(value)
+            indptr[position + 1] = len(indices)
+        matrix = sparse.csr_matrix(
+            (
+                np.asarray(data, dtype=np.float64),
+                np.asarray(indices, dtype=np.int64),
+                indptr,
+            ),
             shape=(len(texts), len(self.vocabulary)),
         )
+        matrix.sort_indices()
+        return matrix
 
     def transform_one(self, text: str) -> sparse.csr_matrix:
         """Vectorize a single snippet into a ``(1, |V|)`` CSR matrix."""

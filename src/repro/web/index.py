@@ -5,16 +5,25 @@ word tokens).  Title tokens are counted with a configurable boost, because
 entity homepages carry the entity name in the title and should outrank
 pages that merely mention it.
 
-The index has two phases: an append-only build phase (postings accumulate
-in Python lists) and a frozen query phase (postings become numpy arrays so
-BM25 scoring is vectorised per token).  Freezing happens lazily on first
-query access and is undone transparently when new pages are added.
+Freeze lifecycle
+----------------
+The index has two representations per token: an append-only build list
+(postings accumulate in Python lists) and a frozen query view (postings as
+numpy arrays so BM25 scoring is vectorised per token).  Freezing is *lazy
+and per token*: the first query touching a token materialises its arrays,
+and :meth:`add` merely marks the touched tokens dirty so only *their*
+arrays are rebuilt on next access.  Interleaving ``add`` and ``search``
+therefore never rebuilds the whole postings store -- the cost of an add is
+proportional to the page being added, and the cost of a query to the
+tokens it actually uses.  Document-length arrays follow the same rule:
+``lengths`` is re-materialised only after a page was added.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -39,7 +48,9 @@ class InvertedIndex:
         self.title_boost = title_boost
         self._pages: list[WebPage] = []
         self._building: dict[str, list[tuple[int, float]]] = {}
-        self._frozen: dict[str, tuple[np.ndarray, np.ndarray]] | None = None
+        # Frozen per-token views plus the set of tokens whose view is stale.
+        self._frozen: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._dirty: set[str] = set()
         self._doc_lengths: list[float] = []
         self._lengths_array: np.ndarray | None = None
         self._total_length = 0.0
@@ -48,8 +59,6 @@ class InvertedIndex:
 
     def add(self, page: WebPage) -> int:
         """Index *page* and return its document id."""
-        if self._frozen is not None:
-            self._thaw()
         doc_id = len(self._pages)
         self._pages.append(page)
         counts: Counter[str] = Counter()
@@ -60,30 +69,36 @@ class InvertedIndex:
         length = float(sum(counts.values()))
         self._doc_lengths.append(length)
         self._total_length += length
+        self._lengths_array = None
         for token, frequency in counts.items():
             self._building.setdefault(token, []).append((doc_id, frequency))
+            if token in self._frozen:
+                self._dirty.add(token)
         return doc_id
+
+    def add_many(self, pages: Iterable[WebPage]) -> list[int]:
+        """Bulk-index *pages*, returning their document ids.
+
+        Equivalent to calling :meth:`add` per page; kept as a single entry
+        point so callers indexing whole crawls state the intent and future
+        bulk-only optimisations have a seam.  Under the lazy per-token
+        freeze there is no global rebuild either way: each touched token's
+        frozen view is invalidated once and rebuilt on next query.
+        """
+        return [self.add(page) for page in pages]
 
     # -- freeze / thaw -----------------------------------------------------------------
 
-    def _freeze(self) -> None:
-        frozen = {}
-        for token, entries in self._building.items():
-            ids = np.asarray([doc_id for doc_id, _tf in entries], dtype=np.int64)
-            tfs = np.asarray([tf for _doc_id, tf in entries], dtype=np.float64)
-            frozen[token] = (ids, tfs)
-        self._frozen = frozen
-        self._lengths_array = np.asarray(self._doc_lengths, dtype=np.float64)
-
-    def _thaw(self) -> None:
-        self._frozen = None
-        self._lengths_array = None
-
-    def _require_frozen(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
-        if self._frozen is None:
-            self._freeze()
-        assert self._frozen is not None
-        return self._frozen
+    def _freeze_token(self, token: str) -> tuple[np.ndarray, np.ndarray] | None:
+        entries = self._building.get(token)
+        if entries is None:
+            return None
+        ids = np.asarray([doc_id for doc_id, _tf in entries], dtype=np.int64)
+        tfs = np.asarray([tf for _doc_id, tf in entries], dtype=np.float64)
+        frozen = (ids, tfs)
+        self._frozen[token] = frozen
+        self._dirty.discard(token)
+        return frozen
 
     # -- statistics --------------------------------------------------------------------
 
@@ -101,8 +116,8 @@ class InvertedIndex:
     @property
     def lengths(self) -> np.ndarray:
         """Document lengths as an array (frozen view)."""
-        self._require_frozen()
-        assert self._lengths_array is not None
+        if self._lengths_array is None:
+            self._lengths_array = np.asarray(self._doc_lengths, dtype=np.float64)
         return self._lengths_array
 
     def document_length(self, doc_id: int) -> float:
@@ -110,12 +125,16 @@ class InvertedIndex:
 
     def document_frequency(self, token: str) -> int:
         """Number of documents containing *token*."""
-        arrays = self.posting_arrays(token)
-        return 0 if arrays is None else int(arrays[0].shape[0])
+        entries = self._building.get(token)
+        return 0 if entries is None else len(entries)
 
     def posting_arrays(self, token: str) -> tuple[np.ndarray, np.ndarray] | None:
         """(doc_ids, term_frequencies) arrays for *token*, or ``None``."""
-        return self._require_frozen().get(token)
+        if token not in self._dirty:
+            frozen = self._frozen.get(token)
+            if frozen is not None:
+                return frozen
+        return self._freeze_token(token)
 
     def postings(self, token: str) -> list[Posting]:
         """The postings list of *token* (empty when unindexed)."""

@@ -24,6 +24,18 @@ class BM25Parameters:
             raise ValueError(f"b must be in [0, 1], got {self.b}")
 
 
+def bm25_norms(
+    index: InvertedIndex, parameters: BM25Parameters
+) -> np.ndarray:
+    """Per-document length normalisation ``1 - b + b * len/avg_len``.
+
+    The single definition shared by the dense scorer, the sparse scorer
+    and the search engine's per-batch norms cache.
+    """
+    average_length = index.average_length or 1.0
+    return 1.0 - parameters.b + parameters.b * (index.lengths / average_length)
+
+
 def bm25_score_array(
     index: InvertedIndex,
     query_tokens: list[str],
@@ -39,8 +51,7 @@ def bm25_score_array(
     scores = np.zeros(n_docs, dtype=np.float64)
     if n_docs == 0 or not query_tokens:
         return scores
-    average_length = index.average_length or 1.0
-    norms = 1.0 - parameters.b + parameters.b * (index.lengths / average_length)
+    norms = bm25_norms(index, parameters)
     for token in query_tokens:
         arrays = index.posting_arrays(token)
         if arrays is None:
@@ -53,6 +64,54 @@ def bm25_score_array(
         )
         np.add.at(scores, ids, gains)
     return scores
+
+
+def bm25_matched_scores(
+    index: InvertedIndex,
+    query_tokens: list[str],
+    parameters: BM25Parameters | None = None,
+    norms: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """BM25 over matching documents only: ``(doc_ids, scores)`` arrays.
+
+    Sparse counterpart of :func:`bm25_score_array`: cost is proportional to
+    the postings touched, not the corpus size, which is what a batched
+    caller issuing hundreds of queries needs.  ``doc_ids`` is ascending;
+    ``scores`` accumulates per-token gains in query-token order, the exact
+    float-addition order of the dense scorer, so both agree bitwise.
+    *norms* lets the caller hoist the per-document length normalisation
+    out of a query loop.
+    """
+    parameters = parameters or BM25Parameters()
+    n_docs = index.n_documents
+    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+    if n_docs == 0 or not query_tokens:
+        return empty
+    if norms is None:
+        norms = bm25_norms(index, parameters)
+    id_chunks: list[np.ndarray] = []
+    gain_chunks: list[np.ndarray] = []
+    for token in query_tokens:
+        arrays = index.posting_arrays(token)
+        if arrays is None:
+            continue
+        ids, tfs = arrays
+        df = ids.shape[0]
+        idf = math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
+        gain_chunks.append(
+            idf * (tfs * (parameters.k1 + 1.0)) / (tfs + parameters.k1 * norms[ids])
+        )
+        id_chunks.append(ids)
+    if not id_chunks:
+        return empty
+    all_ids = np.concatenate(id_chunks)
+    all_gains = np.concatenate(gain_chunks)
+    matched, inverse = np.unique(all_ids, return_inverse=True)
+    # bincount sums weights in array order == token order per document,
+    # matching np.add.at accumulation in the dense scorer.
+    scores = np.bincount(inverse, weights=all_gains, minlength=matched.shape[0])
+    positive = scores > 0.0
+    return matched[positive], scores[positive]
 
 
 def bm25_scores(

@@ -8,9 +8,40 @@ tokens and render it, ellipsised when it does not span the whole body.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.text.tokenization import tokenize
 
 DEFAULT_SNIPPET_WORDS = 20
+
+
+def best_window_start(
+    hits: Sequence[int], n_words: int, max_words: int
+) -> int:
+    """First start of the densest *max_words* window over per-word *hits*.
+
+    Ties keep the earliest window (only a strictly higher score moves the
+    window), so an all-zero *hits* yields the leading window.  Shared by
+    :func:`extract_snippet` and the search engine's amortised extractor so
+    the two stay byte-identical by construction.
+    """
+    window_score = sum(hits[:max_words])
+    best_score = window_score
+    best_start = 0
+    for start in range(1, n_words - max_words + 1):
+        window_score += hits[start + max_words - 1] - hits[start - 1]
+        if window_score > best_score:
+            best_score = window_score
+            best_start = start
+    return best_start
+
+
+def render_window(words: list[str], best_start: int, max_words: int) -> str:
+    """Render the chosen window with ellipses marking truncation."""
+    window = words[best_start : best_start + max_words]
+    prefix = "... " if best_start > 0 else ""
+    suffix = " ..." if best_start + max_words < len(words) else ""
+    return f"{prefix}{' '.join(window)}{suffix}"
 
 
 def extract_snippet(
@@ -34,15 +65,5 @@ def extract_snippet(
         1 if any(token in query_tokens for token in word_tokens) else 0
         for word_tokens in lowered
     ]
-    best_start = 0
-    window_score = sum(hits[:max_words])
-    best_score = window_score
-    for start in range(1, len(words) - max_words + 1):
-        window_score += hits[start + max_words - 1] - hits[start - 1]
-        if window_score > best_score:
-            best_score = window_score
-            best_start = start
-    window = words[best_start : best_start + max_words]
-    prefix = "... " if best_start > 0 else ""
-    suffix = " ..." if best_start + max_words < len(words) else ""
-    return f"{prefix}{' '.join(window)}{suffix}"
+    best_start = best_window_start(hits, len(words), max_words)
+    return render_window(words, best_start, max_words)

@@ -135,3 +135,54 @@ class TestSnippetCache:
         count = engine.query_count
         second.annotate_value("Grand Gallery", ["museum"])
         assert engine.query_count == count
+
+    def test_miss_counted_even_when_put_never_follows(self):
+        # An engine failure aborts the lookup between get and put; the
+        # miss must still be visible in the cache statistics.
+        engine = _engine(museum_pages=8)
+        engine.available = False
+        cache = SnippetCache()
+        annotator = CellAnnotator(_classifier(), engine, cache=cache)
+        decision = annotator.annotate_value("Grand Gallery", ["museum"])
+        assert decision.failed
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_put_is_pure_storage(self):
+        cache = SnippetCache()
+        cache.put("q", 10, ["a"])
+        assert cache.misses == 0
+        assert cache.hits == 0
+
+    def test_hit_rate(self):
+        cache = SnippetCache()
+        assert cache.hit_rate == 0.0
+        cache.get("q", 10)  # miss
+        cache.put("q", 10, ["a"])
+        cache.get("q", 10)  # hit
+        cache.get("q", 10)  # hit
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+class TestBatchedAnnotateValues:
+    def test_matches_per_value_decisions(self):
+        engine = _engine(museum_pages=8)
+        classifier = _classifier()
+        batch_annotator = CellAnnotator(classifier, _engine(museum_pages=8))
+        per_cell_annotator = CellAnnotator(classifier, engine)
+        pairs = [("Grand Gallery", None), ("Grand Gallery", "Lyon"), ("zzz", None)]
+        batched = batch_annotator.annotate_values(pairs, ["museum", "restaurant"])
+        singles = [
+            per_cell_annotator.annotate_value(value, ["museum", "restaurant"], ctx)
+            for value, ctx in pairs
+        ]
+        assert batched == singles
+
+    def test_empty_batch(self):
+        annotator = CellAnnotator(_classifier(), _engine())
+        assert annotator.annotate_values([], ["museum"]) == []
+
+    def test_empty_type_list_rejected(self):
+        annotator = CellAnnotator(_classifier(), _engine())
+        with pytest.raises(ValueError):
+            annotator.annotate_values([("x", None)], [])

@@ -58,6 +58,26 @@ class TestInvertedIndex:
         index.add(_page("4", "New", "paris paris"))
         assert index.document_frequency("paris") == 3
 
+    def test_add_after_query_refreezes_only_touched_tokens(self, index):
+        before_paris = index.posting_arrays("paris")
+        before_museum = index.posting_arrays("museum")
+        index.add(_page("4", "New", "paris again"))
+        # 'paris' was touched by the add: its arrays are rebuilt lazily.
+        after_paris = index.posting_arrays("paris")
+        assert after_paris is not before_paris
+        assert list(after_paris[0]) == [0, 2, 3]
+        # 'museum' was not: its frozen arrays survive untouched.
+        assert index.posting_arrays("museum") is before_museum
+
+    def test_add_many_bulk_indexes(self):
+        index = InvertedIndex()
+        doc_ids = index.add_many(
+            [_page("1", "A", "alpha beta"), _page("2", "B", "beta gamma")]
+        )
+        assert doc_ids == [0, 1]
+        assert index.n_documents == 2
+        assert index.document_frequency("beta") == 2
+
     def test_invalid_title_boost(self):
         with pytest.raises(ValueError):
             InvertedIndex(title_boost=0.5)

@@ -138,3 +138,93 @@ class TestDeterminism:
         first = engine.search("melisse", k=5)
         second = engine.search("melisse", k=5)
         assert first == second
+
+
+class TestSearchMany:
+    def test_matches_per_query_search(self):
+        batch_engine = _engine()
+        single_engine = _engine()
+        queries = ["melisse", "melisse santa monica", "weather", "zebra"]
+        batched = batch_engine.search_many(queries, k=3)
+        singles = [single_engine.search(query, k=3) for query in queries]
+        assert batched == singles
+
+    def test_duplicates_issued_once(self):
+        engine = _engine(latency_seconds=0.3)
+        results = engine.search_many(["melisse", "melisse", "weather"], k=2)
+        assert engine.query_count == 2
+        assert engine.clock.elapsed_seconds == pytest.approx(0.6)
+        assert results[0] == results[1]
+
+    def test_token_signature_shares_compute_but_not_charges(self):
+        # "melisse #1" and "melisse #2" tokenise identically (digits are
+        # dropped), so they must return identical results, yet each unique
+        # query string is still a separate (charged) engine request.
+        engine = _engine(latency_seconds=0.3)
+        first, second = engine.search_many(["melisse #1", "melisse #2"], k=3)
+        assert first == second
+        assert engine.query_count == 2
+        assert engine.clock.elapsed_seconds == pytest.approx(0.6)
+
+    def test_unavailable_engine_yields_none_and_charges(self):
+        engine = _engine(latency_seconds=0.5)
+        engine.available = False
+        results = engine.search_many(["melisse", "weather"], k=2)
+        assert results == [None, None]
+        assert engine.clock.elapsed_seconds == pytest.approx(1.0)
+
+    def test_failure_rate_drops_individual_queries(self):
+        engine = _engine(failure_rate=0.5, seed=3)
+        results = engine.search_many(["melisse"] * 1 + ["weather"] * 1, k=2)
+        # Same rng stream as per-query search: some of many requests drop.
+        many = engine.search_many([f"melisse q{i}" for i in range(40)], k=2)
+        assert any(r is None for r in many)
+        assert any(r is not None for r in many)
+        assert len(results) == 2
+
+    def test_results_reflect_pages_added_after_a_batch(self):
+        engine = _engine()
+        before = engine.search_many(["melisse"], k=10)[0]
+        engine.add_page(
+            WebPage(
+                url="https://x/melisse-new",
+                title="Melisse Melisse Melisse",
+                body="melisse melisse melisse melisse",
+            )
+        )
+        after = engine.search_many(["melisse"], k=10)[0]
+        assert len(after) == len(before) + 1
+        assert after[0].url == "https://x/melisse-new"
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            _engine().search_many(["melisse"], k=0)
+
+    def test_empty_batch(self):
+        engine = _engine()
+        assert engine.search_many([], k=3) == []
+        assert engine.query_count == 0
+
+    def test_caller_mutation_does_not_corrupt_cache(self):
+        engine = _engine()
+        first = engine.search_many(["melisse"], k=3)[0]
+        first.clear()
+        assert len(engine.search_many(["melisse"], k=3)[0]) == 3
+
+    def test_parameter_change_invalidates_cached_rankings(self):
+        from repro.web.ranking import BM25Parameters
+
+        engine = _engine()
+        engine.search_many(["melisse santa monica"], k=3)
+        engine.parameters = BM25Parameters(k1=0.01, b=0.0)
+        batched = engine.search_many(["melisse santa monica"], k=3)[0]
+        fresh = engine.search("melisse santa monica", k=3)
+        assert batched == fresh
+
+    def test_reset_compute_caches_preserves_results_and_accounting(self):
+        engine = _engine()
+        before = engine.search_many(["melisse", "weather"], k=3)
+        queries = engine.query_count
+        engine.reset_compute_caches()
+        assert engine.query_count == queries
+        assert engine.search_many(["melisse", "weather"], k=3) == before
