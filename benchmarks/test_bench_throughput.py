@@ -14,6 +14,12 @@ which is where a production deployment serving sustained traffic lives.
 Results land in ``benchmarks/output/BENCH_throughput.json`` so future
 performance work has a trajectory to beat.
 
+The corpus-level scenario (PR 2) annotates a 20-table same-directory corpus
+three ways -- cold corpus-at-a-time, then per-table batching and
+corpus-at-a-time both warm-started from the cold run's persisted caches --
+asserting the corpus path is >= 2x the per-table loop under equal caches
+and that the warm start beats the cold one.
+
 Set ``REPRO_THROUGHPUT_SMOKE=1`` (CI) to run a single small size with no
 artifact writing and no speedup assertion.
 """
@@ -25,23 +31,36 @@ from repro.eval import experiments
 
 SMOKE = os.environ.get("REPRO_THROUGHPUT_SMOKE") == "1"
 SIZES = (100,) if SMOKE else (100, 500, 1000, 2000)
+CORPUS_SHAPE = (5, 20) if SMOKE else (20, 200)  # (tables, rows per table)
 
 MIN_STEADY_SPEEDUP = 5.0
 """Required steady-state speedup on the 500-row table (the ISSUE target)."""
+
+MIN_CORPUS_SPEEDUP = 2.0
+"""Required warm corpus-at-a-time speedup over warm per-table batching."""
 
 
 def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     result = benchmark.pedantic(
         experiments.run_throughput,
         args=(full_context,),
-        kwargs={"sizes": SIZES},
+        kwargs={
+            "sizes": SIZES,
+            "corpus_tables": CORPUS_SHAPE[0],
+            "corpus_rows": CORPUS_SHAPE[1],
+        },
         rounds=1,
         iterations=1,
     )
 
     # Correctness first: the batch path must reproduce the per-cell path's
-    # annotations exactly, at every size, in smoke mode too.
+    # annotations exactly, at every size, in smoke mode too -- and the
+    # corpus scenario's three runs (cold, warm per-table, warm corpus)
+    # must agree on every annotation.
     assert all(row.identical for row in result.rows)
+    assert result.corpus is not None
+    assert result.corpus.identical
+    assert result.corpus.caches_loaded
 
     if SMOKE:
         return
@@ -61,3 +80,10 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     # within the stream, and wall-clock is noisy).
     for row in result.rows:
         assert row.batch_steady_seconds <= 1.5 * row.per_cell_seconds
+
+    # Corpus-at-a-time: >= 2x over per-table batching on the 20-table
+    # same-directory corpus (both warm-started from persisted caches, so
+    # only the corpus-level structure differs), and the persisted-cache
+    # warm start must beat the cold start outright.
+    assert result.corpus.corpus_speedup >= MIN_CORPUS_SPEEDUP
+    assert result.corpus.corpus_seconds < result.corpus.cold_seconds

@@ -136,6 +136,57 @@ class SnippetTypeClassifier:
             return []
         return list(self._model.encoder.classes_)
 
+    def fingerprint(self) -> str:
+        """Hex digest identifying this fitted model.
+
+        Covers the backend, the fitted vocabulary and every learned
+        weight -- exactly the state that determines the snippet -> label
+        function -- and nothing usage-dependent (memos, caches), so the
+        digest is stable across processes.  Two independently trained
+        classifiers agree on it iff they classify identically; it versions
+        the persisted snippet -> label memo, which must never be served to
+        a different model.
+        """
+        if self._model is None:
+            raise RuntimeError("SnippetTypeClassifier is not fitted")
+        import hashlib
+
+        from scipy import sparse
+
+        hasher = hashlib.sha256()
+
+        def feed(value) -> None:
+            if isinstance(value, np.ndarray):
+                hasher.update(str((value.dtype, value.shape)).encode())
+                hasher.update(np.ascontiguousarray(value).tobytes())
+            elif sparse.issparse(value):
+                csr = value.tocsr()
+                feed(csr.data)
+                feed(csr.indices)
+                feed(csr.indptr)
+                hasher.update(str(csr.shape).encode())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    feed(item)
+            elif isinstance(value, dict):
+                for key in sorted(value):
+                    feed(key)
+                    feed(value[key])
+            else:
+                hasher.update(repr(value).encode())
+
+        feed(self.backend)
+        feed(self.vectorizer.vocabulary.min_count)
+        feed(list(self.vectorizer.vocabulary))
+        feed(self.classes_)
+        if isinstance(self._model, MultinomialNaiveBayes):
+            feed(self._model.feature_log_prob_)
+            feed(self._model.class_log_prior_)
+        else:
+            for estimator in self._model.estimators_:
+                feed(vars(estimator))
+        return hasher.hexdigest()
+
     # -- evaluation --------------------------------------------------------------------
 
     def evaluate(self, dataset: TextDataset) -> ClassificationReport:

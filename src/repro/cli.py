@@ -6,9 +6,14 @@ Usage::
     python -m repro.cli table2 table3     # several at once
     python -m repro.cli all               # everything
     python -m repro.cli table1 --small    # fast, reduced-scale world
+    python -m repro.cli table1 --small --cache-dir .repro-cache
 
 The first experiment of a session pays for world construction and
 classifier training; subsequent experiments reuse the cached context.
+``--cache-dir`` makes the search engine's ranking caches durable: the
+directory is loaded before the experiments run and saved back after, so a
+*second* invocation over the same world skips the ranking/snippet cold
+start (the cache is fingerprinted and ignored whenever the world differs).
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Callable
 
 from repro.eval import ablation, experiments, extensions
@@ -59,6 +65,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=13, help="world seed (default 13)"
     )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "directory for persistable engine caches; loaded before the "
+            "experiments and saved back after, so a second invocation "
+            "starts warm"
+        ),
+    )
     args = parser.parse_args(argv)
     names = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
     config = (
@@ -75,11 +91,24 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(context.wiki.tables)} wiki tables]\n",
         file=sys.stderr,
     )
+    engine_cache = (
+        args.cache_dir / "search_results.cache" if args.cache_dir else None
+    )
+    if engine_cache is not None:
+        loaded = context.world.search_engine.load_results_cache(engine_cache)
+        print(
+            f"[engine cache {'warm from' if loaded else 'cold; will save to'} "
+            f"{engine_cache}]\n",
+            file=sys.stderr,
+        )
     for name in names:
         start = time.time()
         result = _EXPERIMENTS[name](context)
         print(result.render())
         print(f"[{name} in {time.time() - start:.1f}s]\n", file=sys.stderr)
+    if engine_cache is not None:
+        context.world.search_engine.save_results_cache(engine_cache)
+        print(f"[engine cache saved to {engine_cache}]", file=sys.stderr)
     return 0
 
 

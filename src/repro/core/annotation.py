@@ -11,12 +11,33 @@ Two execution paths produce identical decisions:
 * :meth:`CellAnnotator.annotate_value` -- one cell at a time, one engine
   round trip and one classifier call per cell (the seed behaviour, kept as
   the parity baseline);
-* :meth:`CellAnnotator.annotate_values` -- a whole table's cells at once:
-  unique queries are resolved through
+* :meth:`CellAnnotator.annotate_values` -- any number of cells at once (a
+  table's worth, or a whole corpus's when called from
+  ``EntityAnnotator.annotate_tables``): unique queries are resolved through
   :meth:`~repro.web.search.SearchEngine.search_many`, every retrieved
   snippet is pooled into a single ``classify_many`` call (deduplicated,
-  since classification is a pure function of the snippet text), and the
-  labels are demultiplexed back into per-cell majority votes.
+  since classification is a pure function of the snippet text), the
+  Equation 1 vote is computed once per distinct query, and the decisions
+  are demultiplexed back onto the cells.
+
+The batched path amortises across calls through two long-lived memos: a
+snippet-text -> label memo (classification is a pure function of the text)
+that :meth:`CellAnnotator.save_label_memo` /
+:meth:`~CellAnnotator.load_label_memo` can persist to disk so a second
+process starts warm, and the optional shared :class:`SnippetCache`.
+
+The :class:`SnippetCache` counts a miss for every lookup that finds
+nothing, whether or not a ``put`` follows, so engine failures stay visible
+in the hit rate:
+
+>>> cache = SnippetCache()
+>>> cache.get("Hotel Melisse", 10) is None
+True
+>>> cache.put("Hotel Melisse", 10, ["melisse lodging rooms"])
+>>> cache.get("Hotel Melisse", 10)
+['melisse lodging rooms']
+>>> (cache.hits, cache.misses, cache.hit_rate)
+(1, 1, 0.5)
 """
 
 from __future__ import annotations
@@ -26,6 +47,7 @@ from typing import Sequence
 
 from repro.classify.snippet import SnippetTypeClassifier
 from repro.core.config import AnnotatorConfig
+from repro.persistence import load_cache_payload, save_cache_payload
 from repro.web.search import SearchEngine, SearchEngineUnavailable
 
 _FAILED = object()
@@ -148,10 +170,12 @@ class CellAnnotator:
         values_with_context: Sequence[tuple[str, str | None]],
         type_keys: list[str],
     ) -> list[CellDecision]:
-        """Annotate a table's worth of (value, spatial_context) pairs at once.
+        """Annotate a batch of (value, spatial_context) pairs at once.
 
-        Semantics match calling :meth:`annotate_value` per pair, but the
-        work is batched at every layer:
+        The batch may be one table's cells (``annotate_table``) or a whole
+        corpus's (``annotate_tables``).  Semantics match calling
+        :meth:`annotate_value` per pair, but the work is batched at every
+        layer:
 
         * unique queries are resolved through the engine's
           :meth:`~repro.web.search.SearchEngine.search_many` (one request,
@@ -159,9 +183,10 @@ class CellAnnotator:
           :class:`SnippetCache` is consulted first and populated after);
         * every retrieved snippet is pooled and deduplicated into a single
           ``classify_many`` call -- one vectorizer pass and one
-          decision-matrix product for the whole table;
-        * labels are demultiplexed back into per-cell Equation 1 votes,
-          including per-cell failure handling.
+          decision-matrix product for the whole batch;
+        * labels are folded into one Equation 1 vote per *distinct* query
+          and the (frozen, shareable) decisions are demultiplexed back onto
+          the cells, including per-cell failure handling.
 
         A failed unique query fails every cell sharing it (each counts
         toward :attr:`failure_count`) and is not cached, so a later batch
@@ -178,15 +203,21 @@ class CellAnnotator:
         """
         if not type_keys:
             raise ValueError("type_keys must be non-empty")
-        if self._label_memo_owner is not self.classifier:
-            self._label_memo = {}
-            self._label_memo_owner = self.classifier
-        k = self.config.top_k
         queries = [
             value if context is None else f"{value} {context}"
             for value, context in values_with_context
         ]
-        # Resolve unique queries: cache first, then one batched search.
+        snippets_by_query = self._resolve_queries(queries)
+        self._classify_pooled(snippets_by_query)
+        return self._demux(queries, snippets_by_query, type_keys)
+
+    def _resolve_queries(self, queries: Sequence[str]) -> dict[str, object]:
+        """Resolve unique queries: cache first, then one batched search.
+
+        Returns query -> snippet list, with :data:`_FAILED` marking queries
+        whose (single, shared) engine request failed.
+        """
+        k = self.config.top_k
         snippets_by_query: dict[str, object] = {}
         to_issue: list[str] = []
         for query in queries:
@@ -209,11 +240,17 @@ class CellAnnotator:
             snippets_by_query[query] = snippets
             if self.cache is not None:
                 self.cache.put(query, k, snippets)
-        # Pool every snippet of every cell, deduplicated against both this
-        # batch and the annotator-lifetime label memo: classification is a
-        # pure function of the text, so each distinct snippet is vectorised
-        # and classified exactly once.
-        label_memo = self._label_memo
+        return snippets_by_query
+
+    def _classify_pooled(self, snippets_by_query: dict[str, object]) -> None:
+        """Classify every resolved snippet into the lifetime label memo.
+
+        Snippets from all queries are pooled, deduplicated against both the
+        batch and the annotator-lifetime snippet -> label memo:
+        classification is a pure function of the text, so each distinct
+        snippet is vectorised and classified exactly once.
+        """
+        label_memo = self._active_label_memo()
         pool_index: dict[str, int] = {}
         pooled: list[str] = []
         for snippets in snippets_by_query.values():
@@ -227,36 +264,91 @@ class CellAnnotator:
             labels = self.classifier.classify_many(pooled)
             for snippet, position in pool_index.items():
                 label_memo[snippet] = labels[position]
-        # Demultiplex back into per-cell decisions.  Duplicate occurrences
-        # of a query are accounted against the cache the way the per-cell
-        # path would see them: a hit when the shared resolution succeeded,
-        # another miss when it failed (failures are never cached).
+
+    def _demux(
+        self,
+        queries: Sequence[str],
+        snippets_by_query: dict[str, object],
+        type_keys: list[str],
+    ) -> list[CellDecision]:
+        """Demultiplex resolved queries back into per-cell decisions.
+
+        The Equation 1 vote is a pure function of a query's snippet labels,
+        so it is computed once per distinct query and the (frozen) decision
+        is shared by every cell carrying that query -- across tables, when
+        the batch spans a corpus.  Duplicate occurrences are accounted
+        against the cache the way the per-cell path would see them: a hit
+        when the shared resolution succeeded, another miss when it failed
+        (failures are never cached); every failed occurrence counts toward
+        :attr:`failure_count`.
+        """
+        label_memo = self._label_memo
         decisions: list[CellDecision] = []
-        seen: set[str] = set()
+        decided: dict[str, CellDecision] = {}
         for query in queries:
             snippets = snippets_by_query[query]
-            if self.cache is not None:
-                if query in seen:
-                    if snippets is _FAILED:
-                        self.cache.misses += 1
-                    else:
-                        self.cache.hits += 1
+            decision = decided.get(query)
+            if decision is None:
+                if snippets is _FAILED:
+                    decision = CellDecision(
+                        type_key=None, score=0.0, query=query, failed=True
+                    )
+                elif not snippets:
+                    decision = CellDecision(type_key=None, score=0.0, query=query)
                 else:
-                    seen.add(query)
+                    cell_labels = [
+                        label_memo[snippet]
+                        for snippet in snippets  # type: ignore[union-attr]
+                    ]
+                    decision = self._decide(cell_labels, type_keys, query)
+                decided[query] = decision
+            elif self.cache is not None:
+                if snippets is _FAILED:
+                    self.cache.misses += 1
+                else:
+                    self.cache.hits += 1
             if snippets is _FAILED:
                 self.failure_count += 1
-                decisions.append(
-                    CellDecision(type_key=None, score=0.0, query=query, failed=True)
-                )
-            elif not snippets:
-                decisions.append(CellDecision(type_key=None, score=0.0, query=query))
-            else:
-                cell_labels = [
-                    label_memo[snippet]
-                    for snippet in snippets  # type: ignore[union-attr]
-                ]
-                decisions.append(self._decide(cell_labels, type_keys, query))
+            decisions.append(decision)
         return decisions
+
+    # -- label-memo lifecycle and persistence ---------------------------------------------
+
+    def _active_label_memo(self) -> dict[str, str]:
+        """The lifetime snippet -> label memo, reset on classifier swap."""
+        if self._label_memo_owner is not self.classifier:
+            self._label_memo = {}
+            self._label_memo_owner = self.classifier
+        return self._label_memo
+
+    def save_label_memo(self, path) -> None:
+        """Persist the lifetime snippet -> label memo to *path*.
+
+        The payload is fingerprinted with the fitted classifier's identity
+        (backend, labels, weights): a process holding a differently trained
+        classifier will refuse to load it rather than serve wrong labels.
+        """
+        save_cache_payload(
+            path,
+            kind="label-memo",
+            fingerprint=self.classifier.fingerprint(),
+            payload=dict(self._active_label_memo()),
+        )
+
+    def load_label_memo(self, path) -> bool:
+        """Warm the snippet -> label memo from *path*.
+
+        Returns ``True`` when the file existed, carried the current format
+        version and matched this classifier's fingerprint; stale or foreign
+        files are ignored and ``False`` is returned.
+        """
+        payload = load_cache_payload(
+            path, kind="label-memo", fingerprint=self.classifier.fingerprint()
+        )
+        if payload is None:
+            return False
+        self._active_label_memo().update(payload)
+        return True
 
     # -- Equation 1 --------------------------------------------------------------------
 

@@ -5,16 +5,64 @@
 1. **Pre-processing** (:class:`~repro.core.preprocessing.Preprocessor`)
    keeps only cells that could plausibly name an entity;
 2. **Annotation** (:class:`~repro.core.annotation.CellAnnotator`) resolves
-   all candidate cells of a table in one batch -- queries augmented with a
+   all candidate cells in one batch -- queries augmented with a
    disambiguated city context when spatial disambiguation is enabled,
    deduplicated at the engine, snippets pooled into one classifier call --
    and applies the snippet-majority rule (Equation 1) per cell;
 3. **Post-processing** (:mod:`~repro.core.postprocessing`) eliminates
    spurious annotations via the column-coherence score (Equation 2).
+
+Batching happens at two granularities.  :meth:`EntityAnnotator.annotate_table`
+is table-at-a-time; :meth:`EntityAnnotator.annotate_tables` is
+**corpus-at-a-time**: the candidate cells of *every* table are pooled into
+one engine/classifier pass, so a query string shared by several tables is
+searched, classified and voted on exactly once for the whole run.  The
+returned :class:`~repro.core.results.AnnotationRun` carries corpus-wide
+:class:`~repro.core.results.RunDiagnostics`, and
+:meth:`EntityAnnotator.save_caches` / :meth:`~EntityAnnotator.load_caches`
+persist the engine's amortisation state so a second process starts warm.
+
+>>> import random
+>>> from repro.classify.dataset import TextDataset
+>>> from repro.classify.snippet import SnippetTypeClassifier
+>>> from repro.clock import VirtualClock
+>>> from repro.tables.model import Column, ColumnType, Table
+>>> from repro.web.documents import WebPage
+>>> from repro.web.search import SearchEngine
+>>> rng = random.Random(0)
+>>> words = "exhibit gallery paintings curator collection museum".split()
+>>> dataset = TextDataset()
+>>> for _ in range(30):
+...     dataset.add(" ".join(rng.choices(words, k=8)), "museum")
+...     dataset.add("menu chef cuisine dining wine", "restaurant")
+>>> classifier = SnippetTypeClassifier(backend="svm", min_count=1).fit(dataset)
+>>> engine = SearchEngine(clock=VirtualClock())
+>>> engine.add_pages(
+...     [WebPage(url=f"https://web/stone-hall-{i}", title="Stone Hall",
+...              body="stone hall " + " ".join(rng.choices(words, k=20)))
+...      for i in range(8)]
+... )
+>>> def directory(name):
+...     table = Table(name=name, columns=[Column("Name", ColumnType.TEXT)])
+...     table.append_row(["Stone Hall"])
+...     return table
+>>> annotator = EntityAnnotator(classifier, engine)
+>>> run = annotator.annotate_tables(
+...     [directory("site-a"), directory("site-b")], ["museum", "restaurant"]
+... )
+>>> sorted(run.tables)
+['site-a', 'site-b']
+>>> run.tables["site-a"].cells[0].type_key
+'museum'
+>>> run.diagnostics.n_tables
+2
+>>> run.diagnostics.queries_issued  # "Stone Hall" searched once for the corpus
+1
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.classify.snippet import SnippetTypeClassifier
@@ -23,10 +71,21 @@ from repro.core.config import AnnotatorConfig
 from repro.core.disambiguation import SpatialContextExtractor
 from repro.core.postprocessing import eliminate_spurious
 from repro.core.preprocessing import Preprocessor
-from repro.core.results import AnnotationRun, CellAnnotation, TableAnnotation
+from repro.core.results import (
+    AnnotationRun,
+    CellAnnotation,
+    RunDiagnostics,
+    TableAnnotation,
+)
 from repro.geo.geocoder import Geocoder
 from repro.tables.model import Table
 from repro.web.search import SearchEngine
+
+ENGINE_CACHE_FILE = "search_results.cache"
+"""File name of the persisted engine signature cache inside a cache dir."""
+
+LABEL_MEMO_FILE = "label_memo.cache"
+"""File name of the persisted snippet -> label memo inside a cache dir."""
 
 
 class EntityAnnotator:
@@ -89,12 +148,24 @@ class EntityAnnotator:
         type_keys = list(type_keys)
         if not type_keys:
             raise ValueError("type_keys must be non-empty")
+        annotation, _ = self._annotate_one(table, type_keys)
+        return annotation
+
+    def _annotate_one(
+        self, table: Table, type_keys: list[str]
+    ) -> tuple[TableAnnotation, int]:
+        """One table through the batched path; returns (annotation, n_candidates).
+
+        The single canonical per-table sequence, shared by
+        :meth:`annotate_table` and :meth:`_annotate_tables_sequential` so
+        the corpus parity baseline can never drift from the public method.
+        """
         candidates = self.preprocessor.candidate_cells(table)
         contexts = self._row_contexts(table)
         decisions = self.cell_annotator.annotate_values(
             [(c.value, contexts.get(c.row)) for c in candidates], type_keys
         )
-        return self._collect(table, candidates, decisions)
+        return self._collect(table, candidates, decisions), len(candidates)
 
     def _annotate_table_per_cell(
         self, table: Table, type_keys: Sequence[str]
@@ -151,16 +222,161 @@ class EntityAnnotator:
     def annotate_tables(
         self, tables: Iterable[Table], type_keys: Sequence[str]
     ) -> AnnotationRun:
-        """Annotate every table, returning a corpus-level run."""
-        run = AnnotationRun()
+        """Annotate a whole corpus in one pooled engine/classifier pass.
+
+        Corpus-at-a-time: candidate cells and spatial contexts are computed
+        per table (as always), then every (value, context) pair of every
+        table goes through a single
+        :meth:`~repro.core.annotation.CellAnnotator.annotate_values` batch
+        -- one :meth:`~repro.web.search.SearchEngine.search_many` for the
+        corpus, one pooled ``classify_many``, one Equation 1 vote per
+        distinct query -- and the decisions are demultiplexed back into
+        per-table annotations (post-processing stays per table).
+
+        Output is identical to :meth:`_annotate_tables_sequential`, the
+        retained per-table loop.  Accounting is identical too whenever a
+        shared :class:`~repro.core.annotation.SnippetCache` is in play or
+        no query string repeats across tables; without a cache, a query
+        shared by several tables is issued (and charged) once here versus
+        once per table there -- the protocol-level amortisation that is
+        the point of the corpus path.  The one caveat to output equality:
+        a *failed* repeated query is final for the whole run here, while
+        the per-table loop retries it table by table (failures are never
+        cached), so under random failure injection the two protocols'
+        retry streams -- and hence annotations -- can legitimately
+        diverge; with a healthy engine, a fully-down engine, or distinct
+        queries, they cannot.
+
+        The returned run carries corpus-aggregated
+        :class:`~repro.core.results.RunDiagnostics` spanning every table
+        of the run.
+        """
+        tables = list(tables)
+        type_keys = list(type_keys)
+        if not type_keys:
+            raise ValueError("type_keys must be non-empty")
+        before = self._counters()
+        prepped: list[tuple[Table, list]] = []
+        pairs: list[tuple[str, str | None]] = []
         for table in tables:
-            table_annotation = self.annotate_table(table, type_keys)
-            run.tables[table.name] = table_annotation
+            candidates = self.preprocessor.candidate_cells(table)
+            contexts = self._row_contexts(table)
+            prepped.append((table, candidates))
+            pairs.extend(
+                (candidate.value, contexts.get(candidate.row))
+                for candidate in candidates
+            )
+        decisions = self.cell_annotator.annotate_values(pairs, type_keys)
+        run = AnnotationRun()
+        offset = 0
+        for table, candidates in prepped:
+            n_cells = len(candidates)
+            run.tables[table.name] = self._collect(
+                table, candidates, decisions[offset : offset + n_cells]
+            )
+            offset += n_cells
+        run.diagnostics = self._diagnostics_since(
+            before, n_tables=len(tables), n_cells=len(pairs)
+        )
         return run
+
+    def _annotate_tables_sequential(
+        self, tables: Iterable[Table], type_keys: Sequence[str]
+    ) -> AnnotationRun:
+        """The per-table loop: one batched :meth:`annotate_table` per table.
+
+        Retained (private) as the parity and throughput baseline the
+        corpus-at-a-time path is regression-tested against; diagnostics are
+        aggregated across the whole run exactly as in
+        :meth:`annotate_tables`.
+        """
+        tables = list(tables)
+        type_keys = list(type_keys)
+        if not type_keys:
+            raise ValueError("type_keys must be non-empty")
+        before = self._counters()
+        run = AnnotationRun()
+        n_cells = 0
+        for table in tables:
+            run.tables[table.name], n_candidates = self._annotate_one(
+                table, type_keys
+            )
+            n_cells += n_candidates
+        run.diagnostics = self._diagnostics_since(
+            before, n_tables=len(tables), n_cells=n_cells
+        )
+        return run
+
+    # -- cache persistence ------------------------------------------------------------------
+
+    def save_caches(self, cache_dir) -> None:
+        """Persist the engine's amortisation caches under *cache_dir*.
+
+        Writes two versioned files: the search engine's token-signature ->
+        results cache (``search_results.cache``) and the lifetime
+        snippet -> label memo (``label_memo.cache``).  A later process --
+        or CLI invocation -- over the same corpus and classifier loads
+        them with :meth:`load_caches` and skips the cold start.
+        """
+        cache_dir = Path(cache_dir)
+        self.engine.save_results_cache(cache_dir / ENGINE_CACHE_FILE)
+        self.cell_annotator.save_label_memo(cache_dir / LABEL_MEMO_FILE)
+
+    def load_caches(self, cache_dir) -> dict[str, bool]:
+        """Warm the engine caches from *cache_dir* (see :meth:`save_caches`).
+
+        Returns which cache loaded, e.g. ``{"search_results": True,
+        "label_memo": False}``; a ``False`` means the file was missing or
+        stale (corpus grown, classifier retrained, format changed) and
+        that cache simply starts cold.
+        """
+        cache_dir = Path(cache_dir)
+        return {
+            "search_results": self.engine.load_results_cache(
+                cache_dir / ENGINE_CACHE_FILE
+            ),
+            "label_memo": self.cell_annotator.load_label_memo(
+                cache_dir / LABEL_MEMO_FILE
+            ),
+        }
 
     # -- diagnostics ------------------------------------------------------------------------
 
     @property
     def search_failures(self) -> int:
-        """Number of cells skipped because the engine was unavailable."""
+        """Cells skipped because the engine was unavailable (lifetime).
+
+        Aggregates over every table this annotator ever touched; the
+        per-run view -- aggregated across the tables of one corpus run
+        rather than whatever the last table happened to see -- lives on
+        :attr:`AnnotationRun.diagnostics`.
+        """
         return self.cell_annotator.failure_count
+
+    def _counters(self) -> tuple[int, int, int, int, int, float]:
+        """Snapshot of the counters :class:`RunDiagnostics` deltas over."""
+        cache = self.cell_annotator.cache
+        clock = self.engine.clock
+        return (
+            self.cell_annotator.failure_count,
+            cache.hits if cache is not None else 0,
+            cache.misses if cache is not None else 0,
+            self.engine.query_count,
+            clock.n_charges,
+            clock.elapsed_seconds,
+        )
+
+    def _diagnostics_since(
+        self, before: tuple[int, int, int, int, int, float], n_tables: int, n_cells: int
+    ) -> RunDiagnostics:
+        after = self._counters()
+        return RunDiagnostics(
+            n_tables=n_tables,
+            n_cells=n_cells,
+            search_failures=after[0] - before[0],
+            cache_hits=after[1] - before[1],
+            cache_misses=after[2] - before[2],
+            queries_issued=after[3] - before[3],
+            clock_charges=after[4] - before[4],
+            virtual_seconds=after[5] - before[5],
+        )

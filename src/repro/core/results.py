@@ -63,11 +63,54 @@ class TableAnnotation:
         return len(self.cells)
 
 
+@dataclass(frozen=True)
+class RunDiagnostics:
+    """Aggregate health counters of one corpus annotation run.
+
+    Snapshot deltas over the *whole* run -- every table, not just the last
+    one -- taken by :meth:`repro.core.annotator.EntityAnnotator.annotate_tables`
+    (and its sequential parity baseline) around the annotation work:
+
+    ``search_failures``
+        cells skipped because their (shared) engine request failed;
+    ``cache_hits`` / ``cache_misses``
+        :class:`~repro.core.annotation.SnippetCache` traffic attributable
+        to this run (zero when no cache was passed);
+    ``queries_issued``
+        requests that actually reached the engine;
+    ``clock_charges`` / ``virtual_seconds``
+        simulated remote calls and latency charged, including geocoding
+        when spatial disambiguation is on.
+    """
+
+    n_tables: int
+    n_cells: int
+    search_failures: int
+    cache_hits: int
+    cache_misses: int
+    queries_issued: int
+    clock_charges: int
+    virtual_seconds: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this run's cache lookups served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
 @dataclass
 class AnnotationRun:
-    """Annotations over a whole corpus, keyed by table name."""
+    """Annotations over a whole corpus, keyed by table name.
+
+    ``diagnostics`` (present on runs produced by
+    ``EntityAnnotator.annotate_tables``) aggregates failure and cache
+    counters across the whole corpus; it is excluded from equality so two
+    runs compare on their annotations alone.
+    """
 
     tables: dict[str, TableAnnotation] = field(default_factory=dict)
+    diagnostics: RunDiagnostics | None = field(default=None, compare=False)
 
     def table(self, table_name: str) -> TableAnnotation:
         """The (possibly empty) annotation set of one table."""

@@ -519,6 +519,7 @@ class ThroughputResult:
 
     rows: list[ThroughputRow]
     tables_per_size: int
+    corpus: "CorpusThroughput | None" = None
 
     def render(self) -> str:
         table = format_table(
@@ -551,14 +552,50 @@ class ThroughputResult:
             ],
             title="Throughput: batched annotation engine vs per-cell path (wall clock)",
         )
-        return (
+        text = (
             f"{table}\n(steady = per-table cost over a stream of "
             f"{self.tables_per_size} fresh same-shape tables after the cold "
             "first table; identical = both paths agree on every annotation)"
         )
+        if self.corpus is not None:
+            corpus = self.corpus
+            corpus_table = format_table(
+                [
+                    "Tables",
+                    "Rows",
+                    "Cells",
+                    "Cold s",
+                    "Per-table warm s",
+                    "Corpus warm s",
+                    "Corpus x",
+                    "Warm x",
+                    "Identical",
+                ],
+                [
+                    (
+                        corpus.n_tables,
+                        corpus.n_rows,
+                        corpus.n_cells,
+                        corpus.cold_seconds,
+                        corpus.per_table_seconds,
+                        corpus.corpus_seconds,
+                        corpus.corpus_speedup,
+                        corpus.warm_speedup,
+                        corpus.identical,
+                    )
+                ],
+                title="Corpus-at-a-time annotate_tables vs per-table batching",
+            )
+            text += (
+                f"\n\n{corpus_table}\n(same-directory corpus; warm runs load "
+                "the cold run's persisted caches; corpus path issued "
+                f"{corpus.corpus_queries_issued} engine queries vs "
+                f"{corpus.per_table_queries_issued} for per-table batching)"
+            )
+        return text
 
     def to_json(self) -> dict:
-        return {
+        payload: dict = {
             "benchmark": "throughput",
             "unit": "wall-clock seconds",
             "tables_per_size": self.tables_per_size,
@@ -578,6 +615,27 @@ class ThroughputResult:
                 for row in self.rows
             ],
         }
+        if self.corpus is not None:
+            corpus = self.corpus
+            payload["corpus"] = {
+                "scenario": (
+                    "same-directory corpus; per-table and corpus runs "
+                    "warm-started from the cold run's persisted caches"
+                ),
+                "n_tables": corpus.n_tables,
+                "n_rows": corpus.n_rows,
+                "n_cells": corpus.n_cells,
+                "corpus_queries_issued": corpus.corpus_queries_issued,
+                "per_table_queries_issued": corpus.per_table_queries_issued,
+                "cold_seconds": corpus.cold_seconds,
+                "per_table_seconds": corpus.per_table_seconds,
+                "corpus_seconds": corpus.corpus_seconds,
+                "corpus_speedup_vs_per_table": corpus.corpus_speedup,
+                "warm_speedup_vs_cold": corpus.warm_speedup,
+                "identical_annotations": corpus.identical,
+                "caches_loaded": corpus.caches_loaded,
+            }
+        return payload
 
     def speedup_at(self, n_rows: int) -> float:
         """Steady-state speedup for one table size."""
@@ -587,10 +645,91 @@ class ThroughputResult:
         raise KeyError(n_rows)
 
 
+def _corpus_tables(
+    context: ExperimentContext, n_tables: int, n_rows: int, start: int = 0
+) -> list[Table]:
+    """A same-directory corpus: *n_tables* views of one entity directory.
+
+    Every table lists the same *n_rows* directory rows (name strings shared
+    verbatim across tables) in its own shuffled order -- the shape of many
+    sites mirroring one directory, which is where corpus-at-a-time
+    annotation earns its keep: each distinct cell string is searched,
+    classified and voted on once for the whole corpus instead of once per
+    table.  *start* offsets the row numbering so two corpora share an
+    entity directory (and therefore query signatures) without sharing a
+    single query string.
+    """
+    import random
+
+    rng = random.Random(context.world.config.seed + 7919 + start)
+    entities = context.world.table_entities("restaurant")
+    directory = [
+        f"{entities[i % min(n_rows, len(entities))].table_name} #{start + i}"
+        for i in range(n_rows)
+    ]
+    tables = []
+    for index in range(n_tables):
+        table = Table(
+            name=f"corpus-{start}-{index}",
+            columns=[Column("Name", ColumnType.TEXT)],
+        )
+        order = list(range(n_rows))
+        rng.shuffle(order)
+        for row in order:
+            table.append_row([directory[row]])
+        tables.append(table)
+    return tables
+
+
+@dataclass
+class CorpusThroughput:
+    """Corpus-at-a-time versus per-table batching on a same-directory corpus.
+
+    All three timed regimes annotate the *same* 20-table corpus:
+
+    * ``cold_seconds`` -- ``annotate_tables`` with every compute cache
+      freshly reset (first process ever to see this directory); its caches
+      are then persisted via ``EntityAnnotator.save_caches``;
+    * ``per_table_seconds`` -- the retained per-table loop
+      (``_annotate_tables_sequential``), warm-started from the persisted
+      caches: the fairest baseline, since only the corpus-at-a-time
+      *structure* differs;
+    * ``corpus_seconds`` -- ``annotate_tables`` warm-started the same way
+      (a second process loading the first one's caches).
+    """
+
+    n_tables: int
+    n_rows: int
+    n_cells: int
+    corpus_queries_issued: int
+    per_table_queries_issued: int
+    cold_seconds: float
+    per_table_seconds: float
+    corpus_seconds: float
+    identical: bool
+    caches_loaded: bool
+
+    @property
+    def corpus_speedup(self) -> float:
+        """Warm corpus-at-a-time over warm per-table batching."""
+        if not self.corpus_seconds:
+            return 0.0
+        return self.per_table_seconds / self.corpus_seconds
+
+    @property
+    def warm_speedup(self) -> float:
+        """Warm (persisted-cache) corpus run over its own cold start."""
+        if not self.corpus_seconds:
+            return 0.0
+        return self.cold_seconds / self.corpus_seconds
+
+
 def run_throughput(
     context: ExperimentContext,
     sizes: tuple[int, ...] = (100, 500, 1000, 2000),
     stream_length: int = 2,
+    corpus_tables: int = 20,
+    corpus_rows: int = 200,
 ) -> ThroughputResult:
     """Measure real cells/second of the batched path against the per-cell path.
 
@@ -605,7 +744,13 @@ def run_throughput(
     Both paths must produce identical :class:`TableAnnotation` output for
     every measured table.  Wall-clock time comes from ``perf_counter``
     while the virtual clock keeps charging latencies unobserved.
+
+    A corpus-level scenario follows (see :class:`CorpusThroughput`): a
+    *corpus_tables*-table same-directory corpus annotated corpus-at-a-time
+    versus the per-table loop, cold and warm-started from caches persisted
+    with ``EntityAnnotator.save_caches``.
     """
+    import tempfile
     import time
 
     if stream_length < 1:
@@ -654,7 +799,57 @@ def run_throughput(
                 identical=batch_results == per_cell_results,
             )
         )
-    return ThroughputResult(rows=rows, tables_per_size=stream_length)
+
+    # -- corpus-at-a-time scenario ------------------------------------------------------
+    engine = context.world.search_engine
+    config = AnnotatorConfig()
+    corpus = _corpus_tables(context, corpus_tables, corpus_rows)
+
+    engine.reset_compute_caches()
+    cold_annotator = EntityAnnotator(context.classifiers["svm"], engine, config)
+    start = time.perf_counter()
+    cold_run = cold_annotator.annotate_tables(corpus, ALL_TYPE_KEYS)
+    cold_seconds = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_annotator.save_caches(cache_dir)
+
+        def warm_run_of(method: str) -> tuple[float, AnnotationRun, bool, int]:
+            """Best-of-2 warm timing of one corpus method under loaded caches."""
+            best = float("inf")
+            for _ in range(2):
+                engine.reset_compute_caches()
+                annotator = EntityAnnotator(
+                    context.classifiers["svm"], engine, config
+                )
+                loaded = all(annotator.load_caches(cache_dir).values())
+                start = time.perf_counter()
+                run = getattr(annotator, method)(corpus, ALL_TYPE_KEYS)
+                best = min(best, time.perf_counter() - start)
+            return best, run, loaded, run.diagnostics.queries_issued
+
+        per_table_seconds, per_table_run, loaded_a, per_table_queries = warm_run_of(
+            "_annotate_tables_sequential"
+        )
+        corpus_seconds, corpus_run, loaded_b, corpus_queries = warm_run_of(
+            "annotate_tables"
+        )
+
+    corpus_result = CorpusThroughput(
+        n_tables=corpus_tables,
+        n_rows=corpus_rows,
+        n_cells=cold_run.diagnostics.n_cells,
+        corpus_queries_issued=corpus_queries,
+        per_table_queries_issued=per_table_queries,
+        cold_seconds=cold_seconds,
+        per_table_seconds=per_table_seconds,
+        corpus_seconds=corpus_seconds,
+        identical=cold_run == per_table_run == corpus_run,
+        caches_loaded=loaded_a and loaded_b,
+    )
+    return ThroughputResult(
+        rows=rows, tables_per_size=stream_length, corpus=corpus_result
+    )
 
 
 # ======================================================================== X1

@@ -1,0 +1,83 @@
+"""Versioned on-disk persistence for the pipeline's amortisation caches.
+
+The batched annotation engine earns most of its speed from caches that are
+pure functions of immutable inputs: the search engine's token-signature ->
+ranked-results cache (valid for one exact corpus and one BM25
+parametrisation) and the annotator's snippet -> label memo (valid for one
+fitted classifier).  This module gives both a common durable format so a
+second process -- or a second CLI invocation -- starts warm instead of
+recomputing them.
+
+Every file carries three guards checked on load:
+
+``format_version``
+    bumped whenever the payload layout changes; old files are ignored;
+``kind``
+    what the payload is (``"search-results"``, ``"label-memo"``), so a
+    file can never be loaded into the wrong cache;
+``fingerprint``
+    the producer's identity token (corpus size + BM25 parameters for the
+    engine, a classifier weight digest for the memo).  A mismatch means
+    the world changed -- corpus grew, classifier retrained -- and the
+    cache is silently treated as cold, mirroring the in-memory
+    invalidation hooks (``SearchEngine._validate_caches`` drops ranking
+    caches whenever the corpus grows).
+
+Writes go through a temporary file and ``os.replace`` so a crashed writer
+never leaves a truncated cache behind, and loads treat *any* unreadable
+file as a cold start rather than an error: persistence is an optimisation,
+never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+CACHE_FORMAT_VERSION = 1
+"""Bump when the persisted payload layout changes; old files are ignored."""
+
+
+def save_cache_payload(path, kind: str, fingerprint: Any, payload: Any) -> None:
+    """Atomically write *payload* with version/kind/fingerprint guards."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = {
+        "format_version": CACHE_FORMAT_VERSION,
+        "kind": kind,
+        "fingerprint": fingerprint,
+        "payload": payload,
+    }
+    tmp_path = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(blob, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp_path, path)
+
+
+def load_cache_payload(path, kind: str, fingerprint: Any) -> Any | None:
+    """Read a payload saved by :func:`save_cache_payload`, or ``None``.
+
+    ``None`` means "start cold": the file is missing, unreadable, from a
+    different format version, of a different kind, or was produced against
+    a different fingerprint (the corpus grew, the classifier was
+    retrained, the parameters changed).
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = pickle.load(handle)
+    except Exception:
+        # Unpickling a foreign file can raise nearly anything -- missing
+        # modules or attributes from an old layout, truncation, corruption.
+        # Every failure mode means the same thing here: start cold.
+        return None
+    if not isinstance(blob, dict):
+        return None
+    if blob.get("format_version") != CACHE_FORMAT_VERSION:
+        return None
+    if blob.get("kind") != kind:
+        return None
+    if blob.get("fingerprint") != fingerprint:
+        return None
+    return blob.get("payload")

@@ -23,6 +23,16 @@ class BM25Parameters:
         if not 0.0 <= self.b <= 1.0:
             raise ValueError(f"b must be in [0, 1], got {self.b}")
 
+    def as_tuple(self) -> tuple[float, float]:
+        """``(k1, b)`` -- the parametrisation's persistable identity.
+
+        Part of the fingerprint that versions the search engine's ranking
+        caches on disk: results computed under one (k1, b) are invalid
+        under any other, exactly as the in-memory cache-drop hook treats
+        them.
+        """
+        return (self.k1, self.b)
+
 
 def bm25_norms(
     index: InvertedIndex, parameters: BM25Parameters

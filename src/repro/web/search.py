@@ -28,6 +28,35 @@ drops queries pseudo-randomly -- both are exercised by the failure-handling
 tests of the annotator.  Failure is decided per issued query, *before* any
 compute cache is consulted: a dropped request returns nothing even when the
 engine could have answered it from cache.
+
+The signature -> results cache is also *durable*: :meth:`SearchEngine.save_results_cache`
+writes it (with the per-page snippet-window maps) to disk, fingerprinted by
+corpus size and BM25 parameters, and :meth:`SearchEngine.load_results_cache`
+warms a fresh engine -- in another process -- over the same corpus.
+
+>>> from repro.clock import VirtualClock
+>>> from repro.web.documents import WebPage
+>>> def build_engine():
+...     engine = SearchEngine(clock=VirtualClock())
+...     engine.add_page(WebPage(url="https://web/melisse", title="Hotel Melisse",
+...                             body="hotel melisse rooms lodging suites"))
+...     return engine
+>>> engine = build_engine()
+>>> [hit.title for hit in engine.search("Hotel Melisse", k=3)]
+['Hotel Melisse']
+>>> batch = engine.search_many(["Hotel Melisse", "Hotel Melisse"], k=3)
+>>> [hit.title for hit in batch[1]]
+['Hotel Melisse']
+>>> engine.clock.n_charges  # search() charged 1; the duplicate batch, 1
+2
+>>> import os, tempfile
+>>> tmp = tempfile.TemporaryDirectory()
+>>> path = os.path.join(tmp.name, "search_results.cache")
+>>> engine.save_results_cache(path)
+>>> warm = build_engine()  # a second process over the same corpus
+>>> warm.load_results_cache(path)
+True
+>>> tmp.cleanup()
 """
 
 from __future__ import annotations
@@ -39,6 +68,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.clock import VirtualClock
+from repro.persistence import load_cache_payload, save_cache_payload
 from repro.text.stopwords import ENGLISH_STOPWORDS
 from repro.text.tokenization import tokenize
 from repro.web.documents import WebPage
@@ -234,6 +264,82 @@ class SearchEngine:
         self._page_windows.clear()
         self._word_tokens.clear()
         self._norms = None
+
+    # -- cache persistence ----------------------------------------------------------------
+
+    def cache_fingerprint(self) -> tuple:
+        """Identity token versioning the on-disk ranking caches.
+
+        Covers the state the in-memory cache-drop hook
+        (:meth:`_validate_caches`) watches -- corpus size plus the BM25
+        parametrisation -- and, because a file may meet an engine the
+        in-memory hook never could, actual corpus identity: a digest over
+        every page's url, title and indexed length.  Two same-shaped but
+        different corpora (two worlds differing only in seed, say) thus
+        never masquerade as each other.
+        """
+        import hashlib
+
+        index = self._index
+        hasher = hashlib.sha256()
+        for doc_id in range(index.n_documents):
+            page = index.page(doc_id)
+            hasher.update(page.url.encode())
+            hasher.update(b"\x00")
+            hasher.update(page.title.encode())
+            hasher.update(b"\x00")
+        hasher.update(np.asarray(index.lengths, dtype=np.float64).tobytes())
+        return (
+            "bm25",
+            index.n_documents,
+            hasher.hexdigest(),
+            self.parameters.as_tuple(),
+        )
+
+    def save_results_cache(self, path) -> None:
+        """Persist the signature -> results cache (and window maps) to *path*.
+
+        The file is fingerprinted by :meth:`cache_fingerprint`; stale
+        in-memory entries are dropped first so a cache surviving corpus
+        growth is never written out.
+        """
+        self._validate_caches()
+        save_cache_payload(
+            path,
+            kind="search-results",
+            fingerprint=self.cache_fingerprint(),
+            payload={
+                "results": dict(self._results_cache),
+                "page_windows": dict(self._page_windows),
+                "word_tokens": dict(self._word_tokens),
+                "norms": self._norms,
+            },
+        )
+
+    def load_results_cache(self, path) -> bool:
+        """Warm the compute caches from a file written by :meth:`save_results_cache`.
+
+        Returns ``True`` when the file matched this engine's current
+        fingerprint (same corpus size and BM25 parameters) and was merged
+        in; anything else -- missing file, other format version, corpus
+        grown since the save -- leaves the engine cold and returns
+        ``False``.  Accounting state (clock, query counts, rng) is never
+        restored: a warm start changes compute, not protocol semantics.
+        """
+        self._validate_caches()
+        payload = load_cache_payload(
+            path, kind="search-results", fingerprint=self.cache_fingerprint()
+        )
+        if payload is None:
+            return False
+        self._results_cache.update(payload["results"])
+        self._page_windows.update(payload["page_windows"])
+        self._word_tokens.update(payload["word_tokens"])
+        if self._norms is None and payload["norms"] is not None:
+            self._norms = payload["norms"]
+        self._cache_n_docs = self._index.n_documents
+        self._cache_parameters = self.parameters
+        return True
 
     def _ranked_results(self, query: str, k: int) -> list[SearchResult]:
         """Top-*k* results, cached per token signature.

@@ -1,0 +1,223 @@
+"""Persistence regression: durable engine caches across "processes".
+
+The engine's amortisation state -- the token-signature -> results cache
+and the lifetime snippet -> label memo -- must round-trip through disk
+(``EntityAnnotator.save_caches`` / ``load_caches``) with three guarantees:
+
+* a warm-started annotator produces byte-identical annotations and
+  virtual-clock accounting (warmth changes compute, never protocol);
+* stale caches are *refused*: corpus growth, BM25 parameter changes,
+  classifier retraining and format-version bumps all invalidate the file,
+  mirroring the in-memory cache-drop hooks;
+* loading is never a correctness dependency -- missing or corrupt files
+  just mean a cold start.
+"""
+
+import random
+
+import pytest
+
+from repro import persistence
+from repro.classify.dataset import TextDataset
+from repro.classify.snippet import SnippetTypeClassifier
+from repro.clock import VirtualClock
+from repro.core.annotator import ENGINE_CACHE_FILE, LABEL_MEMO_FILE, EntityAnnotator
+from repro.core.config import AnnotatorConfig
+from repro.tables.model import Column, ColumnType, Table
+from repro.web.documents import WebPage
+from repro.web.ranking import BM25Parameters
+from repro.web.search import SearchEngine
+
+_WORDS = "exhibit gallery paintings curator collection museum".split()
+_NAMES = ["Grand Gallery", "Stone Hall", "Blue Door"]
+
+
+def _make_engine(parameters=None) -> SearchEngine:
+    engine = SearchEngine(clock=VirtualClock(), parameters=parameters)
+    rng = random.Random(0)
+    engine.add_pages(
+        [
+            WebPage(
+                url=f"https://x/{name.replace(' ', '-').lower()}-{i}",
+                title=name,
+                body=f"{name.lower()} " + " ".join(rng.choices(_WORDS, k=30)),
+            )
+            for name in _NAMES
+            for i in range(8)
+        ]
+    )
+    return engine
+
+
+def _train(seed=1) -> SnippetTypeClassifier:
+    rng = random.Random(seed)
+    dataset = TextDataset()
+    for _ in range(60):
+        dataset.add(" ".join(rng.choices(_WORDS, k=12)), "museum")
+        dataset.add("menu chef cuisine dining wine", "restaurant")
+    return SnippetTypeClassifier(backend="svm", min_count=1).fit(dataset)
+
+
+@pytest.fixture(scope="module")
+def classifier() -> SnippetTypeClassifier:
+    return _train()
+
+
+def _table(values) -> Table:
+    table = Table(name="t", columns=[Column("Name", ColumnType.TEXT)])
+    for value in values:
+        table.append_row([value])
+    return table
+
+
+class TestEngineCacheRoundTrip:
+    def test_warm_engine_matches_cold(self, classifier, tmp_path):
+        first = _make_engine()
+        annotator = EntityAnnotator(classifier, first, AnnotatorConfig())
+        cold = annotator.annotate_tables([_table(_NAMES)], ["museum", "restaurant"])
+        annotator.save_caches(tmp_path)
+
+        second = _make_engine()  # "another process" over the same corpus
+        warm_annotator = EntityAnnotator(classifier, second, AnnotatorConfig())
+        loaded = warm_annotator.load_caches(tmp_path)
+        assert loaded == {"search_results": True, "label_memo": True}
+        warm = warm_annotator.annotate_tables(
+            [_table(_NAMES)], ["museum", "restaurant"]
+        )
+        assert warm == cold
+        # Identical protocol accounting: warmth never changes charges.
+        assert second.clock.n_charges == first.clock.n_charges
+        assert second.clock.elapsed_seconds == first.clock.elapsed_seconds
+        # ... but the warm engine answered from the signature cache.
+        assert warm.diagnostics == cold.diagnostics
+
+    def test_save_then_load_same_engine_is_noop_safe(self, tmp_path):
+        engine = _make_engine()
+        engine.search_many(_NAMES, k=5)
+        engine.save_results_cache(tmp_path / "cache.bin")
+        assert engine.load_results_cache(tmp_path / "cache.bin") is True
+
+    def test_missing_file_is_cold_start(self, tmp_path):
+        engine = _make_engine()
+        assert engine.load_results_cache(tmp_path / "nope.bin") is False
+
+    def test_corrupt_file_is_cold_start(self, tmp_path):
+        path = tmp_path / "cache.bin"
+        path.write_bytes(b"not a pickle")
+        engine = _make_engine()
+        assert engine.load_results_cache(path) is False
+
+    def test_corpus_growth_invalidates(self, tmp_path):
+        engine = _make_engine()
+        engine.search_many(_NAMES, k=5)
+        engine.save_results_cache(tmp_path / "cache.bin")
+        grown = _make_engine()
+        grown.add_page(WebPage(url="https://x/new", title="New", body="new page"))
+        assert grown.load_results_cache(tmp_path / "cache.bin") is False
+
+    def test_same_shaped_different_corpus_invalidates(self, tmp_path):
+        # Two corpora with identical page counts and body shapes (two
+        # worlds differing only in seed, say) must not share a cache:
+        # the fingerprint covers content identity, not just size.
+        engine = _make_engine()
+        engine.search_many(_NAMES, k=5)
+        engine.save_results_cache(tmp_path / "cache.bin")
+        other = SearchEngine(clock=VirtualClock())
+        rng = random.Random(99)
+        other.add_pages(
+            [
+                WebPage(
+                    url=f"https://y/{name.replace(' ', '-').lower()}-{i}",
+                    title=name,
+                    body=f"{name.lower()} " + " ".join(rng.choices(_WORDS, k=30)),
+                )
+                for name in ["Iron Court", "Green Arch", "Red Loft"]
+                for i in range(8)
+            ]
+        )
+        assert other.load_results_cache(tmp_path / "cache.bin") is False
+
+    def test_parameter_change_invalidates(self, tmp_path):
+        engine = _make_engine()
+        engine.save_results_cache(tmp_path / "cache.bin")
+        other = _make_engine(parameters=BM25Parameters(k1=1.2, b=0.5))
+        assert other.load_results_cache(tmp_path / "cache.bin") is False
+
+    def test_format_version_bump_invalidates(self, tmp_path, monkeypatch):
+        engine = _make_engine()
+        engine.save_results_cache(tmp_path / "cache.bin")
+        monkeypatch.setattr(persistence, "CACHE_FORMAT_VERSION", 999)
+        assert engine.load_results_cache(tmp_path / "cache.bin") is False
+
+    def test_stale_in_memory_entries_not_saved(self, tmp_path):
+        # Growing the corpus after a search must not leak pre-growth
+        # results into the persisted file.
+        engine = _make_engine()
+        engine.search_many(_NAMES, k=5)
+        engine.add_page(WebPage(url="https://x/new", title="New", body="new page"))
+        engine.save_results_cache(tmp_path / "cache.bin")
+        fresh = _make_engine()
+        fresh.add_page(WebPage(url="https://x/new", title="New", body="new page"))
+        assert fresh.load_results_cache(tmp_path / "cache.bin") is True
+        assert not fresh._results_cache  # nothing stale came along
+
+
+class TestLabelMemoRoundTrip:
+    def test_memo_fingerprinted_by_classifier(self, classifier, tmp_path):
+        engine = _make_engine()
+        annotator = EntityAnnotator(classifier, engine, AnnotatorConfig())
+        annotator.annotate_tables([_table(_NAMES)], ["museum", "restaurant"])
+        annotator.save_caches(tmp_path)
+
+        # Same training -> same fingerprint -> memo loads.
+        twin = EntityAnnotator(_train(), _make_engine(), AnnotatorConfig())
+        assert twin.load_caches(tmp_path)["label_memo"] is True
+        assert twin.cell_annotator._label_memo
+
+        # Different training -> different fingerprint -> refused.
+        other = EntityAnnotator(_train(seed=5), _make_engine(), AnnotatorConfig())
+        assert other.load_caches(tmp_path)["label_memo"] is False
+        assert not other.cell_annotator._label_memo
+
+    def test_fingerprint_stability_and_sensitivity(self, classifier):
+        assert classifier.fingerprint() == classifier.fingerprint()
+        assert _train().fingerprint() == classifier.fingerprint()
+        assert _train(seed=5).fingerprint() != classifier.fingerprint()
+        bayes = SnippetTypeClassifier(backend="bayes", min_count=1)
+        with pytest.raises(RuntimeError):
+            bayes.fingerprint()
+
+    def test_memo_kind_and_engine_kind_not_interchangeable(
+        self, classifier, tmp_path
+    ):
+        engine = _make_engine()
+        annotator = EntityAnnotator(classifier, engine, AnnotatorConfig())
+        annotator.annotate_tables([_table(_NAMES)], ["museum"])
+        annotator.save_caches(tmp_path)
+        # Point each loader at the other's file: both must refuse.
+        assert (
+            engine.load_results_cache(tmp_path / LABEL_MEMO_FILE) is False
+        )
+        assert (
+            annotator.cell_annotator.load_label_memo(
+                tmp_path / ENGINE_CACHE_FILE
+            )
+            is False
+        )
+
+
+class TestPayloadHelpers:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "x.bin"
+        persistence.save_cache_payload(path, "k", ("f", 1), {"a": 1})
+        assert persistence.load_cache_payload(path, "k", ("f", 1)) == {"a": 1}
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        path = tmp_path / "x.bin"
+        persistence.save_cache_payload(path, "k", ("f", 1), {"a": 1})
+        assert persistence.load_cache_payload(path, "k", ("f", 2)) is None
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "x.bin"
+        persistence.save_cache_payload(path, "k", "f", [1, 2])
+        assert persistence.load_cache_payload(path, "k", "f") == [1, 2]

@@ -40,3 +40,16 @@ class TestExecution:
         output = capsys.readouterr().out
         assert "Table 2" in output
         assert "Simpson's episodes" in output
+
+
+class TestCacheDir:
+    def test_cache_dir_saves_then_warm_starts(self, capsys, small_context, tmp_path):
+        cache_dir = tmp_path / "repro-cache"
+        assert cli.main(["figure6", "--small", "--cache-dir", str(cache_dir)]) == 0
+        err = capsys.readouterr().err
+        assert "cold" in err and "saved" in err
+        assert (cache_dir / "search_results.cache").exists()
+
+        # Second invocation over the same world starts warm.
+        assert cli.main(["figure6", "--small", "--cache-dir", str(cache_dir)]) == 0
+        assert "warm from" in capsys.readouterr().err

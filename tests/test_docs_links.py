@@ -1,0 +1,61 @@
+"""Documentation link checker: README.md and docs/ stay navigable.
+
+Every relative markdown link in the top-level documents must point at a
+file (or directory) that exists in the repository.  External ``http(s)``
+links are recorded but never fetched -- this suite runs without network
+access, in CI's docs job included.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _documents() -> list[Path]:
+    documents = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    documents.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return [path for path in documents if path.exists()]
+
+
+def _relative_links(path: Path) -> list[str]:
+    links = []
+    for target in _LINK_RE.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):  # intra-document anchor
+            continue
+        links.append(target.split("#", 1)[0])
+    return links
+
+
+def test_required_documents_exist():
+    assert (REPO_ROOT / "README.md").exists(), "README.md is missing"
+    assert (REPO_ROOT / "docs" / "architecture.md").exists(), (
+        "docs/architecture.md is missing"
+    )
+
+
+@pytest.mark.parametrize(
+    "document", _documents(), ids=lambda path: str(path.relative_to(REPO_ROOT))
+)
+def test_relative_links_resolve(document):
+    broken = []
+    for link in _relative_links(document):
+        target = (document.parent / link).resolve()
+        if not target.exists():
+            broken.append(link)
+    assert not broken, f"broken links in {document.name}: {broken}"
+
+
+def test_docs_are_cross_linked():
+    # The README must lead readers to the architecture document, and the
+    # ROADMAP must point at its relocated performance section.
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/architecture.md" in readme
+    roadmap = (REPO_ROOT / "ROADMAP.md").read_text()
+    assert "docs/architecture.md" in roadmap

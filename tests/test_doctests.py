@@ -10,6 +10,8 @@ import doctest
 import pytest
 
 import repro.classify.metrics
+import repro.core.annotation
+import repro.core.annotator
 import repro.core.clustering
 import repro.eval.reporting
 import repro.geo.gazetteer
@@ -23,9 +25,12 @@ import repro.text.porter
 import repro.text.stopwords
 import repro.text.tokenization
 import repro.text.vectorizer
+import repro.web.search
 
 _MODULES = [
     repro.classify.metrics,
+    repro.core.annotation,
+    repro.core.annotator,
     repro.core.clustering,
     repro.eval.reporting,
     repro.geo.gazetteer,
@@ -39,6 +44,7 @@ _MODULES = [
     repro.text.stopwords,
     repro.text.tokenization,
     repro.text.vectorizer,
+    repro.web.search,
 ]
 
 

@@ -1,0 +1,47 @@
+"""Smoke test: every script in ``examples/`` runs to completion.
+
+Examples are the first code a reader copies, so each one is executed as a
+real subprocess -- its own interpreter, no shared in-process world caches
+-- under the small world configuration every script defaults to.  A script
+that raises, hangs or prints nothing fails the suite (and the CI docs
+job, which runs exactly this file).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 6, "examples/ lost scripts"
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert "corpus_annotation.py" in names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs(script):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited with {completed.returncode}\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
