@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli all               # everything
     python -m repro.cli table1 --small    # fast, reduced-scale world
     python -m repro.cli table1 --small --cache-dir .repro-cache
+    python -m repro.cli throughput --workers 4 --cache-dir .repro-cache
 
 The first experiment of a session pays for world construction and
 classifier training; subsequent experiments reuse the cached context.
@@ -14,11 +15,16 @@ classifier training; subsequent experiments reuse the cached context.
 directory is loaded before the experiments run and saved back after, so a
 *second* invocation over the same world skips the ranking/snippet cold
 start (the cache is fingerprinted and ignored whenever the world differs).
+``--workers N`` forwards a process count to the experiments that shard
+corpora (currently ``throughput``); with ``--cache-dir`` the workers
+warm-start from -- and merge-save back into -- one shared cache directory
+(saves are advisory-locked, so concurrent invocations never lose entries).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from pathlib import Path
@@ -72,10 +78,24 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "directory for persistable engine caches; loaded before the "
             "experiments and saved back after, so a second invocation "
-            "starts warm"
+            "starts warm (safe to share between concurrent invocations: "
+            "saves are merge-on-save under an advisory lock)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for corpus-level experiments that support "
+            "sharding (forwarded to experiments accepting a 'workers' "
+            "argument, e.g. throughput); each worker warm-starts from "
+            "--cache-dir when given (default 1: sequential)"
         ),
     )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     names = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
     config = (
         WorldConfig.small(seed=args.seed)
@@ -103,7 +123,11 @@ def main(argv: list[str] | None = None) -> int:
         )
     for name in names:
         start = time.time()
-        result = _EXPERIMENTS[name](context)
+        runner = _EXPERIMENTS[name]
+        kwargs = {}
+        if "workers" in inspect.signature(runner).parameters:
+            kwargs["workers"] = args.workers
+        result = runner(context, **kwargs)
         print(result.render())
         print(f"[{name} in {time.time() - start:.1f}s]\n", file=sys.stderr)
     if engine_cache is not None:

@@ -261,7 +261,9 @@ class CellAnnotator:
                     pool_index[snippet] = len(pooled)
                     pooled.append(snippet)
         if pooled:
-            labels = self.classifier.classify_many(pooled)
+            labels = self.classifier.classify_many(
+                pooled, workers=self.config.classify_workers
+            )
             for snippet, position in pool_index.items():
                 label_memo[snippet] = labels[position]
 
@@ -321,18 +323,34 @@ class CellAnnotator:
             self._label_memo_owner = self.classifier
         return self._label_memo
 
-    def save_label_memo(self, path) -> None:
+    @staticmethod
+    def merge_label_memos(existing: dict, fresh: dict) -> dict:
+        """Union two persisted snippet -> label memos of one fingerprint.
+
+        Classification is a pure function of the snippet text under one
+        fitted classifier (the fingerprint guards that), so same-keyed
+        entries agree and the merge is the combined key set.  Concurrent
+        workers sharing a cache directory each fold their shard's labels
+        in instead of overwriting each other's.
+        """
+        return {**existing, **fresh}
+
+    def save_label_memo(self, path) -> bool:
         """Persist the lifetime snippet -> label memo to *path*.
 
         The payload is fingerprinted with the fitted classifier's identity
         (backend, labels, weights): a process holding a differently trained
         classifier will refuse to load it rather than serve wrong labels.
+        The write is merge-on-save under an advisory lock, so another
+        worker's entries (same fingerprint) are never discarded; returns
+        ``False`` when the lock timed out and the save was skipped.
         """
-        save_cache_payload(
+        return save_cache_payload(
             path,
             kind="label-memo",
             fingerprint=self.classifier.fingerprint(),
             payload=dict(self._active_label_memo()),
+            merge=self.merge_label_memos,
         )
 
     def load_label_memo(self, path) -> bool:

@@ -220,7 +220,12 @@ class EntityAnnotator:
     # -- corpora ---------------------------------------------------------------------------
 
     def annotate_tables(
-        self, tables: Iterable[Table], type_keys: Sequence[str]
+        self,
+        tables: Iterable[Table],
+        type_keys: Sequence[str],
+        *,
+        workers: int = 1,
+        cache_dir=None,
     ) -> AnnotationRun:
         """Annotate a whole corpus in one pooled engine/classifier pass.
 
@@ -250,11 +255,33 @@ class EntityAnnotator:
         The returned run carries corpus-aggregated
         :class:`~repro.core.results.RunDiagnostics` spanning every table
         of the run.
+
+        ``workers=N`` shards the corpus across ``N`` worker *processes*
+        (see :mod:`repro.core.parallel`): each worker warm-starts from
+        *cache_dir* (when given), runs this very corpus-at-a-time path
+        over its shard, and merge-saves its caches back, so concurrent
+        workers share one cache directory without losing entries.
+        Annotations are byte-identical to ``workers=1`` on a healthy (or
+        fully-down) engine; under random failure injection the workers'
+        independent rng streams may legitimately diverge, exactly like
+        the corpus-vs-sequential caveat above.  With ``workers=1``,
+        *cache_dir* warm-starts this process before the run and
+        merge-saves after it -- the same contract, minus the pool.
         """
         tables = list(tables)
         type_keys = list(type_keys)
         if not type_keys:
             raise ValueError("type_keys must be non-empty")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and len(tables) > 1:
+            from repro.core.parallel import annotate_tables_parallel
+
+            return annotate_tables_parallel(
+                self, tables, type_keys, workers=workers, cache_dir=cache_dir
+            )
+        if cache_dir is not None:
+            self.load_caches(cache_dir)
         before = self._counters()
         prepped: list[tuple[Table, list]] = []
         pairs: list[tuple[str, str | None]] = []
@@ -278,6 +305,8 @@ class EntityAnnotator:
         run.diagnostics = self._diagnostics_since(
             before, n_tables=len(tables), n_cells=len(pairs)
         )
+        if cache_dir is not None:
+            self.save_caches(cache_dir)
         return run
 
     def _annotate_tables_sequential(
@@ -309,7 +338,7 @@ class EntityAnnotator:
 
     # -- cache persistence ------------------------------------------------------------------
 
-    def save_caches(self, cache_dir) -> None:
+    def save_caches(self, cache_dir) -> dict[str, bool]:
         """Persist the engine's amortisation caches under *cache_dir*.
 
         Writes two versioned files: the search engine's token-signature ->
@@ -317,10 +346,22 @@ class EntityAnnotator:
         snippet -> label memo (``label_memo.cache``).  A later process --
         or CLI invocation -- over the same corpus and classifier loads
         them with :meth:`load_caches` and skips the cold start.
+
+        Both writes are merge-on-save under an advisory file lock, so a
+        cache directory shared by concurrent workers unions everybody's
+        entries instead of keeping only the last writer's.  Returns which
+        file was actually written (``False`` means the lock timed out and
+        that save was skipped).
         """
         cache_dir = Path(cache_dir)
-        self.engine.save_results_cache(cache_dir / ENGINE_CACHE_FILE)
-        self.cell_annotator.save_label_memo(cache_dir / LABEL_MEMO_FILE)
+        return {
+            "search_results": self.engine.save_results_cache(
+                cache_dir / ENGINE_CACHE_FILE
+            ),
+            "label_memo": self.cell_annotator.save_label_memo(
+                cache_dir / LABEL_MEMO_FILE
+            ),
+        }
 
     def load_caches(self, cache_dir) -> dict[str, bool]:
         """Warm the engine caches from *cache_dir* (see :meth:`save_caches`).

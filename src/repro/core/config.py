@@ -24,6 +24,11 @@ class AnnotatorConfig:
     disambiguation_max_iterations: int = 30
     disambiguation_epsilon: float = 1e-9
     seed: int = 13
+    classify_workers: int = 1
+    """Scoring threads for pooled snippet classification: the one-vs-rest
+    GEMM is chunked across this many threads (labels are unchanged -- a
+    pure function of the snippet text -- only the wall-clock drops on
+    multi-core hosts).  1 keeps the single-threaded seed behaviour."""
 
     def __post_init__(self) -> None:
         if self.top_k < 1:
@@ -41,6 +46,10 @@ class AnnotatorConfig:
             raise ValueError(
                 "disambiguation_max_iterations must be >= 1, got "
                 f"{self.disambiguation_max_iterations}"
+            )
+        if self.classify_workers < 1:
+            raise ValueError(
+                f"classify_workers must be >= 1, got {self.classify_workers}"
             )
 
     @property

@@ -1,0 +1,161 @@
+"""Process-pool execution layer for corpus annotation.
+
+``EntityAnnotator.annotate_tables(..., workers=N)`` shards a corpus across
+``N`` worker processes.  Each worker holds a full copy of the annotator
+(classifier, engine, config), optionally warm-starts from a shared cache
+directory, annotates its shard corpus-at-a-time, merge-saves its caches
+back (so no worker's save discards another's entries -- see
+:mod:`repro.persistence`), and ships its shard's
+:class:`~repro.core.results.AnnotationRun` home.  The parent reassembles
+the per-table annotations in original corpus order and folds the shard
+diagnostics into one corpus-wide view.
+
+Worker state is established once per process via the pool initializer.
+Under the ``fork`` start method the parent's annotator is inherited by
+reference (copy-on-write, no serialisation at all); under ``spawn`` or
+``forkserver`` a pickled payload is shipped instead.  Either way every
+worker computes with an identical copy of the classifier/engine state, so
+annotations are a pure function of the shard -- which is why the parallel
+path is byte-identical to the sequential one (the parity caveat is the
+same as for corpus-at-a-time batching: under random *failure injection*
+the workers' independent rng streams legitimately diverge from the
+sequential retry stream).
+
+The layer is deliberately dumb about placement: shards are ``N``
+contiguous, near-equal slices of the corpus.  Query deduplication happens
+*within* a shard (each worker runs the normal corpus-at-a-time path); a
+query string spanning two shards is issued once per shard, which the
+merged diagnostics report honestly via ``queries_issued``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.results import AnnotationRun, RunDiagnostics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotator imports us)
+    from repro.core.annotator import EntityAnnotator
+    from repro.tables.model import Table
+
+# Worker-process state, set by _init_worker.  One annotator per process,
+# reused across every shard task that lands on it.
+_WORKER_ANNOTATOR = None
+
+# Fork-path handoff: the parent parks its annotator here right before
+# creating the pool; forked children inherit the reference and the parent
+# clears it immediately after.  Avoids pickling multi-megabyte engine
+# state when the OS can copy-on-write it for free.
+_FORK_PAYLOAD = None
+
+
+def _start_method() -> str:
+    """``fork`` on Linux (cheapest: copy-on-write, no pickling), else the
+    platform default.  macOS lists ``fork`` as available but made ``spawn``
+    the default for a reason -- forking after Apple's system libraries or
+    a BLAS have spun up threads can abort or deadlock the child -- so
+    everywhere but Linux the default start method is honoured."""
+    if sys.platform.startswith("linux") and (
+        "fork" in multiprocessing.get_all_start_methods()
+    ):
+        return "fork"
+    return multiprocessing.get_start_method()
+
+
+def _init_worker(pickled_annotator: bytes | None, cache_dir) -> None:
+    """Pool initializer: materialise this process's annotator, warm it up."""
+    global _WORKER_ANNOTATOR
+    if pickled_annotator is None:
+        _WORKER_ANNOTATOR = _FORK_PAYLOAD  # inherited via fork
+    else:
+        _WORKER_ANNOTATOR = pickle.loads(pickled_annotator)
+    if _WORKER_ANNOTATOR is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker started without an annotator payload")
+    if cache_dir is not None:
+        # Warm start from the shared cache directory.  A cold report is
+        # fine (first worker ever, stale fingerprint, lock timeout): the
+        # caches are an optimisation, never a correctness dependency.
+        _WORKER_ANNOTATOR.load_caches(cache_dir)
+
+
+def _annotate_shard(
+    tables: "Sequence[Table]", type_keys: list[str], cache_dir
+) -> AnnotationRun:
+    """One worker task: corpus-at-a-time over the shard, then merge-save."""
+    run = _WORKER_ANNOTATOR.annotate_tables(tables, type_keys)
+    if cache_dir is not None:
+        # Merge-on-save under the advisory lock: this worker's fresh
+        # entries are unioned with whatever other workers saved first.
+        _WORKER_ANNOTATOR.save_caches(cache_dir)
+    return run
+
+
+def shard_tables(tables: "Sequence[Table]", workers: int) -> list[list["Table"]]:
+    """Split *tables* into ``min(workers, len(tables))`` contiguous shards.
+
+    Shard sizes differ by at most one table; order within and across
+    shards follows the input, so reassembling shard runs in shard order
+    reproduces the sequential table order exactly.
+    """
+    n_shards = min(workers, len(tables))
+    bounds = [round(i * len(tables) / n_shards) for i in range(n_shards + 1)]
+    return [list(tables[bounds[i] : bounds[i + 1]]) for i in range(n_shards)]
+
+
+def annotate_tables_parallel(
+    annotator: "EntityAnnotator",
+    tables: "Sequence[Table]",
+    type_keys: list[str],
+    workers: int,
+    cache_dir=None,
+) -> AnnotationRun:
+    """Annotate *tables* across a pool of *workers* processes.
+
+    The shard -> warm-start -> annotate -> merge-save data flow described
+    in ``docs/architecture.md``.  Returns one :class:`AnnotationRun` whose
+    ``tables`` are in original corpus order and whose ``diagnostics`` are
+    the :meth:`RunDiagnostics.combined` fold of every shard's.
+
+    The *parent* annotator does none of the annotation work, so its
+    lifetime counters (engine clock, ``failure_count``) do not advance --
+    the run's diagnostics carry the workers' accounting.  When *cache_dir*
+    is set the parent warm-starts itself from the merged caches afterwards,
+    so follow-up in-process work benefits from the workers' effort.
+    """
+    tables = list(tables)
+    shards = shard_tables(tables, workers)
+    method = _start_method()
+    context = multiprocessing.get_context(method)
+    global _FORK_PAYLOAD
+    if method == "fork":
+        payload = None
+        _FORK_PAYLOAD = annotator
+    else:  # pragma: no cover - exercised only on spawn-only platforms
+        payload = pickle.dumps(annotator, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=len(shards),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(payload, cache_dir),
+        ) as pool:
+            futures = [
+                pool.submit(_annotate_shard, shard, type_keys, cache_dir)
+                for shard in shards
+            ]
+            shard_runs = [future.result() for future in futures]
+    finally:
+        _FORK_PAYLOAD = None
+    run = AnnotationRun()
+    for shard_run in shard_runs:
+        run.tables.update(shard_run.tables)
+    run.diagnostics = RunDiagnostics.combined(
+        [shard_run.diagnostics for shard_run in shard_runs]
+    )
+    if cache_dir is not None:
+        annotator.load_caches(cache_dir)
+    return run

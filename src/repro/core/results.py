@@ -10,7 +10,7 @@ answers the row-level question; :class:`AnnotationRun` aggregates a corpus.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 
 @dataclass(frozen=True)
@@ -97,6 +97,26 @@ class RunDiagnostics:
         """Fraction of this run's cache lookups served from the cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @classmethod
+    def combined(cls, parts: "Sequence[RunDiagnostics]") -> "RunDiagnostics":
+        """Aggregate of several runs' diagnostics (all counters summed).
+
+        The multi-worker execution layer folds each worker's shard
+        diagnostics into one corpus-wide view with this; ``virtual_seconds``
+        sums too, so it reports the *total* simulated remote latency paid
+        across workers, not the overlapped wall-clock.
+        """
+        return cls(
+            n_tables=sum(part.n_tables for part in parts),
+            n_cells=sum(part.n_cells for part in parts),
+            search_failures=sum(part.search_failures for part in parts),
+            cache_hits=sum(part.cache_hits for part in parts),
+            cache_misses=sum(part.cache_misses for part in parts),
+            queries_issued=sum(part.queries_issued for part in parts),
+            clock_charges=sum(part.clock_charges for part in parts),
+            virtual_seconds=sum(part.virtual_seconds for part in parts),
+        )
 
 
 @dataclass

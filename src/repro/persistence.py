@@ -16,54 +16,110 @@ Every file carries three guards checked on load:
     what the payload is (``"search-results"``, ``"label-memo"``), so a
     file can never be loaded into the wrong cache;
 ``fingerprint``
-    the producer's identity token (corpus size + BM25 parameters for the
-    engine, a classifier weight digest for the memo).  A mismatch means
-    the world changed -- corpus grew, classifier retrained -- and the
-    cache is silently treated as cold, mirroring the in-memory
+    the producer's identity token (corpus content digest + BM25 parameters
+    for the engine, a classifier weight digest for the memo).  A mismatch
+    means the world changed -- corpus grew, classifier retrained -- and
+    the cache is silently treated as cold, mirroring the in-memory
     invalidation hooks (``SearchEngine._validate_caches`` drops ranking
     caches whenever the corpus grows).
 
+Concurrency
+-----------
+A cache directory may be shared by several worker processes (the
+``annotate_tables(workers=N)`` execution layer).  Two mechanisms make that
+safe:
+
+* **advisory file locking** -- every save takes an exclusive ``flock`` on
+  a ``<name>.lock`` sidecar, every load a shared one, so a read never
+  observes a half-finished merge and two writers serialise.  Lock waits
+  are bounded (:data:`DEFAULT_LOCK_TIMEOUT`); on timeout a load reports a
+  cold start (``None``) and a save is skipped (``False``) rather than
+  deadlocking -- persistence is an optimisation, never a correctness
+  dependency.  On platforms without ``fcntl`` locking degrades to
+  best-effort unlocked operation (writes stay atomic either way).
+* **merge-on-save** -- a saver may pass a ``merge`` hook; under the
+  exclusive lock the existing payload (same version, kind and
+  fingerprint) is loaded and merged with the fresh one before the
+  replace, so a worker's save never discards entries another worker
+  persisted in the meantime.  Without a hook the historical
+  last-writer-wins replace is kept.
+
 Writes go through a temporary file and ``os.replace`` so a crashed writer
-never leaves a truncated cache behind, and loads treat *any* unreadable
-file as a cold start rather than an error: persistence is an optimisation,
-never a correctness dependency.
+never leaves a truncated cache behind; the temporary file is unlinked even
+when serialisation fails (disk full, unpicklable payload).  Loads treat
+*any* unreadable file as a cold start rather than an error.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
+
+try:  # POSIX advisory locking; degrade gracefully elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 CACHE_FORMAT_VERSION = 1
 """Bump when the persisted payload layout changes; old files are ignored."""
 
+DEFAULT_LOCK_TIMEOUT = 10.0
+"""Seconds a save/load waits for the advisory lock before giving up."""
 
-def save_cache_payload(path, kind: str, fingerprint: Any, payload: Any) -> None:
-    """Atomically write *payload* with version/kind/fingerprint guards."""
+_LOCK_POLL_SECONDS = 0.02
+"""Interval between non-blocking lock attempts while waiting."""
+
+
+class CacheLockTimeout(Exception):
+    """Internal: the advisory lock could not be acquired in time."""
+
+
+def lock_path_for(path) -> Path:
+    """The sidecar lock file guarding *path* (kept separate from the
+    payload so ``os.replace`` never swaps the inode a lock lives on)."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    blob = {
-        "format_version": CACHE_FORMAT_VERSION,
-        "kind": kind,
-        "fingerprint": fingerprint,
-        "payload": payload,
-    }
-    tmp_path = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-    with open(tmp_path, "wb") as handle:
-        pickle.dump(blob, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp_path, path)
+    return path.with_name(path.name + ".lock")
 
 
-def load_cache_payload(path, kind: str, fingerprint: Any) -> Any | None:
-    """Read a payload saved by :func:`save_cache_payload`, or ``None``.
+@contextmanager
+def _locked(path: Path, exclusive: bool, timeout: float):
+    """Advisory lock on *path*'s sidecar; raises :class:`CacheLockTimeout`.
 
-    ``None`` means "start cold": the file is missing, unreadable, from a
-    different format version, of a different kind, or was produced against
-    a different fingerprint (the corpus grew, the classifier was
-    retrained, the parameters changed).
+    No-op (still yields) when ``fcntl`` is unavailable.
     """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    lock_file = lock_path_for(path)
+    lock_file.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(lock_file, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        operation = (fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH) | fcntl.LOCK_NB
+        deadline = time.monotonic() + max(timeout, 0.0)
+        while True:
+            try:
+                fcntl.flock(fd, operation)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise CacheLockTimeout(
+                        f"could not lock {lock_file} within {timeout:.1f}s"
+                    ) from None
+                time.sleep(_LOCK_POLL_SECONDS)
+        try:
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+
+
+def _read_blob(path) -> dict | None:
+    """The raw guarded blob at *path*, or ``None`` for anything unreadable."""
     try:
         with open(path, "rb") as handle:
             blob = pickle.load(handle)
@@ -72,7 +128,12 @@ def load_cache_payload(path, kind: str, fingerprint: Any) -> Any | None:
         # modules or attributes from an old layout, truncation, corruption.
         # Every failure mode means the same thing here: start cold.
         return None
-    if not isinstance(blob, dict):
+    return blob if isinstance(blob, dict) else None
+
+
+def _payload_of(blob: dict | None, kind: str, fingerprint: Any) -> Any | None:
+    """Extract the payload of a guarded blob iff every guard matches."""
+    if blob is None:
         return None
     if blob.get("format_version") != CACHE_FORMAT_VERSION:
         return None
@@ -81,3 +142,83 @@ def load_cache_payload(path, kind: str, fingerprint: Any) -> Any | None:
     if blob.get("fingerprint") != fingerprint:
         return None
     return blob.get("payload")
+
+
+def save_cache_payload(
+    path,
+    kind: str,
+    fingerprint: Any,
+    payload: Any,
+    merge: Callable[[Any, Any], Any] | None = None,
+    lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+) -> bool:
+    """Atomically write *payload* with version/kind/fingerprint guards.
+
+    With a *merge* hook, the write is load-merge-replace under an
+    exclusive advisory lock: an existing compatible payload (same format
+    version, kind and fingerprint) is combined via ``merge(existing,
+    payload)`` first, so concurrent savers sharing one cache directory
+    union their entries instead of clobbering each other.  An existing
+    *incompatible* file (stale fingerprint, other kind) is simply
+    replaced.
+
+    Returns ``True`` when the file was written; ``False`` when the lock
+    could not be acquired within *lock_timeout* and the save was skipped
+    (the cache on disk is then simply missing this process's entries --
+    an optimisation lost, never a correctness problem).  Serialisation
+    errors (unpicklable payload, disk full) still propagate, but never
+    leave a ``*.tmp.<pid>`` file behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        with _locked(path, exclusive=True, timeout=lock_timeout):
+            if merge is not None:
+                existing = _payload_of(_read_blob(path), kind, fingerprint)
+                if existing is not None:
+                    payload = merge(existing, payload)
+            blob = {
+                "format_version": CACHE_FORMAT_VERSION,
+                "kind": kind,
+                "fingerprint": fingerprint,
+                "payload": payload,
+            }
+            tmp_path = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+            try:
+                with open(tmp_path, "wb") as handle:
+                    pickle.dump(blob, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, path)
+            finally:
+                # pickle.dump may have raised (disk full, unpicklable
+                # payload) before the replace: never leak the temp file.
+                if tmp_path.exists():
+                    try:
+                        tmp_path.unlink()
+                    except OSError:  # pragma: no cover - racing unlink
+                        pass
+    except CacheLockTimeout:
+        return False
+    return True
+
+
+def load_cache_payload(
+    path,
+    kind: str,
+    fingerprint: Any,
+    lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+) -> Any | None:
+    """Read a payload saved by :func:`save_cache_payload`, or ``None``.
+
+    ``None`` means "start cold": the file is missing, unreadable, from a
+    different format version, of a different kind, was produced against a
+    different fingerprint (the corpus grew, the classifier was retrained,
+    the parameters changed) -- or the shared advisory lock could not be
+    acquired within *lock_timeout* (another process is mid-merge and
+    stuck; cold-starting beats crashing or hanging).
+    """
+    try:
+        with _locked(Path(path), exclusive=False, timeout=lock_timeout):
+            blob = _read_blob(path)
+    except CacheLockTimeout:
+        return None
+    return _payload_of(blob, kind, fingerprint)

@@ -15,6 +15,14 @@ from repro.text.porter import stem
 from repro.text.stopwords import ENGLISH_STOPWORDS
 from repro.text.tokenization import tokenize
 
+_UNSEEN = object()
+"""Missing-entry sentinel for the token memo.
+
+An ``""`` default would collide with any token legitimately mapping to an
+empty stem, recomputing (and historically double-counting) it on every
+occurrence; a private object can never equal a stored mapping.
+"""
+
 
 @dataclass
 class TextPipeline:
@@ -24,9 +32,9 @@ class TextPipeline:
     switching one off supports the ablation benchmarks.
 
     A per-instance memo caches each token's fate (dropped as a stopword,
-    or its stem) so feature extraction over thousands of snippets pays
-    the stopword lookup and stemmer only once per distinct token; the
-    memo is discarded if the configuration flags are changed mid-flight.
+    or its stem) so both :meth:`tokens` and :meth:`counts` pay the
+    stopword lookup and stemmer only once per distinct token; the memo is
+    discarded if the configuration flags are changed mid-flight.
 
     >>> TextPipeline().features("The Louvre is a museum in Paris")
     {'louvr': 0.3333333333333333, 'museum': 0.3333333333333333, 'pari': 0.3333333333333333}
@@ -42,21 +50,30 @@ class TextPipeline:
     )
 
     def tokens(self, text: str) -> list[str]:
-        """Lower-cased, stopword-filtered, stemmed tokens of *text*."""
-        tokens = tokenize(text)
-        if self.remove_stopwords:
-            tokens = [t for t in tokens if t not in ENGLISH_STOPWORDS]
-        if self.apply_stemming:
-            tokens = [stem(t) for t in tokens]
-        return tokens
+        """Lower-cased, stopword-filtered, stemmed tokens of *text*.
+
+        Shares the per-token memo with :meth:`counts`, so a pipeline that
+        has featurised a snippet re-tokenises its words without paying the
+        stopword lookup or the stemmer again (and vice versa).
+        """
+        memo = self._token_memo()
+        mapped_tokens: list[str] = []
+        for token in tokenize(text):
+            mapped = memo.get(token, _UNSEEN)
+            if mapped is _UNSEEN:
+                mapped = self._map_token(token)
+                memo[token] = mapped
+            if mapped is not None:
+                mapped_tokens.append(mapped)
+        return mapped_tokens
 
     def counts(self, text: str) -> Counter[str]:
         """Raw token counts after the full pipeline."""
         counter: Counter[str] = Counter()
         memo = self._token_memo()
         for token in tokenize(text):
-            mapped = memo.get(token, "")
-            if mapped == "":
+            mapped = memo.get(token, _UNSEEN)
+            if mapped is _UNSEEN:
                 mapped = self._map_token(token)
                 memo[token] = mapped
             if mapped is not None:

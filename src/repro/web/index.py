@@ -54,6 +54,8 @@ class InvertedIndex:
         self._doc_lengths: list[float] = []
         self._lengths_array: np.ndarray | None = None
         self._total_length = 0.0
+        # (n_documents, digest) pair; recomputed lazily when the corpus grew.
+        self._content_digest: tuple[int, str] | None = None
 
     # -- construction ---------------------------------------------------------------
 
@@ -153,3 +155,31 @@ class InvertedIndex:
 
     def vocabulary_size(self) -> int:
         return len(self._building)
+
+    def content_digest(self) -> str:
+        """Hex digest of the indexed *content* (titles, bodies, boost).
+
+        Pages are immutable and doc ids append-only, so the digest is
+        computed once per corpus state and cached.  Together with the
+        tokenizer (fixed) and :attr:`title_boost` the hashed text fully
+        determines every postings list, so two indexes agree on this
+        digest iff they rank identically -- which is what persisted
+        ranking caches need to check.  Hashing only shapes (url, title,
+        length) is not enough: two corpora whose bodies differ can
+        collide on all three and would then validate each other's caches.
+        """
+        n_docs = len(self._pages)
+        if self._content_digest is not None and self._content_digest[0] == n_docs:
+            return self._content_digest[1]
+        import hashlib
+
+        hasher = hashlib.sha256()
+        hasher.update(repr(self.title_boost).encode())
+        for page in self._pages:
+            hasher.update(b"\x00t\x00")
+            hasher.update(page.title.encode())
+            hasher.update(b"\x00b\x00")
+            hasher.update(page.body.encode())
+        digest = hasher.hexdigest()
+        self._content_digest = (n_docs, digest)
+        return digest

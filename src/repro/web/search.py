@@ -31,8 +31,11 @@ engine could have answered it from cache.
 
 The signature -> results cache is also *durable*: :meth:`SearchEngine.save_results_cache`
 writes it (with the per-page snippet-window maps) to disk, fingerprinted by
-corpus size and BM25 parameters, and :meth:`SearchEngine.load_results_cache`
-warms a fresh engine -- in another process -- over the same corpus.
+the corpus content (size, urls, indexed titles/bodies) and the BM25
+parameters, and :meth:`SearchEngine.load_results_cache` warms a fresh
+engine -- in another process -- over the same corpus.  Saves are
+merge-on-save under an advisory file lock, so concurrent workers sharing
+one cache directory union their entries instead of clobbering each other.
 
 >>> from repro.clock import VirtualClock
 >>> from repro.web.documents import WebPage
@@ -53,6 +56,7 @@ warms a fresh engine -- in another process -- over the same corpus.
 >>> tmp = tempfile.TemporaryDirectory()
 >>> path = os.path.join(tmp.name, "search_results.cache")
 >>> engine.save_results_cache(path)
+True
 >>> warm = build_engine()  # a second process over the same corpus
 >>> warm.load_results_cache(path)
 True
@@ -118,11 +122,22 @@ class SearchEngine:
         parameters: BM25Parameters | None = None,
         failure_rate: float = 0.0,
         seed: int = 13,
+        real_latency_seconds: float = 0.0,
     ) -> None:
         if not 0.0 <= failure_rate <= 1.0:
             raise ValueError(f"failure_rate must be in [0, 1], got {failure_rate}")
+        if real_latency_seconds < 0.0:
+            raise ValueError(
+                f"real_latency_seconds must be >= 0, got {real_latency_seconds}"
+            )
         self.clock = clock or VirtualClock()
         self.latency_seconds = latency_seconds
+        # Wall-clock seconds *actually slept* per issued request.  The
+        # default in-process stand-in only charges virtual time; setting
+        # this reproduces the paper's latency-dominated regime (Section
+        # 6.4: ~0.5 s of connection latency per row) in real time, which
+        # is the regime where concurrent workers overlap their waits.
+        self.real_latency_seconds = real_latency_seconds
         self.parameters = parameters or BM25Parameters()
         self.failure_rate = failure_rate
         self.available = True
@@ -169,8 +184,7 @@ class SearchEngine:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        self.clock.charge(self.latency_seconds)
-        self.query_count += 1
+        self._charge_request()
         if not self.available:
             raise SearchEngineUnavailable("search engine is down")
         if self.failure_rate and self._rng.random() < self.failure_rate:
@@ -223,8 +237,7 @@ class SearchEngine:
         for query in queries:
             if query in resolved:
                 continue
-            self.clock.charge(self.latency_seconds)
-            self.query_count += 1
+            self._charge_request()
             if not self.available or (
                 self.failure_rate and self._rng.random() < self.failure_rate
             ):
@@ -237,6 +250,15 @@ class SearchEngine:
             None if resolved[query] is None else list(resolved[query])
             for query in queries
         ]
+
+    def _charge_request(self) -> None:
+        """Account one issued request: virtual charge + optional real wait."""
+        self.clock.charge(self.latency_seconds)
+        self.query_count += 1
+        if self.real_latency_seconds:
+            import time
+
+            time.sleep(self.real_latency_seconds)
 
     # -- ranking core (batched path) ------------------------------------------------------
 
@@ -273,10 +295,12 @@ class SearchEngine:
         Covers the state the in-memory cache-drop hook
         (:meth:`_validate_caches`) watches -- corpus size plus the BM25
         parametrisation -- and, because a file may meet an engine the
-        in-memory hook never could, actual corpus identity: a digest over
-        every page's url, title and indexed length.  Two same-shaped but
-        different corpora (two worlds differing only in seed, say) thus
-        never masquerade as each other.
+        in-memory hook never could, actual corpus identity: page urls plus
+        the index's content digest over every indexed title and body
+        (which fully determine the postings).  Hashing only url/title/
+        length let two corpora whose *bodies* differ but collide on those
+        fields validate each other's persisted results -- and serve wrong
+        rankings; folding the indexed token content in closes that hole.
         """
         import hashlib
 
@@ -286,9 +310,9 @@ class SearchEngine:
             page = index.page(doc_id)
             hasher.update(page.url.encode())
             hasher.update(b"\x00")
-            hasher.update(page.title.encode())
+            hasher.update(page.language.encode())
             hasher.update(b"\x00")
-        hasher.update(np.asarray(index.lengths, dtype=np.float64).tobytes())
+        hasher.update(index.content_digest().encode())
         return (
             "bm25",
             index.n_documents,
@@ -296,15 +320,42 @@ class SearchEngine:
             self.parameters.as_tuple(),
         )
 
-    def save_results_cache(self, path) -> None:
+    @staticmethod
+    def merge_results_payloads(existing: dict, fresh: dict) -> dict:
+        """Union two persisted ranking payloads of one fingerprint.
+
+        Every entry is a pure function of (corpus, parameters, query), so
+        same-keyed entries are interchangeable and the union is simply the
+        combined key set (fresh entries win ties).  This is the
+        merge-on-save hook that lets concurrent workers share one cache
+        directory: a worker persisting its shard's entries folds in --
+        never clobbers -- what other workers already saved.
+        """
+        return {
+            "results": {**existing["results"], **fresh["results"]},
+            "page_windows": {
+                **existing["page_windows"],
+                **fresh["page_windows"],
+            },
+            "word_tokens": {**existing["word_tokens"], **fresh["word_tokens"]},
+            "norms": (
+                fresh["norms"] if fresh["norms"] is not None else existing["norms"]
+            ),
+        }
+
+    def save_results_cache(self, path) -> bool:
         """Persist the signature -> results cache (and window maps) to *path*.
 
         The file is fingerprinted by :meth:`cache_fingerprint`; stale
         in-memory entries are dropped first so a cache surviving corpus
-        growth is never written out.
+        growth is never written out.  The write is merge-on-save under an
+        advisory lock (see :func:`repro.persistence.save_cache_payload`):
+        entries already persisted by another process against the same
+        fingerprint survive.  Returns ``False`` when the lock could not
+        be acquired and the save was skipped.
         """
         self._validate_caches()
-        save_cache_payload(
+        return save_cache_payload(
             path,
             kind="search-results",
             fingerprint=self.cache_fingerprint(),
@@ -314,6 +365,7 @@ class SearchEngine:
                 "word_tokens": dict(self._word_tokens),
                 "norms": self._norms,
             },
+            merge=self.merge_results_payloads,
         )
 
     def load_results_cache(self, path) -> bool:

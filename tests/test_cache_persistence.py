@@ -137,6 +137,35 @@ class TestEngineCacheRoundTrip:
         )
         assert other.load_results_cache(tmp_path / "cache.bin") is False
 
+    def test_body_only_difference_invalidates(self, tmp_path):
+        # Regression: the fingerprint once covered only url, title and
+        # indexed *length*.  Two corpora whose bodies are permutations of
+        # the same words collide on all three (same urls, titles, token
+        # counts) yet rank different snippets -- they must never validate
+        # each other's persisted results.
+        def permuted_engine(reverse: bool) -> SearchEngine:
+            engine = SearchEngine(clock=VirtualClock())
+            words = ["alpha", "beta", "gamma", "delta"]
+            body_words = list(reversed(words)) if reverse else words
+            engine.add_pages(
+                [
+                    WebPage(
+                        url=f"https://x/page-{i}",
+                        title="Page",
+                        body=" ".join(body_words),
+                    )
+                    for i in range(4)
+                ]
+            )
+            return engine
+
+        engine = permuted_engine(reverse=False)
+        engine.search_many(["alpha"], k=2)
+        engine.save_results_cache(tmp_path / "cache.bin")
+        other = permuted_engine(reverse=True)
+        assert other.cache_fingerprint() != engine.cache_fingerprint()
+        assert other.load_results_cache(tmp_path / "cache.bin") is False
+
     def test_parameter_change_invalidates(self, tmp_path):
         engine = _make_engine()
         engine.save_results_cache(tmp_path / "cache.bin")
@@ -221,3 +250,12 @@ class TestPayloadHelpers:
         path = tmp_path / "deep" / "nested" / "x.bin"
         persistence.save_cache_payload(path, "k", "f", [1, 2])
         assert persistence.load_cache_payload(path, "k", "f") == [1, 2]
+
+    def test_failed_dump_cleans_up_temp_file(self, tmp_path):
+        # Regression: an unpicklable payload (or a full disk) used to
+        # strand a ``*.tmp.<pid>`` file next to the cache.
+        path = tmp_path / "x.bin"
+        with pytest.raises(Exception):
+            persistence.save_cache_payload(path, "k", "f", lambda: None)
+        assert list(tmp_path.iterdir()) in ([], [persistence.lock_path_for(path)])
+        assert not path.exists()

@@ -1,0 +1,244 @@
+"""Parity and contracts of ``annotate_tables(workers=N)``.
+
+The process-pool execution layer (:mod:`repro.core.parallel`) must be a
+pure throughput optimisation: sharding a corpus across workers may change
+*where* the work happens, never what comes back.  This suite pins:
+
+* annotations byte-identical to the sequential run (healthy engine and
+  fully-down engine alike), with the original corpus table order;
+* corpus-wide diagnostics aggregated across every worker's shard;
+* the shared cache directory data flow: workers warm-start from it,
+  merge-save back, and the parent ends up warm too;
+* argument validation and shard assignment.
+"""
+
+import random
+
+import pytest
+
+from repro.classify.dataset import TextDataset
+from repro.classify.snippet import SnippetTypeClassifier
+from repro.clock import VirtualClock
+from repro.core.annotator import EntityAnnotator
+from repro.core.config import AnnotatorConfig
+from repro.core.parallel import shard_tables
+from repro.core.results import RunDiagnostics
+from repro.tables.model import Column, ColumnType, Table
+from repro.web.documents import WebPage
+from repro.web.search import SearchEngine
+
+_WORDS = "exhibit gallery paintings curator collection museum".split()
+_NAMES = [f"Venue {i}" for i in range(24)]
+_TYPE_KEYS = ["museum", "restaurant"]
+
+
+def _make_engine() -> SearchEngine:
+    engine = SearchEngine(clock=VirtualClock())
+    rng = random.Random(0)
+    engine.add_pages(
+        [
+            WebPage(
+                url=f"https://x/{name.replace(' ', '-').lower()}-{i}",
+                title=name,
+                body=f"{name.lower()} " + " ".join(rng.choices(_WORDS, k=30)),
+            )
+            for name in _NAMES
+            for i in range(4)
+        ]
+    )
+    return engine
+
+
+def _train(seed=1) -> SnippetTypeClassifier:
+    rng = random.Random(seed)
+    dataset = TextDataset()
+    for _ in range(60):
+        dataset.add(" ".join(rng.choices(_WORDS, k=12)), "museum")
+        dataset.add("menu chef cuisine dining wine", "restaurant")
+    return SnippetTypeClassifier(backend="svm", min_count=1).fit(dataset)
+
+
+@pytest.fixture(scope="module")
+def classifier() -> SnippetTypeClassifier:
+    return _train()
+
+
+def _corpus(n_tables=8, rows_per_table=3) -> list[Table]:
+    """Distinct-content corpus: every table names its own venues."""
+    tables = []
+    for index in range(n_tables):
+        table = Table(
+            name=f"t{index}", columns=[Column("Name", ColumnType.TEXT)]
+        )
+        for row in range(rows_per_table):
+            table.append_row([_NAMES[(index * rows_per_table + row) % len(_NAMES)]])
+        tables.append(table)
+    return tables
+
+
+class TestParallelParity:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_byte_identical_to_sequential(self, classifier, workers):
+        tables = _corpus()
+        sequential = EntityAnnotator(
+            classifier, _make_engine(), AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS)
+        parallel = EntityAnnotator(
+            classifier, _make_engine(), AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS, workers=workers)
+        assert parallel == sequential
+        # Byte-identical, not merely equal: same tables in the same order
+        # with value-identical cells (repr covers every field).
+        assert repr(sorted(parallel.tables.items())) == repr(
+            sorted(sequential.tables.items())
+        )
+        assert list(parallel.tables) == [table.name for table in tables]
+
+    def test_more_workers_than_tables_clamps(self, classifier):
+        tables = _corpus(n_tables=2)
+        run = EntityAnnotator(
+            classifier, _make_engine(), AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS, workers=16)
+        reference = EntityAnnotator(
+            classifier, _make_engine(), AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS)
+        assert run == reference
+
+    def test_single_table_corpus_stays_sequential(self, classifier):
+        # One table cannot shard; workers>1 must degrade gracefully.
+        tables = _corpus(n_tables=1)
+        run = EntityAnnotator(
+            classifier, _make_engine(), AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS, workers=4)
+        assert set(run.tables) == {"t0"}
+
+    def test_engine_down_everywhere_matches_sequential(self, classifier):
+        tables = _corpus()
+        down_a = _make_engine()
+        down_a.available = False
+        sequential = EntityAnnotator(
+            classifier, down_a, AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS)
+        down_b = _make_engine()
+        down_b.available = False
+        parallel = EntityAnnotator(
+            classifier, down_b, AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS, workers=2)
+        assert parallel == sequential
+        assert (
+            parallel.diagnostics.search_failures
+            == sequential.diagnostics.search_failures
+            > 0
+        )
+
+    def test_workers_must_be_positive(self, classifier):
+        annotator = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
+        with pytest.raises(ValueError, match="workers"):
+            annotator.annotate_tables(_corpus(), _TYPE_KEYS, workers=0)
+
+
+class TestParallelDiagnostics:
+    def test_diagnostics_aggregate_across_workers(self, classifier):
+        tables = _corpus()
+        sequential = EntityAnnotator(
+            classifier, _make_engine(), AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS)
+        parallel = EntityAnnotator(
+            classifier, _make_engine(), AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS, workers=2)
+        assert parallel.diagnostics.n_tables == sequential.diagnostics.n_tables
+        assert parallel.diagnostics.n_cells == sequential.diagnostics.n_cells
+        # Distinct-content corpus: no query spans two shards, so even the
+        # issued-query accounting matches the sequential run exactly.
+        assert (
+            parallel.diagnostics.queries_issued
+            == sequential.diagnostics.queries_issued
+        )
+        assert (
+            parallel.diagnostics.clock_charges
+            == sequential.diagnostics.clock_charges
+        )
+
+    def test_combined_sums_every_counter(self):
+        parts = [
+            RunDiagnostics(
+                n_tables=1,
+                n_cells=2,
+                search_failures=1,
+                cache_hits=3,
+                cache_misses=4,
+                queries_issued=5,
+                clock_charges=6,
+                virtual_seconds=1.5,
+            ),
+            RunDiagnostics(
+                n_tables=2,
+                n_cells=3,
+                search_failures=0,
+                cache_hits=1,
+                cache_misses=1,
+                queries_issued=2,
+                clock_charges=2,
+                virtual_seconds=0.5,
+            ),
+        ]
+        combined = RunDiagnostics.combined(parts)
+        assert combined == RunDiagnostics(
+            n_tables=3,
+            n_cells=5,
+            search_failures=1,
+            cache_hits=4,
+            cache_misses=5,
+            queries_issued=7,
+            clock_charges=8,
+            virtual_seconds=2.0,
+        )
+
+
+class TestSharedCacheDirectory:
+    def test_workers_populate_and_parent_warms(self, classifier, tmp_path):
+        tables = _corpus()
+        annotator = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
+        run = annotator.annotate_tables(
+            tables, _TYPE_KEYS, workers=2, cache_dir=tmp_path
+        )
+        assert run.tables
+        # The workers merge-saved their shard caches; a fresh "process"
+        # over the same corpus and classifier starts warm.
+        fresh = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
+        assert fresh.load_caches(tmp_path) == {
+            "search_results": True,
+            "label_memo": True,
+        }
+        # Every shard's entries made it in (merge, not clobber): the
+        # merged signature cache answers every table's queries.
+        assert fresh.cell_annotator._label_memo
+        warm = fresh.annotate_tables(tables, _TYPE_KEYS)
+        assert warm == run
+        # The parent itself reloaded the merged caches after the pool.
+        assert annotator.engine._results_cache
+
+    def test_sequential_run_honours_cache_dir_too(self, classifier, tmp_path):
+        tables = _corpus(n_tables=3)
+        first = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
+        first.annotate_tables(tables, _TYPE_KEYS, workers=1, cache_dir=tmp_path)
+        second = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
+        loaded = second.load_caches(tmp_path)
+        assert loaded == {"search_results": True, "label_memo": True}
+
+
+class TestShardAssignment:
+    def test_shards_partition_in_order(self):
+        tables = _corpus(n_tables=7)
+        shards = shard_tables(tables, 3)
+        assert len(shards) == 3
+        flattened = [table for shard in shards for table in shard]
+        assert [t.name for t in flattened] == [t.name for t in tables]
+        sizes = sorted(len(shard) for shard in shards)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_no_empty_shards(self):
+        tables = _corpus(n_tables=2)
+        shards = shard_tables(tables, 5)
+        assert len(shards) == 2
+        assert all(shard for shard in shards)

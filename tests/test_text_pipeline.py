@@ -65,6 +65,57 @@ class TestPipelineFeatures:
         assert counts["chef"] == 1
 
 
+class TestTokenMemo:
+    def test_tokens_and_counts_share_one_memo(self, monkeypatch):
+        # Regression: tokens() used to bypass the per-token memo counts()
+        # filled, re-running the stemmer on every call.
+        import repro.text.pipeline as pipeline_module
+
+        calls = []
+        real_stem = pipeline_module.stem
+        monkeypatch.setattr(
+            pipeline_module,
+            "stem",
+            lambda token: calls.append(token) or real_stem(token),
+        )
+        pipeline = TextPipeline()
+        text = "museums galleries museums"
+        pipeline.counts(text)
+        stems_after_counts = len(calls)
+        assert stems_after_counts == 2  # once per *distinct* token
+        pipeline.tokens(text)
+        pipeline.tokens(text)
+        assert len(calls) == stems_after_counts  # memo served every token
+
+    def test_tokens_match_counts_mapping(self):
+        from collections import Counter
+
+        pipeline = TextPipeline()
+        text = "The Museums of Paris are charming museums"
+        assert Counter(pipeline.tokens(text)) == pipeline.counts(text)
+
+    def test_empty_stem_is_memoised_not_recomputed(self, monkeypatch):
+        # Regression: the old "" missing-sentinel collided with a token
+        # legitimately mapping to the empty stem, recomputing it forever.
+        import repro.text.pipeline as pipeline_module
+
+        calls = []
+        monkeypatch.setattr(
+            pipeline_module, "stem", lambda token: calls.append(token) or ""
+        )
+        pipeline = TextPipeline()
+        pipeline.counts("museum museum museum")
+        pipeline.counts("museum")
+        assert len(calls) == 1  # mapped once, memo hit ever after
+        assert pipeline.tokens("museum") == [""]
+
+    def test_memo_reset_when_flags_change(self):
+        pipeline = TextPipeline()
+        assert pipeline.tokens("museums") == ["museum"]
+        pipeline.apply_stemming = False
+        assert pipeline.tokens("museums") == ["museums"]
+
+
 @given(st.text(max_size=150))
 def test_features_sum_to_one_or_empty(text):
     features = TextPipeline().features(text)
