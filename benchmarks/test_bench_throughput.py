@@ -28,9 +28,17 @@ paper's Section 6.4 latency-dominated regime, which is exactly what a
 worker pool overlaps).  The parallel run must be byte-identical to the
 single-worker run and >= 1.5x faster wall-clock.
 
+The skewed-corpus scenario (PR 4) annotates the size mix real web-table
+corpora exhibit -- one 2,000-row giant table followed by 19 small tables
+-- at ``workers=2`` under both schedulers.  Static contiguous sharding
+hands whichever shard holds the giant table nearly the whole run; the
+work-stealing chunk queue must beat it wall-clock, report a lower
+per-worker imbalance ratio, and stay byte-identical to ``workers=1``.
+
 Set ``REPRO_THROUGHPUT_SMOKE=1`` (CI) to run a single small size with no
-artifact writing and no speedup assertions (the workers=2 pool and the
-shared cache directory are still exercised, and parity still asserted).
+artifact writing and no speedup assertions (the workers=2 pool, both
+schedulers and the shared cache directory are still exercised, and parity
+still asserted).
 """
 
 import json
@@ -44,6 +52,9 @@ CORPUS_SHAPE = (5, 20) if SMOKE else (20, 200)  # (tables, rows per table)
 PARALLEL_SHAPE = (6, 20) if SMOKE else (20, 100)  # (tables, rows per table)
 PARALLEL_LATENCY = 0.001 if SMOKE else 0.008  # real seconds per request
 WORKERS = 2
+SKEW_SHAPE = (40, 5, 8) if SMOKE else (2000, 19, 100)
+"""(giant table rows, small table count, small table rows)."""
+SKEW_LATENCY = 0.001 if SMOKE else 0.005  # real seconds per request
 
 MIN_STEADY_SPEEDUP = 5.0
 """Required steady-state speedup on the 500-row table (the ISSUE target)."""
@@ -53,6 +64,12 @@ MIN_CORPUS_SPEEDUP = 2.0
 
 MIN_PARALLEL_SPEEDUP = 1.5
 """Required workers=2 wall-clock gain over workers=1 (latency regime)."""
+
+MIN_SKEW_SPEEDUP = 1.2
+"""Required work-stealing wall-clock gain over static shards on the
+skewed corpus (the theoretical ceiling at this shape is ~1.45x: static
+costs giant+9 small = 2,900 latency units on one worker versus ~2,000
+for the stealing queue's busiest worker)."""
 
 
 def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
@@ -67,6 +84,10 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
             "parallel_tables": PARALLEL_SHAPE[0],
             "parallel_rows": PARALLEL_SHAPE[1],
             "parallel_latency_seconds": PARALLEL_LATENCY,
+            "skew_giant_rows": SKEW_SHAPE[0],
+            "skew_small_tables": SKEW_SHAPE[1],
+            "skew_small_rows": SKEW_SHAPE[2],
+            "skew_latency_seconds": SKEW_LATENCY,
         },
         rounds=1,
         iterations=1,
@@ -75,8 +96,10 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     # Correctness first: the batch path must reproduce the per-cell path's
     # annotations exactly, at every size, in smoke mode too -- the corpus
     # scenario's three runs (cold, warm per-table, warm corpus) must agree
-    # on every annotation -- and the multi-worker run must agree with the
-    # single-worker (and seed) runs over the shared cache directory.
+    # on every annotation -- the multi-worker run must agree with the
+    # single-worker (and seed) runs over the shared cache directory --
+    # and the skewed corpus must come back identical under workers=1,
+    # static shards and the work-stealing queue alike.
     assert all(row.identical for row in result.rows)
     assert result.corpus is not None
     assert result.corpus.identical
@@ -84,6 +107,12 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     assert result.parallel is not None
     assert result.parallel.identical
     assert result.parallel.workers == WORKERS
+    assert result.skewed is not None
+    assert result.skewed.identical
+    assert result.skewed.workers == WORKERS
+    # The chunker split the skewed corpus finer than one task per worker
+    # (otherwise there is nothing to steal).
+    assert result.skewed.stealing_tasks > WORKERS
 
     if SMOKE:
         return
@@ -116,3 +145,10 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     # overlap the remote waits the paper's cost model is dominated by,
     # so the gain holds on any core count.
     assert result.parallel.speedup >= MIN_PARALLEL_SPEEDUP
+
+    # Skewed corpus: the work-stealing queue must beat static contiguous
+    # sharding wall-clock (the ISSUE 4 acceptance criterion) and keep the
+    # pool measurably better balanced.
+    assert result.skewed.speedup_vs_static >= MIN_SKEW_SPEEDUP
+    assert result.skewed.stealing_seconds < result.skewed.static_seconds
+    assert result.skewed.stealing_imbalance <= result.skewed.static_imbalance

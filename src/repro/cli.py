@@ -19,6 +19,10 @@ start (the cache is fingerprinted and ignored whenever the world differs).
 corpora (currently ``throughput``); with ``--cache-dir`` the workers
 warm-start from -- and merge-save back into -- one shared cache directory
 (saves are advisory-locked, so concurrent invocations never lose entries).
+``--schedule static|stealing`` picks the multi-worker scheduler
+(work-stealing chunk queue by default; contiguous static shards as the
+baseline) and ``--chunk-cost`` bounds the per-task cost of the stealing
+queue (0 = automatic).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ import time
 from pathlib import Path
 from typing import Callable
 
+from repro.core.config import SCHEDULES
 from repro.eval import ablation, experiments, extensions
 from repro.synth.world import WorldConfig
 
@@ -93,9 +98,32 @@ def main(argv: list[str] | None = None) -> int:
             "--cache-dir when given (default 1: sequential)"
         ),
     )
+    parser.add_argument(
+        "--schedule",
+        choices=list(SCHEDULES),
+        default="stealing",
+        help=(
+            "how multi-worker experiments place work on the pool: "
+            "'stealing' (default) enqueues cost-bounded chunk tasks that "
+            "idle workers pull as they finish (skew-tolerant); 'static' "
+            "keeps contiguous near-equal shards, one per worker"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-cost",
+        type=int,
+        default=0,
+        help=(
+            "cost budget per work-stealing chunk task, in estimated "
+            "cells (rows x columns); 0 (default) sizes chunks "
+            "automatically at about four tasks per worker"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.chunk_cost < 0:
+        parser.error(f"--chunk-cost must be >= 0, got {args.chunk_cost}")
     names = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
     config = (
         WorldConfig.small(seed=args.seed)
@@ -125,8 +153,13 @@ def main(argv: list[str] | None = None) -> int:
         start = time.time()
         runner = _EXPERIMENTS[name]
         kwargs = {}
-        if "workers" in inspect.signature(runner).parameters:
+        parameters = inspect.signature(runner).parameters
+        if "workers" in parameters:
             kwargs["workers"] = args.workers
+        if "schedule" in parameters:
+            kwargs["schedule"] = args.schedule
+        if "chunk_cost_target" in parameters:
+            kwargs["chunk_cost_target"] = args.chunk_cost
         result = runner(context, **kwargs)
         print(result.render())
         print(f"[{name} in {time.time() - start:.1f}s]\n", file=sys.stderr)

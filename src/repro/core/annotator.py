@@ -256,17 +256,29 @@ class EntityAnnotator:
         :class:`~repro.core.results.RunDiagnostics` spanning every table
         of the run.
 
-        ``workers=N`` shards the corpus across ``N`` worker *processes*
-        (see :mod:`repro.core.parallel`): each worker warm-starts from
+        ``workers=N`` distributes the corpus across ``N`` worker
+        *processes* (see :mod:`repro.core.parallel`).  How the work is
+        placed is ``config.schedule``'s call: ``"stealing"`` (default)
+        enqueues cost-bounded chunk tasks (``config.chunk_cost_target``
+        cells per task, 0 = automatic) that idle workers pull as they
+        finish -- skew-tolerant, a giant table no longer serialises the
+        run on one unlucky worker -- while ``"static"`` keeps contiguous
+        near-equal shards, one per worker.  Each worker warm-starts from
         *cache_dir* (when given), runs this very corpus-at-a-time path
-        over its shard, and merge-saves its caches back, so concurrent
-        workers share one cache directory without losing entries.
-        Annotations are byte-identical to ``workers=1`` on a healthy (or
-        fully-down) engine; under random failure injection the workers'
-        independent rng streams may legitimately diverge, exactly like
-        the corpus-vs-sequential caveat above.  With ``workers=1``,
-        *cache_dir* warm-starts this process before the run and
-        merge-saves after it -- the same contract, minus the pool.
+        over the tasks it pulls, and merge-saves its caches back once at
+        the end of the run, so concurrent workers share one cache
+        directory without losing entries.  The run's
+        ``diagnostics.worker_loads`` record what every worker really did
+        (tasks, cells, busy seconds; see
+        ``RunDiagnostics.imbalance_ratio``).  Annotations are
+        byte-identical to ``workers=1`` under either scheduler on a
+        healthy (or fully-down) engine -- same-named tables merge in
+        corpus order everywhere -- and under random failure injection the
+        workers' independent rng streams may legitimately diverge,
+        exactly like the corpus-vs-sequential caveat above.  With
+        ``workers=1``, *cache_dir* warm-starts this process before the
+        run and merge-saves after it -- the same contract, minus the
+        pool.
         """
         tables = list(tables)
         type_keys = list(type_keys)
@@ -298,8 +310,10 @@ class EntityAnnotator:
         offset = 0
         for table, candidates in prepped:
             n_cells = len(candidates)
-            run.tables[table.name] = self._collect(
-                table, candidates, decisions[offset : offset + n_cells]
+            run.merge_table(
+                self._collect(
+                    table, candidates, decisions[offset : offset + n_cells]
+                )
             )
             offset += n_cells
         run.diagnostics = self._diagnostics_since(
@@ -327,9 +341,8 @@ class EntityAnnotator:
         run = AnnotationRun()
         n_cells = 0
         for table in tables:
-            run.tables[table.name], n_candidates = self._annotate_one(
-                table, type_keys
-            )
+            annotation, n_candidates = self._annotate_one(table, type_keys)
+            run.merge_table(annotation)
             n_cells += n_candidates
         run.diagnostics = self._diagnostics_since(
             before, n_tables=len(tables), n_cells=n_cells

@@ -4,6 +4,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+SCHEDULES = ("static", "stealing")
+"""The recognised multi-worker schedulers (see :mod:`repro.core.parallel`):
+``"stealing"`` pulls cost-bounded chunk tasks from a shared queue,
+``"static"`` pins one contiguous shard per worker.  Single source of
+truth for :class:`AnnotatorConfig`, the execution layer and the CLI."""
+
 
 @dataclass(frozen=True)
 class AnnotatorConfig:
@@ -30,6 +36,25 @@ class AnnotatorConfig:
     pure function of the snippet text -- only the wall-clock drops on
     multi-core hosts).  1 keeps the single-threaded seed behaviour."""
 
+    schedule: str = "stealing"
+    """How ``annotate_tables(workers=N)`` places work on the pool:
+    ``"stealing"`` (default) enqueues cost-bounded chunk tasks that idle
+    workers pull as they finish -- a skewed corpus (one giant table next
+    to hundreds of tiny ones) no longer serialises on one unlucky worker;
+    ``"static"`` keeps PR 3's contiguous near-equal shards, one task per
+    worker, as the parity and benchmark baseline.  Annotations are
+    byte-identical either way (see :mod:`repro.core.parallel`)."""
+
+    chunk_cost_target: int = 0
+    """Cost budget per work-stealing chunk task, in estimated cells
+    (``rows x columns``, the cheap proxy for per-table work).  Consecutive
+    small tables are packed into one task until the budget is reached; a
+    table costing more than the budget travels alone (tables never
+    split).  0 (default) sizes chunks automatically from the corpus:
+    ``total_cost / (workers * 4)``, i.e. about four tasks per worker --
+    fine-grained enough to rebalance around a giant table, coarse enough
+    to keep per-task overhead negligible."""
+
     def __post_init__(self) -> None:
         if self.top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {self.top_k}")
@@ -50,6 +75,15 @@ class AnnotatorConfig:
         if self.classify_workers < 1:
             raise ValueError(
                 f"classify_workers must be >= 1, got {self.classify_workers}"
+            )
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"schedule must be one of {SCHEDULES}, got {self.schedule!r}"
+            )
+        if self.chunk_cost_target < 0:
+            raise ValueError(
+                "chunk_cost_target must be >= 0 (0 = automatic), got "
+                f"{self.chunk_cost_target}"
             )
 
     @property

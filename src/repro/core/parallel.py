@@ -1,50 +1,86 @@
 """Process-pool execution layer for corpus annotation.
 
-``EntityAnnotator.annotate_tables(..., workers=N)`` shards a corpus across
-``N`` worker processes.  Each worker holds a full copy of the annotator
-(classifier, engine, config), optionally warm-starts from a shared cache
-directory, annotates its shard corpus-at-a-time, merge-saves its caches
-back (so no worker's save discards another's entries -- see
-:mod:`repro.persistence`), and ships its shard's
-:class:`~repro.core.results.AnnotationRun` home.  The parent reassembles
-the per-table annotations in original corpus order and folds the shard
-diagnostics into one corpus-wide view.
+``EntityAnnotator.annotate_tables(..., workers=N)`` distributes a corpus
+across ``N`` worker processes.  Each worker holds a full copy of the
+annotator (classifier, engine, config), optionally warm-starts from a
+shared cache directory, annotates the tasks it pulls corpus-at-a-time,
+merge-saves its caches back once at the end of the run (so no worker's
+save discards another's entries -- see :mod:`repro.persistence`), and
+ships each task's :class:`~repro.core.results.AnnotationRun` home.  The
+parent reassembles the per-table annotations deterministically in
+original corpus order -- **merging** same-named tables' cells, never
+replacing them -- and folds the task diagnostics into one corpus-wide
+view with per-worker load accounting
+(:class:`~repro.core.results.WorkerLoad`).
+
+Two schedulers place the work (``AnnotatorConfig.schedule``):
+
+``stealing`` (default)
+    The parent enqueues cost-bounded *chunk* tasks -- consecutive tables
+    packed until a cell-count budget is reached, a giant table travelling
+    alone -- and long-lived workers pull the next task from the shared
+    queue the moment they finish one.  A skewed corpus (one 2,000-row
+    table next to hundreds of tiny ones, the shape real web-table corpora
+    exhibit) keeps every worker busy: whoever draws the giant table works
+    it while the rest drain the small chunks.
+
+``static``
+    PR 3's contiguous near-equal slices, one task per worker.  Retained
+    as the parity and benchmark baseline; on a skewed corpus the worker
+    whose slice holds the giant table serialises the run.
 
 Worker state is established once per process via the pool initializer.
 Under the ``fork`` start method the parent's annotator is inherited by
 reference (copy-on-write, no serialisation at all); under ``spawn`` or
 ``forkserver`` a pickled payload is shipped instead.  Either way every
 worker computes with an identical copy of the classifier/engine state, so
-annotations are a pure function of the shard -- which is why the parallel
-path is byte-identical to the sequential one (the parity caveat is the
-same as for corpus-at-a-time batching: under random *failure injection*
-the workers' independent rng streams legitimately diverge from the
-sequential retry stream).
+annotations are a pure function of the task's tables -- which is why both
+schedulers are byte-identical to the sequential path (the parity caveat
+is the same as for corpus-at-a-time batching: under random *failure
+injection* the workers' independent rng streams legitimately diverge from
+the sequential retry stream).
 
-The layer is deliberately dumb about placement: shards are ``N``
-contiguous, near-equal slices of the corpus.  Query deduplication happens
-*within* a shard (each worker runs the normal corpus-at-a-time path); a
-query string spanning two shards is issued once per shard, which the
-merged diagnostics report honestly via ``queries_issued``.
+The layer stays deliberately dumb about content: query deduplication
+happens *within* a task (each worker runs the normal corpus-at-a-time
+path over the task's tables); a query string spanning two tasks is issued
+once per task, which the merged diagnostics report honestly via
+``queries_issued``.  Chunking is a pure function of the table shapes and
+the cost budget, so a given corpus always yields the same task list.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
+import os
 import pickle
 import sys
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 from typing import TYPE_CHECKING, Sequence
 
-from repro.core.results import AnnotationRun, RunDiagnostics
+from repro.core.config import SCHEDULES
+from repro.core.results import AnnotationRun, RunDiagnostics, WorkerLoad
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotator imports us)
     from repro.core.annotator import EntityAnnotator
     from repro.tables.model import Table
 
+CHUNKS_PER_WORKER = 4
+"""Automatic chunk sizing: aim for this many stealing tasks per worker."""
+
+_FLUSH_BARRIER_TIMEOUT = 120.0
+"""Upper bound on waiting for the save barrier; a broken barrier degrades
+to best-effort saves (merge-on-save makes duplicates harmless)."""
+
 # Worker-process state, set by _init_worker.  One annotator per process,
-# reused across every shard task that lands on it.
+# reused across every task that lands on it.
 _WORKER_ANNOTATOR = None
+
+# Barrier shared by the end-of-run cache-flush tasks (see _flush_caches).
+_WORKER_BARRIER = None
 
 # Fork-path handoff: the parent parks its annotator here right before
 # creating the pool; forked children inherit the reference and the parent
@@ -66,15 +102,16 @@ def _start_method() -> str:
     return multiprocessing.get_start_method()
 
 
-def _init_worker(pickled_annotator: bytes | None, cache_dir) -> None:
+def _init_worker(pickled_annotator: bytes | None, cache_dir, barrier) -> None:
     """Pool initializer: materialise this process's annotator, warm it up."""
-    global _WORKER_ANNOTATOR
+    global _WORKER_ANNOTATOR, _WORKER_BARRIER
     if pickled_annotator is None:
         _WORKER_ANNOTATOR = _FORK_PAYLOAD  # inherited via fork
     else:
         _WORKER_ANNOTATOR = pickle.loads(pickled_annotator)
     if _WORKER_ANNOTATOR is None:  # pragma: no cover - defensive
         raise RuntimeError("worker started without an annotator payload")
+    _WORKER_BARRIER = barrier
     if cache_dir is not None:
         # Warm start from the shared cache directory.  A cold report is
         # fine (first worker ever, stale fingerprint, lock timeout): the
@@ -82,16 +119,50 @@ def _init_worker(pickled_annotator: bytes | None, cache_dir) -> None:
         _WORKER_ANNOTATOR.load_caches(cache_dir)
 
 
-def _annotate_shard(
-    tables: "Sequence[Table]", type_keys: list[str], cache_dir
-) -> AnnotationRun:
-    """One worker task: corpus-at-a-time over the shard, then merge-save."""
+def _annotate_task(
+    index: int, tables: "Sequence[Table]", type_keys: list[str]
+) -> tuple[int, AnnotationRun, int, float]:
+    """One queue task: corpus-at-a-time over *tables*.
+
+    Returns ``(task index, run, worker pid, busy seconds)`` so the parent
+    can reassemble deterministically by index and attribute the work to
+    the process that actually did it.  Cache saving is *not* done here --
+    one save per task would serialise the pool on the advisory lock --
+    but once per worker at the end of the run (:func:`_flush_caches`).
+    """
+    start = time.perf_counter()
     run = _WORKER_ANNOTATOR.annotate_tables(tables, type_keys)
-    if cache_dir is not None:
-        # Merge-on-save under the advisory lock: this worker's fresh
-        # entries are unioned with whatever other workers saved first.
-        _WORKER_ANNOTATOR.save_caches(cache_dir)
-    return run
+    return index, run, os.getpid(), time.perf_counter() - start
+
+
+def _flush_caches(cache_dir) -> int:
+    """End-of-run task: merge-save this worker's caches, exactly once.
+
+    The parent submits one flush task per pool process; the barrier makes
+    each task block until every process holds one, so no worker can drain
+    two flushes while another saves nothing.  A broken barrier (a worker
+    died mid-run) degrades to best-effort: whoever is still alive saves
+    anyway -- merge-on-save under the advisory lock means duplicate or
+    missing saves cost warmth, never correctness.
+    """
+    if _WORKER_BARRIER is not None:
+        try:
+            _WORKER_BARRIER.wait(timeout=_FLUSH_BARRIER_TIMEOUT)
+        except threading.BrokenBarrierError:  # pragma: no cover - worker loss
+            pass
+    _WORKER_ANNOTATOR.save_caches(cache_dir)
+    return os.getpid()
+
+
+def table_cost(table: "Table") -> int:
+    """Cheap per-table work estimate: its cell count (``rows x columns``).
+
+    Annotation cost is dominated by per-candidate-cell engine requests,
+    and candidate count scales with cell count, so the grid size is a
+    good, zero-cost proxy -- it never inspects cell contents.  Every
+    table costs at least 1 so empty tables still occupy a task slot.
+    """
+    return max(1, table.n_rows * table.n_columns)
 
 
 def shard_tables(tables: "Sequence[Table]", workers: int) -> list[list["Table"]]:
@@ -99,11 +170,119 @@ def shard_tables(tables: "Sequence[Table]", workers: int) -> list[list["Table"]]
 
     Shard sizes differ by at most one table; order within and across
     shards follows the input, so reassembling shard runs in shard order
-    reproduces the sequential table order exactly.
+    reproduces the sequential table order exactly.  An empty corpus
+    yields no shards at all; ``workers`` must be positive.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if not tables:
+        return []
     n_shards = min(workers, len(tables))
     bounds = [round(i * len(tables) / n_shards) for i in range(n_shards + 1)]
     return [list(tables[bounds[i] : bounds[i + 1]]) for i in range(n_shards)]
+
+
+def chunk_tables(
+    tables: "Sequence[Table]", chunk_cost_target: int
+) -> list[list["Table"]]:
+    """Pack *tables* into contiguous chunks of at most *chunk_cost_target*
+    estimated cost each (see :func:`table_cost`).
+
+    Consecutive small tables share a chunk until adding the next one
+    would exceed the budget; a table costing more than the budget on its
+    own always travels alone (tables are the atomic unit of work -- they
+    never split).  Chunks preserve the input order, so concatenating them
+    in chunk order reproduces the corpus exactly; the packing is a pure
+    function of the table shapes and the budget, so the same corpus
+    always yields the same task list.
+    """
+    if chunk_cost_target < 1:
+        raise ValueError(
+            f"chunk_cost_target must be >= 1, got {chunk_cost_target}"
+        )
+    chunks: list[list["Table"]] = []
+    current: list["Table"] = []
+    current_cost = 0
+    for table in tables:
+        cost = table_cost(table)
+        if current and current_cost + cost > chunk_cost_target:
+            chunks.append(current)
+            current, current_cost = [], 0
+        current.append(table)
+        current_cost += cost
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def automatic_chunk_cost(tables: "Sequence[Table]", workers: int) -> int:
+    """The default stealing budget: about :data:`CHUNKS_PER_WORKER` chunks
+    per worker -- fine-grained enough that a giant table's neighbours can
+    migrate to idle workers, coarse enough that per-task overhead (pickling
+    a run home) stays negligible."""
+    total = sum(table_cost(table) for table in tables)
+    return max(1, math.ceil(total / max(1, workers * CHUNKS_PER_WORKER)))
+
+
+def _build_tasks(
+    tables: "Sequence[Table]",
+    workers: int,
+    schedule: str,
+    chunk_cost_target: int,
+) -> list[list["Table"]]:
+    """The scheduler's task list: shards (static) or chunks (stealing)."""
+    if schedule not in SCHEDULES:
+        raise ValueError(
+            f"schedule must be one of {SCHEDULES}, got {schedule!r}"
+        )
+    if schedule == "static":
+        return shard_tables(tables, workers)
+    if chunk_cost_target < 0:
+        raise ValueError(
+            "chunk_cost_target must be >= 0 (0 = automatic), got "
+            f"{chunk_cost_target}"
+        )
+    target = chunk_cost_target or automatic_chunk_cost(tables, workers)
+    return chunk_tables(tables, target)
+
+
+def _worker_loads(
+    results: "Sequence[tuple[int, AnnotationRun, int, float]]",
+    n_workers: int,
+) -> tuple[WorkerLoad, ...]:
+    """Fold per-task results into one :class:`WorkerLoad` per pool process.
+
+    Worker ids are assigned by ascending pid -- an arbitrary but stable
+    labelling; the loads themselves record what each process really did,
+    which under stealing is the whole point of the accounting.  Pool
+    processes that never completed a task (one worker drained the whole
+    queue before another finished spawning) still get a zero load, so the
+    imbalance ratio honestly reports the idle worker instead of calling a
+    one-worker run "perfectly balanced"."""
+    by_pid: dict[int, list[tuple[int, AnnotationRun, int, float]]] = {}
+    for result in results:
+        by_pid.setdefault(result[2], []).append(result)
+    loads = [
+        WorkerLoad(
+            worker_id=worker_id,
+            n_tasks=len(group),
+            n_tables=sum(r[1].diagnostics.n_tables for r in group),
+            n_cells=sum(r[1].diagnostics.n_cells for r in group),
+            busy_seconds=sum(r[3] for r in group),
+        )
+        for worker_id, (_, group) in enumerate(sorted(by_pid.items()))
+    ]
+    for worker_id in range(len(loads), n_workers):
+        loads.append(
+            WorkerLoad(
+                worker_id=worker_id,
+                n_tasks=0,
+                n_tables=0,
+                n_cells=0,
+                busy_seconds=0.0,
+            )
+        )
+    return tuple(loads)
 
 
 def annotate_tables_parallel(
@@ -112,24 +291,47 @@ def annotate_tables_parallel(
     type_keys: list[str],
     workers: int,
     cache_dir=None,
+    schedule: str | None = None,
+    chunk_cost_target: int | None = None,
 ) -> AnnotationRun:
     """Annotate *tables* across a pool of *workers* processes.
 
-    The shard -> warm-start -> annotate -> merge-save data flow described
-    in ``docs/architecture.md``.  Returns one :class:`AnnotationRun` whose
-    ``tables`` are in original corpus order and whose ``diagnostics`` are
-    the :meth:`RunDiagnostics.combined` fold of every shard's.
+    The task-queue -> warm-start -> annotate -> merge-save data flow
+    described in ``docs/architecture.md``.  *schedule* and
+    *chunk_cost_target* default to the annotator's config
+    (``AnnotatorConfig.schedule`` / ``.chunk_cost_target``).  Returns one
+    :class:`AnnotationRun` whose ``tables`` are in original corpus order
+    (same-named tables merged, exactly as the sequential path merges
+    them), whose ``diagnostics`` are the :meth:`RunDiagnostics.combined`
+    fold of every task's in task order, and whose
+    ``diagnostics.worker_loads`` record what each pool process really did
+    (tasks, tables, cells, busy seconds -- see
+    ``RunDiagnostics.imbalance_ratio``).
 
     The *parent* annotator does none of the annotation work, so its
     lifetime counters (engine clock, ``failure_count``) do not advance --
     the run's diagnostics carry the workers' accounting.  When *cache_dir*
-    is set the parent warm-starts itself from the merged caches afterwards,
-    so follow-up in-process work benefits from the workers' effort.
+    is set every worker merge-saves its caches once at the end of the run
+    (a barrier hands exactly one flush task to each process), and the
+    parent warm-starts itself from the merged caches afterwards, so
+    follow-up in-process work benefits from the workers' effort.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     tables = list(tables)
-    shards = shard_tables(tables, workers)
+    if schedule is None:
+        schedule = getattr(annotator.config, "schedule", "stealing")
+    if chunk_cost_target is None:
+        chunk_cost_target = getattr(annotator.config, "chunk_cost_target", 0)
+    tasks = _build_tasks(tables, workers, schedule, chunk_cost_target)
+    run = AnnotationRun()
+    if not tasks:
+        run.diagnostics = RunDiagnostics.combined([])
+        return run
+    n_workers = min(workers, len(tasks))
     method = _start_method()
     context = multiprocessing.get_context(method)
+    barrier = context.Barrier(n_workers) if cache_dir is not None else None
     global _FORK_PAYLOAD
     if method == "fork":
         payload = None
@@ -138,23 +340,54 @@ def annotate_tables_parallel(
         payload = pickle.dumps(annotator, protocol=pickle.HIGHEST_PROTOCOL)
     try:
         with ProcessPoolExecutor(
-            max_workers=len(shards),
+            max_workers=n_workers,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(payload, cache_dir),
+            initargs=(payload, cache_dir, barrier),
         ) as pool:
             futures = [
-                pool.submit(_annotate_shard, shard, type_keys, cache_dir)
-                for shard in shards
+                pool.submit(_annotate_task, index, task, type_keys)
+                for index, task in enumerate(tasks)
             ]
-            shard_runs = [future.result() for future in futures]
+            results = []
+            errors: list[BaseException] = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as error:
+                    errors.append(error)
+            if cache_dir is not None:
+                # One flush per pool process: each blocks on the barrier
+                # until every process holds its own, then merge-saves.
+                # Flushing happens even when a task failed, so the work
+                # the surviving tasks already paid for stays warm; if the
+                # *pool* broke (a worker died) the flush fails too and
+                # the original task error is what propagates.
+                try:
+                    flushes = [
+                        pool.submit(_flush_caches, cache_dir)
+                        for _ in range(n_workers)
+                    ]
+                    for flush in flushes:
+                        flush.result()
+                except Exception:
+                    if not errors:
+                        raise
+            if errors:
+                raise errors[0]
     finally:
         _FORK_PAYLOAD = None
-    run = AnnotationRun()
-    for shard_run in shard_runs:
-        run.tables.update(shard_run.tables)
-    run.diagnostics = RunDiagnostics.combined(
-        [shard_run.diagnostics for shard_run in shard_runs]
+    # Deterministic reassembly: tasks are contiguous slices of the corpus,
+    # so walking them in task order visits tables in original corpus
+    # order; merge_table folds duplicate-named tables' cells together in
+    # that same order, byte-identical to the workers=1 run.
+    results.sort(key=lambda result: result[0])
+    for _, task_run, _, _ in results:
+        for annotation in task_run.tables.values():
+            run.merge_table(annotation)
+    run.diagnostics = replace(
+        RunDiagnostics.combined([r[1].diagnostics for r in results]),
+        worker_loads=_worker_loads(results, n_workers),
     )
     if cache_dir is not None:
         annotator.load_caches(cache_dir)

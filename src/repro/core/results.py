@@ -14,6 +14,26 @@ from typing import Iterator, Sequence
 
 
 @dataclass(frozen=True)
+class WorkerLoad:
+    """What one worker process actually did during a parallel corpus run.
+
+    Produced by :mod:`repro.core.parallel` for every worker of a
+    ``workers=N`` run, under both the static and the work-stealing
+    scheduler: how many queue tasks the worker pulled, how many tables
+    and candidate cells those tasks covered, and how long the worker was
+    busy annotating (wall-clock inside the worker, excluding cache
+    saves).  The corpus-wide view lives on
+    :attr:`RunDiagnostics.worker_loads`.
+    """
+
+    worker_id: int
+    n_tasks: int
+    n_tables: int
+    n_cells: int
+    busy_seconds: float
+
+
+@dataclass(frozen=True)
 class CellAnnotation:
     """One annotated cell: position, assigned type and score ``S_ij``."""
 
@@ -80,7 +100,10 @@ class RunDiagnostics:
         requests that actually reached the engine;
     ``clock_charges`` / ``virtual_seconds``
         simulated remote calls and latency charged, including geocoding
-        when spatial disambiguation is on.
+        when spatial disambiguation is on;
+    ``worker_loads``
+        per-worker load accounting of a ``workers=N`` run (one
+        :class:`WorkerLoad` per worker process, empty on in-process runs).
     """
 
     n_tables: int
@@ -91,12 +114,32 @@ class RunDiagnostics:
     queries_issued: int
     clock_charges: int
     virtual_seconds: float
+    worker_loads: tuple[WorkerLoad, ...] = ()
 
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of this run's cache lookups served from the cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """Busiest worker's share of the work relative to a perfect split.
+
+        ``max(busy_seconds) / mean(busy_seconds)`` over
+        :attr:`worker_loads`: 1.0 is a perfectly balanced pool, 2.0 at two
+        workers means one worker served the whole corpus while the other
+        idled.  Falls back to per-worker cell counts when no worker
+        reported busy time, and to 0.0 when fewer than one worker ran
+        (nothing to balance).
+        """
+        if not self.worker_loads:
+            return 0.0
+        busy = [load.busy_seconds for load in self.worker_loads]
+        if not any(busy):
+            busy = [float(load.n_cells) for load in self.worker_loads]
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean else 0.0
 
     @classmethod
     def combined(cls, parts: "Sequence[RunDiagnostics]") -> "RunDiagnostics":
@@ -105,9 +148,14 @@ class RunDiagnostics:
         The multi-worker execution layer folds each worker's shard
         diagnostics into one corpus-wide view with this; ``virtual_seconds``
         sums too, so it reports the *total* simulated remote latency paid
-        across workers, not the overlapped wall-clock.
+        across workers, not the overlapped wall-clock.  ``worker_loads``
+        concatenate in part order (parts of an in-process run contribute
+        nothing).
         """
         return cls(
+            worker_loads=tuple(
+                load for part in parts for load in part.worker_loads
+            ),
             n_tables=sum(part.n_tables for part in parts),
             n_cells=sum(part.n_cells for part in parts),
             search_failures=sum(part.search_failures for part in parts),
@@ -140,6 +188,24 @@ class AnnotationRun:
 
     def add(self, annotation: CellAnnotation) -> None:
         self.table(annotation.table_name).add(annotation)
+
+    def merge_table(self, annotation: TableAnnotation) -> None:
+        """Fold one table's annotations into the run, merging duplicates.
+
+        A corpus may legitimately contain several *distinct* tables that
+        share a name (two sites exporting ``"directory"``); their cells
+        belong to the same :class:`TableAnnotation`, exactly as the
+        per-cell :meth:`add` path has always treated them.  Every corpus
+        assembly point -- sequential, corpus-at-a-time and the parallel
+        reassembly in :mod:`repro.core.parallel` -- goes through this
+        method, so duplicate names merge identically everywhere instead
+        of the last same-named table silently replacing its predecessors.
+        """
+        existing = self.tables.get(annotation.table_name)
+        if existing is None:
+            self.tables[annotation.table_name] = annotation
+        else:
+            existing.cells.extend(annotation.cells)
 
     def all_cells(self) -> Iterator[CellAnnotation]:
         """Every cell annotation in the run, grouped by table."""

@@ -521,6 +521,7 @@ class ThroughputResult:
     tables_per_size: int
     corpus: "CorpusThroughput | None" = None
     parallel: "ParallelThroughput | None" = None
+    skewed: "SkewedThroughput | None" = None
 
     def render(self) -> str:
         table = format_table(
@@ -630,6 +631,50 @@ class ThroughputResult:
                 "so workers overlap the remote waits the paper's Section "
                 "6.4 cost model is dominated by)"
             )
+        if self.skewed is not None:
+            skewed = self.skewed
+            skewed_table = format_table(
+                [
+                    "Tables",
+                    "Giant rows",
+                    "Small rows",
+                    "Latency ms",
+                    "1-worker s",
+                    "Static s",
+                    "Stealing s",
+                    "vs static",
+                    "Static imb",
+                    "Stealing imb",
+                    "Identical",
+                ],
+                [
+                    (
+                        skewed.n_tables,
+                        skewed.giant_rows,
+                        skewed.small_rows,
+                        skewed.real_latency_seconds * 1000.0,
+                        skewed.single_seconds,
+                        skewed.static_seconds,
+                        skewed.stealing_seconds,
+                        skewed.speedup_vs_static,
+                        skewed.static_imbalance,
+                        skewed.stealing_imbalance,
+                        skewed.identical,
+                    )
+                ],
+                title=(
+                    "Work-stealing vs static sharding on a skewed corpus "
+                    f"(workers={skewed.workers}, latency-dominated regime)"
+                ),
+            )
+            text += (
+                f"\n\n{skewed_table}\n(one giant table + many small "
+                "distinct-content tables; static contiguous sharding "
+                "serialises on the shard holding the giant table while the "
+                f"stealing queue ({skewed.stealing_tasks} cost-bounded "
+                "tasks) keeps every worker busy; imb = busiest worker over "
+                "the mean, 1.0 = perfectly balanced)"
+            )
         return text
 
     def to_json(self) -> dict:
@@ -693,6 +738,33 @@ class ThroughputResult:
                 "multi_worker_seconds": parallel.multi_seconds,
                 "speedup_vs_single_worker": parallel.speedup,
                 "identical_annotations": parallel.identical,
+            }
+        if self.skewed is not None:
+            skewed = self.skewed
+            payload["skewed"] = {
+                "scenario": (
+                    "skewed distinct-content corpus (one giant table + "
+                    "many small ones); workers=1, static shards and the "
+                    "work-stealing chunk queue all warm-start from one "
+                    "shared cache directory under real per-request "
+                    "latency; imbalance = busiest worker's busy seconds "
+                    "over the pool mean"
+                ),
+                "n_tables": skewed.n_tables,
+                "giant_rows": skewed.giant_rows,
+                "small_rows": skewed.small_rows,
+                "n_cells": skewed.n_cells,
+                "workers": skewed.workers,
+                "real_latency_seconds": skewed.real_latency_seconds,
+                "single_worker_seconds": skewed.single_seconds,
+                "static_seconds": skewed.static_seconds,
+                "stealing_seconds": skewed.stealing_seconds,
+                "stealing_speedup_vs_static": skewed.speedup_vs_static,
+                "stealing_speedup_vs_single_worker": skewed.speedup_vs_single,
+                "static_imbalance_ratio": skewed.static_imbalance,
+                "stealing_imbalance_ratio": skewed.stealing_imbalance,
+                "stealing_tasks": skewed.stealing_tasks,
+                "identical_annotations": skewed.identical,
             }
         return payload
 
@@ -821,6 +893,60 @@ class ParallelThroughput:
         return self.single_seconds / self.multi_seconds
 
 
+@dataclass
+class SkewedThroughput:
+    """Work-stealing versus static sharding on a heavily skewed corpus.
+
+    Real web-table corpora mix a few giant tables with hundreds of tiny
+    ones; static contiguous sharding hands whichever worker draws the
+    giant table nearly the whole run.  This scenario builds that shape --
+    one *giant_rows*-row table followed by many *small_rows*-row tables,
+    all distinct-content -- and annotates it three ways under real
+    per-request engine latency (the paper's Section 6.4 regime), every
+    run warm-starting from one shared cache directory:
+
+    * ``single_seconds`` -- ``workers=1``, the parity reference;
+    * ``static_seconds`` -- ``workers=N`` with ``schedule="static"``
+      (contiguous shards: the giant table's shard serialises the run);
+    * ``stealing_seconds`` -- ``workers=N`` with ``schedule="stealing"``
+      (cost-bounded chunk queue: one worker takes the giant table while
+      the others drain the small chunks).
+
+    ``static_imbalance`` / ``stealing_imbalance`` are the runs'
+    ``RunDiagnostics.imbalance_ratio`` (busiest worker over the mean, 1.0
+    = perfectly balanced); ``stealing_tasks`` counts the queue tasks the
+    chunker produced.  All three runs must produce identical annotations.
+    """
+
+    n_tables: int
+    giant_rows: int
+    small_rows: int
+    n_cells: int
+    workers: int
+    real_latency_seconds: float
+    single_seconds: float
+    static_seconds: float
+    stealing_seconds: float
+    static_imbalance: float
+    stealing_imbalance: float
+    stealing_tasks: int
+    identical: bool
+
+    @property
+    def speedup_vs_static(self) -> float:
+        """Work-stealing wall-clock gain over static contiguous shards."""
+        if not self.stealing_seconds:
+            return 0.0
+        return self.static_seconds / self.stealing_seconds
+
+    @property
+    def speedup_vs_single(self) -> float:
+        """Work-stealing wall-clock gain over the single-worker run."""
+        if not self.stealing_seconds:
+            return 0.0
+        return self.single_seconds / self.stealing_seconds
+
+
 def run_throughput(
     context: ExperimentContext,
     sizes: tuple[int, ...] = (100, 500, 1000, 2000),
@@ -831,6 +957,12 @@ def run_throughput(
     parallel_tables: int = 20,
     parallel_rows: int = 100,
     parallel_latency_seconds: float = 0.008,
+    schedule: str = "stealing",
+    chunk_cost_target: int = 0,
+    skew_giant_rows: int = 2000,
+    skew_small_tables: int = 19,
+    skew_small_rows: int = 100,
+    skew_latency_seconds: float = 0.005,
 ) -> ThroughputResult:
     """Measure real cells/second of the batched path against the per-cell path.
 
@@ -851,10 +983,16 @@ def run_throughput(
     versus the per-table loop, cold and warm-started from caches persisted
     with ``EntityAnnotator.save_caches``.
 
-    Last, the multi-worker scenario (see :class:`ParallelThroughput`):
+    Then the multi-worker scenario (see :class:`ParallelThroughput`):
     ``annotate_tables(workers=N)`` versus ``workers=1`` on a
     *parallel_tables*-table distinct-content corpus under real
-    per-request engine latency, both runs sharing one cache directory.
+    per-request engine latency, both runs sharing one cache directory
+    (the multi-worker run uses *schedule* / *chunk_cost_target*).
+
+    Last, the skewed-corpus scenario (see :class:`SkewedThroughput`):
+    one *skew_giant_rows*-row giant table plus *skew_small_tables* small
+    tables annotated at ``workers=N`` under the static and the
+    work-stealing scheduler, against the ``workers=1`` reference.
     """
     import tempfile
     import time
@@ -989,7 +1127,11 @@ def run_throughput(
 
             engine.reset_compute_caches()
             multi_annotator = EntityAnnotator(
-                context.classifiers["svm"], engine, config
+                context.classifiers["svm"],
+                engine,
+                AnnotatorConfig(
+                    schedule=schedule, chunk_cost_target=chunk_cost_target
+                ),
             )
             start = time.perf_counter()
             multi_run = multi_annotator.annotate_tables(
@@ -1013,11 +1155,90 @@ def run_throughput(
         multi_seconds=multi_seconds,
         identical=seed_run == single_run == multi_run,
     )
+
+    # -- skewed-corpus scenario ---------------------------------------------------------
+    # The size mix real web-table corpora exhibit: one giant table next
+    # to many small ones, all distinct-content.  The giant table leads,
+    # so the static contiguous split hands shard 1 the giant plus half
+    # the small tables -- the worst case work-stealing exists to fix.
+    skew_base = parallel_tables * parallel_rows
+    skew_corpus = [
+        _corpus_tables(context, 1, skew_giant_rows, start=skew_base)[0]
+    ]
+    for index in range(skew_small_tables):
+        skew_corpus.append(
+            _corpus_tables(
+                context,
+                1,
+                skew_small_rows,
+                start=skew_base + skew_giant_rows + index * skew_small_rows,
+            )[0]
+        )
+    with tempfile.TemporaryDirectory() as skew_cache_dir:
+        engine.reset_compute_caches()
+        skew_seed = EntityAnnotator(context.classifiers["svm"], engine, config)
+        skew_seed_run = skew_seed.annotate_tables(
+            skew_corpus, ALL_TYPE_KEYS, cache_dir=skew_cache_dir
+        )
+        engine.real_latency_seconds = skew_latency_seconds
+        try:
+
+            def skew_timed(
+                run_config: AnnotatorConfig, run_workers: int
+            ) -> tuple[float, AnnotationRun]:
+                engine.reset_compute_caches()
+                annotator = EntityAnnotator(
+                    context.classifiers["svm"], engine, run_config
+                )
+                start = time.perf_counter()
+                run = annotator.annotate_tables(
+                    skew_corpus,
+                    ALL_TYPE_KEYS,
+                    workers=run_workers,
+                    cache_dir=skew_cache_dir,
+                )
+                return time.perf_counter() - start, run
+
+            skew_single_seconds, skew_single_run = skew_timed(config, 1)
+            skew_static_seconds, skew_static_run = skew_timed(
+                AnnotatorConfig(schedule="static"), workers
+            )
+            skew_stealing_seconds, skew_stealing_run = skew_timed(
+                AnnotatorConfig(
+                    schedule="stealing", chunk_cost_target=chunk_cost_target
+                ),
+                workers,
+            )
+        finally:
+            engine.real_latency_seconds = 0.0
+
+    skewed_result = SkewedThroughput(
+        n_tables=len(skew_corpus),
+        giant_rows=skew_giant_rows,
+        small_rows=skew_small_rows,
+        n_cells=skew_seed_run.diagnostics.n_cells,
+        workers=workers,
+        real_latency_seconds=skew_latency_seconds,
+        single_seconds=skew_single_seconds,
+        static_seconds=skew_static_seconds,
+        stealing_seconds=skew_stealing_seconds,
+        static_imbalance=skew_static_run.diagnostics.imbalance_ratio,
+        stealing_imbalance=skew_stealing_run.diagnostics.imbalance_ratio,
+        stealing_tasks=sum(
+            load.n_tasks
+            for load in skew_stealing_run.diagnostics.worker_loads
+        ),
+        identical=skew_seed_run
+        == skew_single_run
+        == skew_static_run
+        == skew_stealing_run,
+    )
     return ThroughputResult(
         rows=rows,
         tables_per_size=stream_length,
         corpus=corpus_result,
         parallel=parallel_result,
+        skewed=skewed_result,
     )
 
 

@@ -18,6 +18,14 @@ class TestArgumentParsing:
         with pytest.raises(SystemExit):
             cli.main([])
 
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["figure7", "--small", "--schedule", "round-robin"])
+
+    def test_negative_chunk_cost_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["figure7", "--small", "--chunk-cost", "-1"])
+
 
 class TestExecution:
     def test_figure7_small(self, capsys, small_context):

@@ -1,15 +1,21 @@
 """Parity and contracts of ``annotate_tables(workers=N)``.
 
 The process-pool execution layer (:mod:`repro.core.parallel`) must be a
-pure throughput optimisation: sharding a corpus across workers may change
-*where* the work happens, never what comes back.  This suite pins:
+pure throughput optimisation: distributing a corpus across workers may
+change *where* the work happens, never what comes back.  This suite pins:
 
 * annotations byte-identical to the sequential run (healthy engine and
-  fully-down engine alike), with the original corpus table order;
-* corpus-wide diagnostics aggregated across every worker's shard;
+  fully-down engine alike), with the original corpus table order, under
+  both the static and the work-stealing scheduler;
+* skewed corpora (one giant table + many small ones) and duplicate table
+  names split across tasks -- the merge reassembly must match the
+  sequential run cell for cell;
+* corpus-wide diagnostics aggregated across every task, with per-worker
+  load accounting that sums back to the corpus totals;
 * the shared cache directory data flow: workers warm-start from it,
   merge-save back, and the parent ends up warm too;
-* argument validation and shard assignment.
+* argument validation, shard assignment, and deterministic cost-bounded
+  chunking (including the empty-corpus and zero-worker edge cases).
 """
 
 import random
@@ -21,8 +27,14 @@ from repro.classify.snippet import SnippetTypeClassifier
 from repro.clock import VirtualClock
 from repro.core.annotator import EntityAnnotator
 from repro.core.config import AnnotatorConfig
-from repro.core.parallel import shard_tables
-from repro.core.results import RunDiagnostics
+from repro.core.parallel import (
+    annotate_tables_parallel,
+    automatic_chunk_cost,
+    chunk_tables,
+    shard_tables,
+    table_cost,
+)
+from repro.core.results import RunDiagnostics, WorkerLoad
 from repro.tables.model import Column, ColumnType, Table
 from repro.web.documents import WebPage
 from repro.web.search import SearchEngine
@@ -242,3 +254,297 @@ class TestShardAssignment:
         shards = shard_tables(tables, 5)
         assert len(shards) == 2
         assert all(shard for shard in shards)
+
+    def test_empty_corpus_yields_no_shards(self):
+        # Regression: this used to divide by zero (min(workers, 0) == 0).
+        assert shard_tables([], 4) == []
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_non_positive_workers_raise(self, workers):
+        # Regression: workers=0 used to divide by zero instead of telling
+        # the caller what was wrong.
+        with pytest.raises(ValueError, match="workers"):
+            shard_tables(_corpus(n_tables=2), workers)
+
+
+def _skewed_corpus(giant_rows=12, n_small=6, small_rows=2) -> list[Table]:
+    """One giant table followed by small distinct-content tables."""
+    tables = [
+        Table(name="giant", columns=[Column("Name", ColumnType.TEXT)])
+    ]
+    for row in range(giant_rows):
+        tables[0].append_row([_NAMES[row % len(_NAMES)]])
+    for index in range(n_small):
+        table = Table(
+            name=f"small-{index}", columns=[Column("Name", ColumnType.TEXT)]
+        )
+        for row in range(small_rows):
+            table.append_row(
+                [_NAMES[(giant_rows + index * small_rows + row) % len(_NAMES)]]
+            )
+        tables.append(table)
+    return tables
+
+
+class TestChunking:
+    def test_chunks_preserve_corpus_order(self):
+        tables = _skewed_corpus()
+        chunks = chunk_tables(tables, 6)
+        flattened = [table for chunk in chunks for table in chunk]
+        assert [t.name for t in flattened] == [t.name for t in tables]
+
+    def test_multi_table_chunks_respect_the_budget(self):
+        tables = _skewed_corpus()
+        target = 6
+        for chunk in chunk_tables(tables, target):
+            if len(chunk) > 1:
+                assert sum(table_cost(t) for t in chunk) <= target
+
+    def test_giant_table_travels_alone(self):
+        tables = _skewed_corpus(giant_rows=12, n_small=4, small_rows=2)
+        chunks = chunk_tables(tables, 6)
+        assert [t.name for t in chunks[0]] == ["giant"]
+        assert len(chunks) > 2  # the small tables split into several tasks
+
+    def test_chunking_is_deterministic(self):
+        tables = _skewed_corpus()
+        first = chunk_tables(tables, 5)
+        second = chunk_tables(list(tables), 5)
+        assert [[t.name for t in chunk] for chunk in first] == [
+            [t.name for t in chunk] for chunk in second
+        ]
+
+    def test_empty_corpus_yields_no_chunks(self):
+        assert chunk_tables([], 10) == []
+
+    def test_non_positive_target_raises(self):
+        with pytest.raises(ValueError, match="chunk_cost_target"):
+            chunk_tables(_skewed_corpus(), 0)
+
+    def test_automatic_cost_aims_for_chunks_per_worker(self):
+        tables = _corpus(n_tables=8, rows_per_table=4)
+        target = automatic_chunk_cost(tables, workers=2)
+        assert target >= 1
+        total = sum(table_cost(t) for t in tables)
+        # ~4 tasks per worker: the per-chunk budget is total / 8.
+        assert target == -(-total // 8)
+
+    def test_table_cost_is_the_cell_count(self):
+        table = _skewed_corpus()[0]
+        assert table_cost(table) == table.n_rows * table.n_columns
+        empty = Table(name="e", columns=[Column("Name", ColumnType.TEXT)])
+        assert table_cost(empty) == 1  # still occupies a task slot
+
+
+class TestWorkStealing:
+    @pytest.mark.parametrize("schedule", ["static", "stealing"])
+    def test_skewed_corpus_matches_sequential(self, classifier, schedule):
+        tables = _skewed_corpus()
+        sequential = EntityAnnotator(
+            classifier, _make_engine(), AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS)
+        parallel = EntityAnnotator(
+            classifier,
+            _make_engine(),
+            AnnotatorConfig(schedule=schedule, chunk_cost_target=5),
+        ).annotate_tables(tables, _TYPE_KEYS, workers=2)
+        assert parallel == sequential
+        assert repr(sorted(parallel.tables.items())) == repr(
+            sorted(sequential.tables.items())
+        )
+        assert list(parallel.tables) == [table.name for table in tables]
+
+    @pytest.mark.parametrize("schedule", ["static", "stealing"])
+    def test_duplicate_table_names_merge_like_sequential(
+        self, classifier, schedule
+    ):
+        # Two *distinct* tables share the name "t" and land in different
+        # tasks.  Regression: reassembly used to replace the first "t"
+        # annotation with the second instead of merging the cells the way
+        # the sequential run does.
+        def named(name: str, names: list[str]) -> Table:
+            table = Table(
+                name=name, columns=[Column("Name", ColumnType.TEXT)]
+            )
+            for value in names:
+                table.append_row([value])
+            return table
+
+        tables = [
+            named("t", [_NAMES[0], _NAMES[1]]),
+            named("mid-0", [_NAMES[2]]),
+            named("mid-1", [_NAMES[3]]),
+            named("t", [_NAMES[4], _NAMES[5]]),
+        ]
+        sequential = EntityAnnotator(
+            classifier, _make_engine(), AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS)
+        parallel = EntityAnnotator(
+            classifier,
+            _make_engine(),
+            AnnotatorConfig(schedule=schedule, chunk_cost_target=1),
+        ).annotate_tables(tables, _TYPE_KEYS, workers=2)
+        # Both same-named tables contributed cells, in corpus order.
+        assert {cell.cell_value for cell in sequential.tables["t"].cells} > {
+            cell.cell_value for cell in sequential.tables["t"].cells[:1]
+        }
+        assert parallel == sequential
+        assert repr(parallel.tables["t"].cells) == repr(
+            sequential.tables["t"].cells
+        )
+        assert list(parallel.tables) == ["t", "mid-0", "mid-1"]
+
+    def test_worker_loads_sum_to_corpus_totals(self, classifier):
+        tables = _skewed_corpus()
+        annotator = EntityAnnotator(
+            classifier,
+            _make_engine(),
+            AnnotatorConfig(schedule="stealing", chunk_cost_target=5),
+        )
+        run = annotator.annotate_tables(tables, _TYPE_KEYS, workers=2)
+        loads = run.diagnostics.worker_loads
+        assert loads
+        assert len(loads) <= 2
+        assert sum(load.n_tables for load in loads) == len(tables)
+        assert sum(load.n_tables for load in loads) == run.diagnostics.n_tables
+        assert sum(load.n_cells for load in loads) == run.diagnostics.n_cells
+        expected_tasks = len(chunk_tables(tables, 5))
+        assert sum(load.n_tasks for load in loads) == expected_tasks
+        assert all(load.busy_seconds >= 0.0 for load in loads)
+        assert [load.worker_id for load in loads] == list(range(len(loads)))
+
+    def test_chunk_cost_of_one_makes_per_table_tasks(self, classifier):
+        tables = _corpus(n_tables=4)
+        run = EntityAnnotator(
+            classifier,
+            _make_engine(),
+            AnnotatorConfig(schedule="stealing", chunk_cost_target=1),
+        ).annotate_tables(tables, _TYPE_KEYS, workers=2)
+        loads = run.diagnostics.worker_loads
+        assert sum(load.n_tasks for load in loads) == len(tables)
+
+    def test_empty_corpus_direct_call_returns_empty_run(self, classifier):
+        annotator = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
+        run = annotate_tables_parallel(annotator, [], _TYPE_KEYS, workers=3)
+        assert run.tables == {}
+        assert run.diagnostics.n_tables == 0
+        assert run.diagnostics.n_cells == 0
+        assert run.diagnostics.worker_loads == ()
+
+    def test_direct_call_rejects_non_positive_workers(self, classifier):
+        # The stealing path must validate workers too, not just
+        # shard_tables: a direct call with workers=0 used to surface as a
+        # cryptic ProcessPoolExecutor error.
+        annotator = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
+        with pytest.raises(ValueError, match="workers"):
+            annotate_tables_parallel(
+                annotator, _corpus(n_tables=2), _TYPE_KEYS, workers=0
+            )
+
+    def test_worker_task_error_propagates(self, classifier, tmp_path):
+        # A failing task must raise the worker's error in the parent (not
+        # hang the pool or the flush barrier), even with a cache dir.
+        annotator = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
+        with pytest.raises(ValueError, match="type_keys"):
+            annotate_tables_parallel(
+                annotator,
+                _corpus(n_tables=4),
+                [],
+                workers=2,
+                cache_dir=tmp_path,
+            )
+
+    def test_idle_workers_get_zero_loads(self):
+        # One process drained the whole queue: the pool's other worker
+        # must appear as a zero load so imbalance_ratio reports 2.0, not
+        # a "perfectly balanced" 1.0.
+        from repro.core.parallel import _worker_loads
+        from repro.core.results import AnnotationRun as Run
+
+        run = Run()
+        run.diagnostics = RunDiagnostics(
+            n_tables=3,
+            n_cells=30,
+            search_failures=0,
+            cache_hits=0,
+            cache_misses=0,
+            queries_issued=0,
+            clock_charges=0,
+            virtual_seconds=0.0,
+        )
+        loads = _worker_loads([(0, run, 4242, 2.0)], n_workers=2)
+        assert len(loads) == 2
+        assert loads[0].n_tasks == 1 and loads[0].busy_seconds == 2.0
+        assert loads[1].n_tasks == 0 and loads[1].busy_seconds == 0.0
+        diag = RunDiagnostics(
+            n_tables=3,
+            n_cells=30,
+            search_failures=0,
+            cache_hits=0,
+            cache_misses=0,
+            queries_issued=0,
+            clock_charges=0,
+            virtual_seconds=0.0,
+            worker_loads=loads,
+        )
+        assert diag.imbalance_ratio == pytest.approx(2.0)
+
+    def test_single_table_direct_call_matches_sequential(self, classifier):
+        tables = _corpus(n_tables=1)
+        reference = EntityAnnotator(
+            classifier, _make_engine(), AnnotatorConfig()
+        ).annotate_tables(tables, _TYPE_KEYS)
+        annotator = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
+        run = annotate_tables_parallel(annotator, tables, _TYPE_KEYS, workers=4)
+        assert run == reference
+
+    def test_unknown_schedule_rejected(self, classifier):
+        annotator = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
+        with pytest.raises(ValueError, match="schedule"):
+            annotate_tables_parallel(
+                annotator,
+                _corpus(n_tables=2),
+                _TYPE_KEYS,
+                workers=2,
+                schedule="round-robin",
+            )
+        with pytest.raises(ValueError, match="schedule"):
+            AnnotatorConfig(schedule="round-robin")
+
+    def test_imbalance_ratio_contract(self):
+        def diag(loads):
+            return RunDiagnostics(
+                n_tables=0,
+                n_cells=0,
+                search_failures=0,
+                cache_hits=0,
+                cache_misses=0,
+                queries_issued=0,
+                clock_charges=0,
+                virtual_seconds=0.0,
+                worker_loads=tuple(loads),
+            )
+
+        assert diag([]).imbalance_ratio == 0.0
+        balanced = diag(
+            [
+                WorkerLoad(0, 2, 4, 40, 1.0),
+                WorkerLoad(1, 2, 4, 40, 1.0),
+            ]
+        )
+        assert balanced.imbalance_ratio == pytest.approx(1.0)
+        skewed = diag(
+            [
+                WorkerLoad(0, 1, 1, 90, 3.0),
+                WorkerLoad(1, 5, 9, 10, 1.0),
+            ]
+        )
+        assert skewed.imbalance_ratio == pytest.approx(1.5)
+        # No busy time reported: fall back to cell counts.
+        by_cells = diag(
+            [
+                WorkerLoad(0, 1, 1, 30, 0.0),
+                WorkerLoad(1, 1, 1, 10, 0.0),
+            ]
+        )
+        assert by_cells.imbalance_ratio == pytest.approx(1.5)
