@@ -35,10 +35,18 @@ hands whichever shard holds the giant table nearly the whole run; the
 work-stealing chunk queue must beat it wall-clock, report a lower
 per-worker imbalance ratio, and stay byte-identical to ``workers=1``.
 
+The resident-service scenario (PR 5) starts a live
+:class:`~repro.service.daemon.AnnotationDaemon` on a Unix socket and
+drives it with N concurrent clients (one same-directory table each),
+versus annotating the same tables with N one-shot cold invocations.  The
+daemon's responses must be byte-identical to the in-process baseline, the
+micro-batcher must genuinely coalesce (coalescing ratio > 1), and warm
+resident serving must beat the one-shot loop wall-clock.
+
 Set ``REPRO_THROUGHPUT_SMOKE=1`` (CI) to run a single small size with no
 artifact writing and no speedup assertions (the workers=2 pool, both
-schedulers and the shared cache directory are still exercised, and parity
-still asserted).
+schedulers, the shared cache directory and the live daemon are still
+exercised, and parity still asserted).
 """
 
 import json
@@ -55,6 +63,11 @@ WORKERS = 2
 SKEW_SHAPE = (40, 5, 8) if SMOKE else (2000, 19, 100)
 """(giant table rows, small table count, small table rows)."""
 SKEW_LATENCY = 0.001 if SMOKE else 0.005  # real seconds per request
+SERVICE_SHAPE = (4, 10) if SMOKE else (8, 60)  # (clients, rows per table)
+SERVICE_WINDOW_MS = 250.0
+"""Micro-batching window: generous enough that concurrently-released
+clients always share a tick (the batch closes early once all have
+arrived, so the window is not a latency floor)."""
 
 MIN_STEADY_SPEEDUP = 5.0
 """Required steady-state speedup on the 500-row table (the ISSUE target)."""
@@ -70,6 +83,12 @@ MIN_SKEW_SPEEDUP = 1.2
 skewed corpus (the theoretical ceiling at this shape is ~1.45x: static
 costs giant+9 small = 2,900 latency units on one worker versus ~2,000
 for the stealing queue's busiest worker)."""
+
+MIN_SERVICE_SPEEDUP = 1.5
+"""Required resident-service wall-clock gain over N one-shot cold
+invocations (the daemon coalesces N same-directory tables into pooled
+passes over one warm engine, so each distinct string is searched and
+classified once instead of once per invocation)."""
 
 
 def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
@@ -88,6 +107,9 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
             "skew_small_tables": SKEW_SHAPE[1],
             "skew_small_rows": SKEW_SHAPE[2],
             "skew_latency_seconds": SKEW_LATENCY,
+            "service_clients": SERVICE_SHAPE[0],
+            "service_rows": SERVICE_SHAPE[1],
+            "service_window_ms": SERVICE_WINDOW_MS,
         },
         rounds=1,
         iterations=1,
@@ -113,6 +135,11 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     # The chunker split the skewed corpus finer than one task per worker
     # (otherwise there is nothing to steal).
     assert result.skewed.stealing_tasks > WORKERS
+    # The live daemon answered every concurrent client with exactly the
+    # annotations the in-process one-shot baseline produced.
+    assert result.service is not None
+    assert result.service.identical
+    assert result.service.requests == SERVICE_SHAPE[0]
 
     if SMOKE:
         return
@@ -152,3 +179,10 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     assert result.skewed.speedup_vs_static >= MIN_SKEW_SPEEDUP
     assert result.skewed.stealing_seconds < result.skewed.static_seconds
     assert result.skewed.stealing_imbalance <= result.skewed.static_imbalance
+
+    # Resident service: warm micro-batched serving must beat N one-shot
+    # cold invocations (the ISSUE 5 acceptance criterion), and the
+    # admission layer must have genuinely coalesced concurrent requests
+    # into shared corpus passes.
+    assert result.service.speedup >= MIN_SERVICE_SPEEDUP
+    assert result.service.coalescing_ratio > 1.0

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any paper artefact.
+"""Command-line entry point: regenerate any paper artefact, or serve.
 
 Usage::
 
@@ -8,6 +8,16 @@ Usage::
     python -m repro.cli table1 --small    # fast, reduced-scale world
     python -m repro.cli table1 --small --cache-dir .repro-cache
     python -m repro.cli throughput --workers 4 --cache-dir .repro-cache
+
+    # the resident annotation service
+    python -m repro.cli serve --socket /tmp/repro.sock --small \\
+        --cache-dir .repro-cache --batch-window-ms 25
+    python -m repro.cli client ping --socket /tmp/repro.sock
+    python -m repro.cli client annotate --socket /tmp/repro.sock \\
+        --table my_table.json --types museum,restaurant
+    python -m repro.cli client annotate --socket /tmp/repro.sock \\
+        --cells "Louvre,Old Mill" --types museum,restaurant
+    python -m repro.cli client shutdown --socket /tmp/repro.sock
 
 The first experiment of a session pays for world construction and
 classifier training; subsequent experiments reuse the cached context.
@@ -23,12 +33,22 @@ warm-start from -- and merge-save back into -- one shared cache directory
 (work-stealing chunk queue by default; contiguous static shards as the
 baseline) and ``--chunk-cost`` bounds the per-task cost of the stealing
 queue (0 = automatic).
+
+``serve`` keeps the warm engine resident: one process pays the cold start,
+then any number of ``client`` invocations (or :class:`ServiceClient`
+users) annotate against it, with concurrent requests micro-batched into
+pooled corpus passes.  A ``Ctrl-C``/``SIGTERM`` anywhere -- serving, or
+mid-experiment with ``--workers N`` -- flushes the accumulated cache
+warmth before exiting with code 130.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
+import os
+import signal
 import sys
 import time
 from pathlib import Path
@@ -37,6 +57,9 @@ from typing import Callable
 from repro.core.config import SCHEDULES
 from repro.eval import ablation, experiments, extensions
 from repro.synth.world import WorldConfig
+
+SIGINT_EXIT_CODE = 130
+"""Conventional 128+SIGINT exit status for interrupted invocations."""
 
 _EXPERIMENTS: dict[str, Callable] = {
     "table1": experiments.run_table1,
@@ -57,7 +80,12 @@ _EXPERIMENTS: dict[str, Callable] = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Run the requested experiments and print their rendered tables."""
+    """Run the requested experiments (or the service subcommands)."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        return _client_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -149,23 +177,238 @@ def main(argv: list[str] | None = None) -> int:
             f"{engine_cache}]\n",
             file=sys.stderr,
         )
-    for name in names:
-        start = time.time()
-        runner = _EXPERIMENTS[name]
-        kwargs = {}
-        parameters = inspect.signature(runner).parameters
-        if "workers" in parameters:
-            kwargs["workers"] = args.workers
-        if "schedule" in parameters:
-            kwargs["schedule"] = args.schedule
-        if "chunk_cost_target" in parameters:
-            kwargs["chunk_cost_target"] = args.chunk_cost
-        result = runner(context, **kwargs)
-        print(result.render())
-        print(f"[{name} in {time.time() - start:.1f}s]\n", file=sys.stderr)
+    interrupted = False
+    try:
+        for name in names:
+            start = time.time()
+            runner = _EXPERIMENTS[name]
+            kwargs = {}
+            parameters = inspect.signature(runner).parameters
+            if "workers" in parameters:
+                kwargs["workers"] = args.workers
+            if "schedule" in parameters:
+                kwargs["schedule"] = args.schedule
+            if "chunk_cost_target" in parameters:
+                kwargs["chunk_cost_target"] = args.chunk_cost
+            result = runner(context, **kwargs)
+            print(result.render())
+            print(f"[{name} in {time.time() - start:.1f}s]\n", file=sys.stderr)
+    except KeyboardInterrupt:
+        # Graceful interruption: the parallel driver has already flushed
+        # its workers' caches (see repro.core.parallel); flush whatever
+        # warmth this process accumulated too, then report 130.
+        interrupted = True
+        print("\n[interrupted; flushing caches]", file=sys.stderr)
     if engine_cache is not None:
         context.world.search_engine.save_results_cache(engine_cache)
         print(f"[engine cache saved to {engine_cache}]", file=sys.stderr)
+    return SIGINT_EXIT_CODE if interrupted else 0
+
+
+# -- the resident service ---------------------------------------------------------------
+
+
+def _serve_main(argv: list[str]) -> int:
+    """``repro.cli serve``: hold one warm annotator behind a local socket."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description=(
+            "Start the resident annotation daemon: one warm engine + "
+            "classifier behind a Unix socket, micro-batching concurrent "
+            "requests into pooled corpus passes."
+        ),
+    )
+    parser.add_argument(
+        "--socket", required=True, type=Path, help="Unix socket path to listen on"
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="use the reduced-scale world (fast startup; for smoke-testing)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=13, help="world seed (default 13)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["svm", "bayes"],
+        default="svm",
+        help="snippet classifier backend to serve with (default svm)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "warm-start from and flush back into this engine-cache "
+            "directory (merge-on-save under an advisory lock, so sharing "
+            "it with concurrent CLI runs is safe)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes per pooled pass (default 1: in-process; "
+            "only large batches benefit from a pool)"
+        ),
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=25.0,
+        help=(
+            "micro-batching window: how long the first request of a tick "
+            "waits for others to coalesce with it (default 25)"
+        ),
+    )
+    parser.add_argument(
+        "--max-batch-tables",
+        type=int,
+        default=32,
+        help="most requests pooled into one pass (default 32)",
+    )
+    parser.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.0,
+        help=(
+            "seconds between periodic cache flushes while serving "
+            "(default 0: flush only on shutdown; needs --cache-dir)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    from repro.service.daemon import AnnotationDaemon, ServiceConfig
+
+    try:
+        service_config = ServiceConfig(
+            batch_window_ms=args.batch_window_ms,
+            max_batch_tables=args.max_batch_tables,
+            workers=args.workers,
+            cache_dir=str(args.cache_dir) if args.cache_dir else None,
+            flush_interval_seconds=args.flush_interval,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+    from repro.core.annotation import SnippetCache
+    from repro.core.annotator import EntityAnnotator
+
+    config = (
+        WorldConfig.small(seed=args.seed)
+        if args.small
+        else WorldConfig(seed=args.seed)
+    )
+    start = time.time()
+    context = experiments.build_context(config)
+    annotator = EntityAnnotator(
+        context.classifiers[args.backend],
+        context.world.search_engine,
+        cache=SnippetCache(),
+    )
+    daemon = AnnotationDaemon(annotator, args.socket, service_config)
+    print(
+        f"[context ready in {time.time() - start:.1f}s; serving "
+        f"{len(experiments.ALL_TYPE_KEYS)} types on {args.socket} "
+        f"(window {args.batch_window_ms:.0f}ms, pid {os.getpid()})]",
+        file=sys.stderr,
+    )
+    # SIGTERM takes the same graceful path as Ctrl-C: drain, flush, 130.
+    signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("\n[interrupted; flushing caches]", file=sys.stderr)
+        daemon.service.stop()
+        return SIGINT_EXIT_CODE
+    print("[daemon stopped]", file=sys.stderr)
+    return 0
+
+
+def _raise_keyboard_interrupt(signum, frame):  # pragma: no cover - signal path
+    raise KeyboardInterrupt
+
+
+def _client_main(argv: list[str]) -> int:
+    """``repro.cli client``: one-shot requests against a running daemon."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments client",
+        description="Talk to a running resident annotation daemon.",
+    )
+    parser.add_argument(
+        "command",
+        choices=["ping", "stats", "annotate", "shutdown"],
+        help="what to ask the daemon",
+    )
+    parser.add_argument(
+        "--socket", required=True, type=Path, help="the daemon's Unix socket"
+    )
+    parser.add_argument(
+        "--table",
+        type=Path,
+        default=None,
+        help="table file to annotate (.json or .csv, the repro.tables.io layouts)",
+    )
+    parser.add_argument(
+        "--cells",
+        default=None,
+        help="comma-separated cell values to annotate (instead of --table)",
+    )
+    parser.add_argument(
+        "--types",
+        default=None,
+        help="comma-separated type keys to annotate against",
+    )
+    args = parser.parse_args(argv)
+    # Validate the annotate arguments (and read the table file) before
+    # touching the socket, so usage errors never depend on a live daemon.
+    table = values = type_keys = None
+    if args.command == "annotate":
+        if not args.types:
+            parser.error("annotate needs --types (comma-separated type keys)")
+        type_keys = [key.strip() for key in args.types.split(",") if key.strip()]
+        if (args.table is None) == (args.cells is None):
+            parser.error("annotate needs exactly one of --table or --cells")
+        if args.table is not None:
+            from repro.tables.io import table_from_csv, table_from_json
+
+            text = args.table.read_text(encoding="utf-8")
+            if args.table.suffix.lower() == ".csv":
+                table = table_from_csv(text, name=args.table.stem)
+            else:
+                table = table_from_json(text)
+        else:
+            values = [
+                value.strip() for value in args.cells.split(",") if value.strip()
+            ]
+
+    from repro.service import protocol
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.socket) as client:
+            if args.command == "ping":
+                result = client.ping()
+            elif args.command == "stats":
+                result = client.stats()
+            elif args.command == "shutdown":
+                result = client.shutdown()
+            elif table is not None:
+                result = protocol.annotation_to_payload(
+                    client.annotate_table(table, type_keys)
+                )
+            else:
+                result = {"cells": client.annotate_cells(values, type_keys)}
+    except (ConnectionError, FileNotFoundError, OSError) as error:
+        print(f"error: cannot reach daemon: {error}", file=sys.stderr)
+        return 1
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, ensure_ascii=False))
     return 0
 
 

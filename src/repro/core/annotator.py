@@ -62,6 +62,7 @@ persist the engine's amortisation state so a second process starts warm.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -73,6 +74,7 @@ from repro.core.postprocessing import eliminate_spurious
 from repro.core.preprocessing import Preprocessor
 from repro.core.results import (
     AnnotationRun,
+    BatchAnnotationResult,
     CellAnnotation,
     RunDiagnostics,
     TableAnnotation,
@@ -322,6 +324,66 @@ class EntityAnnotator:
         if cache_dir is not None:
             self.save_caches(cache_dir)
         return run
+
+    def annotate_batch(
+        self,
+        tables: Sequence[Table],
+        type_keys: Sequence[str],
+        *,
+        workers: int = 1,
+        cache_dir=None,
+    ) -> BatchAnnotationResult:
+        """One pooled corpus pass over a pre-batched list of *requests*.
+
+        The demux-friendly sibling of :meth:`annotate_tables`, built for
+        callers that batch *independent* requests -- the resident
+        annotation service's micro-batcher coalescing concurrent clients
+        into one tick (:mod:`repro.service.daemon`).  The engine and
+        classifier economics are exactly the corpus path's (one
+        ``search_many`` per distinct query, one pooled classify, one
+        Equation 1 vote per distinct query), but the result demultiplexes
+        *positionally*: ``annotations[i]`` answers input table ``i``, and
+        two requests shipping same-named tables each get their own
+        annotation instead of being merged into one
+        :class:`~repro.core.results.TableAnnotation` -- an
+        :class:`AnnotationRun` keyed by name could not tell their cells
+        apart again.
+
+        Implemented by aliasing each input table to a unique internal
+        name, running the ordinary :meth:`annotate_tables` machinery
+        (including ``workers``/``cache_dir``, so a large batch may shard
+        across the worker pool), and renaming each annotation back.
+        Annotations are byte-identical to calling :meth:`annotate_table`
+        per table on an equally-warm annotator -- the service parity
+        contract ``tests/test_service.py`` pins down.
+        """
+        tables = list(tables)
+        aliased = [
+            Table(name=f"__batch-{index}__", columns=table.columns, rows=table.rows)
+            for index, table in enumerate(tables)
+        ]
+        run = self.annotate_tables(
+            aliased, type_keys, workers=workers, cache_dir=cache_dir
+        )
+        annotations: list[TableAnnotation] = []
+        for index, table in enumerate(tables):
+            aliased_annotation = run.tables.get(f"__batch-{index}__")
+            if aliased_annotation is None:
+                annotations.append(TableAnnotation(table_name=table.name))
+            else:
+                annotations.append(
+                    TableAnnotation(
+                        table_name=table.name,
+                        cells=[
+                            replace(cell, table_name=table.name)
+                            for cell in aliased_annotation.cells
+                        ],
+                    )
+                )
+        assert run.diagnostics is not None
+        return BatchAnnotationResult(
+            annotations=annotations, diagnostics=run.diagnostics
+        )
 
     def _annotate_tables_sequential(
         self, tables: Iterable[Table], type_keys: Sequence[str]

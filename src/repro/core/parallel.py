@@ -54,6 +54,7 @@ import math
 import multiprocessing
 import os
 import pickle
+import signal
 import sys
 import threading
 import time
@@ -105,6 +106,15 @@ def _start_method() -> str:
 def _init_worker(pickled_annotator: bytes | None, cache_dir, barrier) -> None:
     """Pool initializer: materialise this process's annotator, warm it up."""
     global _WORKER_ANNOTATOR, _WORKER_BARRIER
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group.  The *parent* owns interrupt handling (stop dispatching,
+    # flush every worker's caches, re-raise); a worker that dies on its
+    # own KeyboardInterrupt breaks the pool before those flush tasks can
+    # run, losing exactly the warmth the graceful path exists to save.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
     if pickled_annotator is None:
         _WORKER_ANNOTATOR = _FORK_PAYLOAD  # inherited via fork
     else:
@@ -351,11 +361,26 @@ def annotate_tables_parallel(
             ]
             results = []
             errors: list[BaseException] = []
+            interrupt: BaseException | None = None
             for future in futures:
+                if interrupt is not None:
+                    future.cancel()
+                    continue
                 try:
                     results.append(future.result())
                 except Exception as error:
                     errors.append(error)
+                except KeyboardInterrupt as error:
+                    # Graceful shutdown (Ctrl-C / SIGTERM): stop handing
+                    # out new tasks, but keep the pool alive long enough
+                    # to flush the warmth the finished tasks already paid
+                    # for.  Queued tasks are cancelled; running ones
+                    # complete (a worker cannot be interrupted mid-task
+                    # without losing its caches anyway).  The interrupt
+                    # is re-raised after the flush so callers -- the CLI,
+                    # the daemon -- still observe it (exit code 130).
+                    interrupt = error
+                    future.cancel()
             if cache_dir is not None:
                 # One flush per pool process: each blocks on the barrier
                 # until every process holds its own, then merge-saves.
@@ -371,8 +396,10 @@ def annotate_tables_parallel(
                     for flush in flushes:
                         flush.result()
                 except Exception:
-                    if not errors:
+                    if not errors and interrupt is None:
                         raise
+            if interrupt is not None:
+                raise interrupt
             if errors:
                 raise errors[0]
     finally:

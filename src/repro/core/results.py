@@ -168,6 +168,103 @@ class RunDiagnostics:
 
 
 @dataclass
+class BatchAnnotationResult:
+    """Per-request demux view of one pooled corpus pass.
+
+    Produced by :meth:`repro.core.annotator.EntityAnnotator.annotate_batch`
+    for a pre-pooled request batch (the resident service's micro-batcher):
+    ``annotations[i]`` is the :class:`TableAnnotation` of the *i*-th input
+    table, positionally -- same-named tables are **never** merged, unlike
+    :class:`AnnotationRun`, because two independent requests may
+    legitimately ship tables with the same name and each must get its own
+    answer back.  ``diagnostics`` aggregate over the whole pooled pass.
+    """
+
+    annotations: list[TableAnnotation]
+    diagnostics: RunDiagnostics
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters of one resident annotation service.
+
+    Maintained by :class:`repro.service.daemon.AnnotationService` across
+    every micro-batch it processes; a ``stats`` request returns a snapshot.
+
+    ``requests``
+        annotation requests answered (``annotate_table`` and
+        ``annotate_cells``; ``ping``/``stats`` are not counted);
+    ``batches``
+        pooled corpus passes executed -- each coalesces every compatible
+        request that arrived within one batching window;
+    ``tables`` / ``cells``
+        work those passes covered (a cells request counts as one table);
+    ``queries_issued`` / ``cache_hits`` / ``cache_misses``
+        the folded :class:`RunDiagnostics` counters of every pass, so the
+        resident engine's warmth is visible across requests;
+    ``search_failures``
+        cells whose engine request failed, summed over all passes;
+    ``flushes``
+        cache flushes performed (periodic and shutdown).
+    """
+
+    requests: int = 0
+    batches: int = 0
+    tables: int = 0
+    cells: int = 0
+    queries_issued: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    search_failures: int = 0
+    flushes: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean tables per pooled pass (0.0 before the first batch)."""
+        return self.tables / self.batches if self.batches else 0.0
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Requests answered per corpus pass paid: > 1 means micro-batching
+        coalesced concurrent requests into shared pooled passes."""
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Fraction of snippet-cache lookups served warm across requests."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def record_batch(self, n_requests: int, diagnostics: RunDiagnostics) -> None:
+        """Fold one pooled pass into the lifetime counters."""
+        self.requests += n_requests
+        self.batches += 1
+        self.tables += diagnostics.n_tables
+        self.cells += diagnostics.n_cells
+        self.queries_issued += diagnostics.queries_issued
+        self.cache_hits += diagnostics.cache_hits
+        self.cache_misses += diagnostics.cache_misses
+        self.search_failures += diagnostics.search_failures
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable snapshot (counters plus derived ratios)."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "tables": self.tables,
+            "cells": self.cells,
+            "queries_issued": self.queries_issued,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "search_failures": self.search_failures,
+            "flushes": self.flushes,
+            "mean_batch_size": self.mean_batch_size,
+            "coalescing_ratio": self.coalescing_ratio,
+            "warm_hit_rate": self.warm_hit_rate,
+        }
+
+
+@dataclass
 class AnnotationRun:
     """Annotations over a whole corpus, keyed by table name.
 

@@ -522,6 +522,7 @@ class ThroughputResult:
     corpus: "CorpusThroughput | None" = None
     parallel: "ParallelThroughput | None" = None
     skewed: "SkewedThroughput | None" = None
+    service: "ServiceThroughput | None" = None
 
     def render(self) -> str:
         table = format_table(
@@ -675,6 +676,47 @@ class ThroughputResult:
                 "tasks) keeps every worker busy; imb = busiest worker over "
                 "the mean, 1.0 = perfectly balanced)"
             )
+        if self.service is not None:
+            service = self.service
+            service_table = format_table(
+                [
+                    "Clients",
+                    "Rows each",
+                    "Cells",
+                    "One-shot s",
+                    "Service s",
+                    "Speedup",
+                    "Batches",
+                    "Coalescing",
+                    "Warm hits",
+                    "Identical",
+                ],
+                [
+                    (
+                        service.n_clients,
+                        service.n_rows,
+                        service.n_cells,
+                        service.one_shot_seconds,
+                        service.service_seconds,
+                        service.speedup,
+                        service.batches,
+                        service.coalescing_ratio,
+                        service.warm_hit_rate,
+                        service.identical,
+                    )
+                ],
+                title=(
+                    "Resident service (micro-batched daemon) vs one-shot "
+                    "cold invocations"
+                ),
+            )
+            text += (
+                f"\n\n{service_table}\n(same-directory tables, one per "
+                "client: the one-shot baseline pays a cold engine per "
+                "invocation, the daemon coalesces the concurrent requests "
+                "into pooled corpus passes over one warm resident engine; "
+                "coalescing = requests per corpus pass)"
+            )
         return text
 
     def to_json(self) -> dict:
@@ -765,6 +807,33 @@ class ThroughputResult:
                 "stealing_imbalance_ratio": skewed.stealing_imbalance,
                 "stealing_tasks": skewed.stealing_tasks,
                 "identical_annotations": skewed.identical,
+            }
+        if self.service is not None:
+            service = self.service
+            payload["service"] = {
+                "scenario": (
+                    "resident daemon with request micro-batching vs N "
+                    "one-shot cold invocations: N concurrent clients each "
+                    "submit one same-directory table over the Unix socket "
+                    "and the admission layer coalesces them into pooled "
+                    "corpus passes over the warm engine; the baseline "
+                    "annotates the same tables one cold annotator (and "
+                    "freshly reset compute caches) at a time, the cost "
+                    "every separate CLI invocation pays"
+                ),
+                "n_clients": service.n_clients,
+                "n_rows": service.n_rows,
+                "n_cells": service.n_cells,
+                "requests": service.requests,
+                "batches": service.batches,
+                "mean_batch_size": service.mean_batch_size,
+                "coalescing_ratio": service.coalescing_ratio,
+                "warm_hit_rate": service.warm_hit_rate,
+                "batch_window_ms": service.batch_window_ms,
+                "one_shot_seconds": service.one_shot_seconds,
+                "service_seconds": service.service_seconds,
+                "speedup_vs_one_shot": service.speedup,
+                "identical_annotations": service.identical,
             }
         return payload
 
@@ -947,6 +1016,48 @@ class SkewedThroughput:
         return self.single_seconds / self.stealing_seconds
 
 
+@dataclass
+class ServiceThroughput:
+    """Resident micro-batched daemon versus N one-shot cold invocations.
+
+    The cold-start-amortisation claim of the service subsystem, measured:
+    *n_clients* concurrent clients each submit one table of a
+    same-directory corpus (shared strings across clients -- the workload
+    the admission layer's pooled passes dedupe) over the daemon's Unix
+    socket, against annotating the same tables one **cold** annotator at
+    a time -- compute caches freshly reset per table, which is what every
+    separate CLI/process invocation pays before PR 2's persisted caches,
+    and still the per-invocation floor (process + context + cache load)
+    after them.
+
+    ``requests``/``batches``/``coalescing_ratio`` come from the daemon's
+    :class:`~repro.core.results.ServiceStats`: a coalescing ratio > 1
+    means concurrently-arriving requests genuinely shared corpus passes.
+    ``identical`` asserts the service parity contract -- every response
+    equal to the in-process ``annotate_table`` answer for that table.
+    """
+
+    n_clients: int
+    n_rows: int
+    n_cells: int
+    requests: int
+    batches: int
+    mean_batch_size: float
+    coalescing_ratio: float
+    warm_hit_rate: float
+    batch_window_ms: float
+    one_shot_seconds: float
+    service_seconds: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        """Resident-service wall-clock gain over the one-shot baseline."""
+        if not self.service_seconds:
+            return 0.0
+        return self.one_shot_seconds / self.service_seconds
+
+
 def run_throughput(
     context: ExperimentContext,
     sizes: tuple[int, ...] = (100, 500, 1000, 2000),
@@ -963,6 +1074,9 @@ def run_throughput(
     skew_small_tables: int = 19,
     skew_small_rows: int = 100,
     skew_latency_seconds: float = 0.005,
+    service_clients: int = 8,
+    service_rows: int = 60,
+    service_window_ms: float = 250.0,
 ) -> ThroughputResult:
     """Measure real cells/second of the batched path against the per-cell path.
 
@@ -989,10 +1103,16 @@ def run_throughput(
     per-request engine latency, both runs sharing one cache directory
     (the multi-worker run uses *schedule* / *chunk_cost_target*).
 
-    Last, the skewed-corpus scenario (see :class:`SkewedThroughput`):
+    Then the skewed-corpus scenario (see :class:`SkewedThroughput`):
     one *skew_giant_rows*-row giant table plus *skew_small_tables* small
     tables annotated at ``workers=N`` under the static and the
     work-stealing scheduler, against the ``workers=1`` reference.
+
+    Last, the resident-service scenario (see :class:`ServiceThroughput`):
+    *service_clients* concurrent clients against a live
+    :class:`~repro.service.daemon.AnnotationDaemon` (micro-batching
+    window *service_window_ms*), versus the same tables annotated by
+    one-shot cold invocations.
     """
     import tempfile
     import time
@@ -1233,12 +1353,108 @@ def run_throughput(
         == skew_static_run
         == skew_stealing_run,
     )
+
+    # -- resident-service scenario ------------------------------------------------------
+    # N concurrent clients against a live daemon versus N one-shot cold
+    # invocations of the same work.  Same-directory tables (every client's
+    # table lists the same entity strings in its own order): exactly the
+    # cross-client redundancy the micro-batcher's pooled passes dedupe.
+    import os
+    import threading
+
+    from repro.core.annotation import SnippetCache
+    from repro.service.client import ServiceClient
+    from repro.service.daemon import AnnotationDaemon, ServiceConfig
+
+    service_base = skew_base + skew_giant_rows + skew_small_tables * skew_small_rows
+    service_corpus = _corpus_tables(
+        context, service_clients, service_rows, start=service_base
+    )
+
+    # Baseline: one-shot invocations -- every table pays a cold engine
+    # (compute caches reset) and a cold annotator, the per-process price
+    # a separate CLI run pays before any disk cache can help.
+    one_shot_results = []
+    start = time.perf_counter()
+    for table in service_corpus:
+        engine.reset_compute_caches()
+        one_shot_annotator = EntityAnnotator(
+            context.classifiers["svm"], engine, config
+        )
+        one_shot_results.append(
+            one_shot_annotator.annotate_table(table, ALL_TYPE_KEYS)
+        )
+    one_shot_seconds = time.perf_counter() - start
+
+    engine.reset_compute_caches()
+    service_annotator = EntityAnnotator(
+        context.classifiers["svm"], engine, config, cache=SnippetCache()
+    )
+    responses: list = [None] * service_clients
+    with tempfile.TemporaryDirectory() as socket_dir:
+        socket_path = os.path.join(socket_dir, "service.sock")
+        daemon = AnnotationDaemon(
+            service_annotator,
+            socket_path,
+            ServiceConfig(
+                batch_window_ms=service_window_ms,
+                max_batch_tables=service_clients,
+            ),
+        )
+        with daemon:
+            clients = [
+                ServiceClient(socket_path) for _ in range(service_clients)
+            ]
+            try:
+                # Connections are established untimed (the CLI baseline's
+                # process spawn is untimed too); the barrier releases every
+                # client at once so the admission window sees genuinely
+                # concurrent arrivals.
+                barrier = threading.Barrier(service_clients + 1)
+
+                def submit(index: int) -> None:
+                    barrier.wait()
+                    responses[index] = clients[index].annotate_table(
+                        service_corpus[index], ALL_TYPE_KEYS
+                    )
+
+                threads = [
+                    threading.Thread(target=submit, args=(index,))
+                    for index in range(service_clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                barrier.wait()
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.join()
+                service_seconds = time.perf_counter() - start
+                service_stats = clients[0].stats()
+            finally:
+                for client in clients:
+                    client.close()
+
+    service_result = ServiceThroughput(
+        n_clients=service_clients,
+        n_rows=service_rows,
+        n_cells=service_stats["cells"],
+        requests=service_stats["requests"],
+        batches=service_stats["batches"],
+        mean_batch_size=service_stats["mean_batch_size"],
+        coalescing_ratio=service_stats["coalescing_ratio"],
+        warm_hit_rate=service_stats["warm_hit_rate"],
+        batch_window_ms=service_window_ms,
+        one_shot_seconds=one_shot_seconds,
+        service_seconds=service_seconds,
+        identical=responses == one_shot_results,
+    )
     return ThroughputResult(
         rows=rows,
         tables_per_size=stream_length,
         corpus=corpus_result,
         parallel=parallel_result,
         skewed=skewed_result,
+        service=service_result,
     )
 
 

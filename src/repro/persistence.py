@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -68,7 +69,11 @@ CACHE_FORMAT_VERSION = 1
 """Bump when the persisted payload layout changes; old files are ignored."""
 
 DEFAULT_LOCK_TIMEOUT = 10.0
-"""Seconds a save/load waits for the advisory lock before giving up."""
+"""Seconds a save/load waits for the advisory lock before giving up.
+
+Resolved at *call* time when ``lock_timeout`` is left ``None``, so a
+long-lived process (the resident annotation service) -- or a test -- can
+tighten every subsequent save/load by rebinding this module attribute."""
 
 _LOCK_POLL_SECONDS = 0.02
 """Interval between non-blocking lock attempts while waiting."""
@@ -150,7 +155,7 @@ def save_cache_payload(
     fingerprint: Any,
     payload: Any,
     merge: Callable[[Any, Any], Any] | None = None,
-    lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+    lock_timeout: float | None = None,
 ) -> bool:
     """Atomically write *payload* with version/kind/fingerprint guards.
 
@@ -169,6 +174,8 @@ def save_cache_payload(
     errors (unpicklable payload, disk full) still propagate, but never
     leave a ``*.tmp.<pid>`` file behind.
     """
+    if lock_timeout is None:
+        lock_timeout = DEFAULT_LOCK_TIMEOUT
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     try:
@@ -205,7 +212,7 @@ def load_cache_payload(
     path,
     kind: str,
     fingerprint: Any,
-    lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+    lock_timeout: float | None = None,
 ) -> Any | None:
     """Read a payload saved by :func:`save_cache_payload`, or ``None``.
 
@@ -216,9 +223,80 @@ def load_cache_payload(
     acquired within *lock_timeout* (another process is mid-merge and
     stuck; cold-starting beats crashing or hanging).
     """
+    if lock_timeout is None:
+        lock_timeout = DEFAULT_LOCK_TIMEOUT
     try:
         with _locked(Path(path), exclusive=False, timeout=lock_timeout):
             blob = _read_blob(path)
     except CacheLockTimeout:
         return None
     return _payload_of(blob, kind, fingerprint)
+
+
+class PeriodicFlusher:
+    """Run a flush callback every *interval_seconds* from a daemon thread.
+
+    The flush-on-interval hook a long-lived process hangs its cache
+    persistence on: the resident annotation service registers
+    ``annotator.save_caches`` here so the warmth it accumulates while
+    serving survives a crash, instead of existing only in memory until a
+    clean shutdown.  The callback must be safe to call from another
+    thread (the service wraps it in its annotator lock).
+
+    A failing flush never kills the thread: the exception is kept on
+    :attr:`last_error` and the next interval tries again -- persistence
+    stays an optimisation, not a liveness dependency.  :meth:`stop` joins
+    the thread and (by default) performs one final flush, which is the
+    same path a graceful shutdown takes.
+    """
+
+    def __init__(
+        self, flush: Callable[[], Any], interval_seconds: float
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be > 0, got {interval_seconds}"
+            )
+        self._flush = flush
+        self.interval_seconds = interval_seconds
+        self.flush_count = 0
+        self.last_error: BaseException | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "PeriodicFlusher":
+        if self._thread is not None:
+            raise RuntimeError("flusher already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="cache-flusher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self._flush_once()
+
+    def _flush_once(self) -> None:
+        try:
+            self._flush()
+            self.flush_count += 1
+            self.last_error = None
+        except Exception as error:  # flushing must never kill the loop
+            self.last_error = error
+
+    def stop(self, final_flush: bool = True) -> None:
+        """Stop the thread; *final_flush* runs the callback one last time."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        if final_flush:
+            self._flush_once()
+
+    def __enter__(self) -> "PeriodicFlusher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,532 @@
+"""The resident annotation daemon: queue -> batcher -> corpus pass -> demux -> flush.
+
+Two layers:
+
+:class:`AnnotationService`
+    The socket-free core: a request queue, the **micro-batching admission
+    layer**, lifetime :class:`~repro.core.results.ServiceStats`, and the
+    cache-flush lifecycle.  Concurrently-arriving ``annotate_table`` /
+    ``annotate_cells`` requests are coalesced -- first arrival opens a
+    batching window of ``batch_window_ms``, everything that lands before
+    it closes (up to ``max_batch_tables``) joins the same pooled
+    :meth:`~repro.core.annotator.EntityAnnotator.annotate_batch` pass --
+    then each request gets exactly its own slice of the merged result
+    back.  Requests with different ``type_keys`` never share a pass (the
+    Equation 1 vote is computed *over the requested types*, so pooling
+    them would change answers); within a tick they form one sub-batch per
+    distinct key set.
+
+:class:`AnnotationDaemon`
+    The socket layer: a threading Unix-domain stream server speaking the
+    line protocol of :mod:`repro.service.protocol`, one handler thread
+    per connection, all of them feeding the one shared service.  The
+    batching window is what turns N concurrent clients into one corpus
+    pass -- the pooled search/classify/vote economics measured in
+    ``benchmarks/output/BENCH_throughput.json`` (scenario ``service``).
+
+Warmth lifecycle: the service warm-starts from ``cache_dir`` when given,
+flushes back periodically (:class:`repro.persistence.PeriodicFlusher`)
+and always once on shutdown -- the same merge-on-save advisory-locked
+path CLI runs and pool workers use, so a daemon and a concurrent CLI run
+can share one cache directory without losing entries (a lock timeout
+degrades to a skipped save, never a hang).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.annotator import EntityAnnotator
+from repro.core.results import ServiceStats, TableAnnotation
+from repro.persistence import PeriodicFlusher
+from repro.service import protocol
+from repro.service.protocol import (
+    ANNOTATE_OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    Response,
+)
+from repro.tables.model import Table
+
+HAVE_UNIX_SOCKETS = hasattr(socket, "AF_UNIX")
+"""Unix-domain sockets are the daemon's transport; platforms without them
+can still use :class:`AnnotationService` in process."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the resident service."""
+
+    batch_window_ms: float = 25.0
+    """How long the batcher holds the first request of a tick open for
+    late arrivals to coalesce with.  The window is latency deliberately
+    spent to buy pooled-economics throughput; 0 disables coalescing
+    (every request is its own pass)."""
+
+    max_batch_tables: int = 32
+    """Upper bound on requests pooled into one tick (the window closes
+    early once reached), bounding per-pass memory and demux latency."""
+
+    workers: int = 1
+    """Worker processes for each pooled pass, forwarded to
+    ``annotate_batch``; 1 (default) annotates in-process -- a process
+    pool per tick only pays off for very large batches."""
+
+    cache_dir: str | None = None
+    """Warm-start source and flush target for the engine caches; ``None``
+    keeps all warmth in memory."""
+
+    flush_interval_seconds: float = 0.0
+    """Periodic cache-flush interval while serving (0 = flush only on
+    shutdown).  Needs *cache_dir*."""
+
+    request_timeout_seconds: float = 300.0
+    """How long a submitted request waits for its batch to complete
+    before the service answers with an error (a liveness backstop, not a
+    deadline the batcher aims for)."""
+
+    def __post_init__(self) -> None:
+        if self.batch_window_ms < 0:
+            raise ValueError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.max_batch_tables < 1:
+            raise ValueError(
+                f"max_batch_tables must be >= 1, got {self.max_batch_tables}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.flush_interval_seconds < 0:
+            raise ValueError(
+                "flush_interval_seconds must be >= 0, got "
+                f"{self.flush_interval_seconds}"
+            )
+
+
+class _Pending:
+    """One queued annotation request and the slot its answer lands in."""
+
+    __slots__ = ("request", "table", "type_keys", "response", "done", "abandoned")
+
+    def __init__(
+        self, request: Request, table: Table, type_keys: tuple[str, ...]
+    ) -> None:
+        self.request = request
+        self.table = table
+        self.type_keys = type_keys
+        self.response: Response | None = None
+        self.done = threading.Event()
+        self.abandoned = False
+        """Set when the submitter gave up waiting (request timeout): the
+        batcher drops abandoned entries at batch-assembly time instead of
+        paying a pooled pass for an answer nobody will read."""
+
+    def resolve(self, response: Response) -> None:
+        self.response = response
+        self.done.set()
+
+
+class AnnotationService:
+    """The daemon's core: micro-batching over one warm annotator.
+
+    Thread-safe: any number of threads may :meth:`submit` concurrently;
+    one batcher thread executes the pooled passes (the annotator and its
+    engine are single-threaded by design), and the flush path serialises
+    against it on the annotator lock.
+    """
+
+    def __init__(
+        self, annotator: EntityAnnotator, config: ServiceConfig | None = None
+    ) -> None:
+        self.annotator = annotator
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self.started_at = time.monotonic()
+        self._queue: queue.Queue[_Pending] = queue.Queue()
+        self._pending_count = 0
+        self._pending_lock = threading.Lock()
+        self._running = threading.Event()
+        self._draining = False
+        self._stats_lock = threading.Lock()
+        self._annotator_lock = threading.Lock()
+        self._batcher: threading.Thread | None = None
+        self._flusher: PeriodicFlusher | None = None
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def start(self) -> "AnnotationService":
+        """Warm-start from the cache dir and start the batcher thread."""
+        if self._batcher is not None:
+            raise RuntimeError("service already started")
+        if self.config.cache_dir is not None:
+            self.annotator.load_caches(self.config.cache_dir)
+            if self.config.flush_interval_seconds > 0:
+                self._flusher = PeriodicFlusher(
+                    self.flush, self.config.flush_interval_seconds
+                ).start()
+        self._running.set()
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="annotation-batcher", daemon=True
+        )
+        self._batcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the batcher, fail whatever is still queued, flush caches.
+
+        The shutdown flush is the same merge-on-save path a graceful
+        ``KeyboardInterrupt`` takes through the CLI and the parallel
+        driver: whatever warmth this process accumulated is persisted
+        (best-effort -- a lock timeout skips, never hangs).
+        """
+        if not self._running.is_set() and self._batcher is None:
+            return
+        self._draining = True
+        self._running.clear()
+        if self._batcher is not None:
+            self._batcher.join(timeout=60.0)
+            self._batcher = None
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            pending.resolve(
+                Response(
+                    ok=False,
+                    request_id=pending.request.request_id,
+                    error="service is shutting down",
+                )
+            )
+        if self._flusher is not None:
+            self._flusher.stop(final_flush=False)
+            self._flusher = None
+        if self.config.cache_dir is not None:
+            self.flush()
+
+    def flush(self) -> dict[str, bool]:
+        """Merge-save the annotator's caches to the cache dir, now."""
+        if self.config.cache_dir is None:
+            return {}
+        with self._annotator_lock:
+            saved = self.annotator.save_caches(self.config.cache_dir)
+        with self._stats_lock:
+            self.stats.flushes += 1
+        return saved
+
+    # -- request admission --------------------------------------------------------------
+
+    def submit(self, request: Request) -> Response:
+        """Answer one request (blocking; annotation ops wait for their batch)."""
+        handler = {
+            "ping": self._ping,
+            "stats": self._stats_snapshot,
+            "shutdown": self._shutdown,
+        }.get(request.op)
+        if handler is not None:
+            return handler(request)
+        if request.op not in ANNOTATE_OPS:
+            return Response(
+                ok=False,
+                request_id=request.request_id,
+                error=f"unknown operation {request.op!r}",
+            )
+        if self._draining or not self._running.is_set():
+            return Response(
+                ok=False,
+                request_id=request.request_id,
+                error="service is shutting down",
+            )
+        try:
+            pending = _Pending(
+                request,
+                protocol.table_for_request(request),
+                protocol.request_type_keys(request),
+            )
+        except ProtocolError as error:
+            return Response(
+                ok=False, request_id=request.request_id, error=str(error)
+            )
+        with self._pending_lock:
+            self._pending_count += 1
+        try:
+            self._queue.put(pending)
+            if not pending.done.wait(
+                timeout=self.config.request_timeout_seconds
+            ):
+                pending.abandoned = True
+                return Response(
+                    ok=False,
+                    request_id=request.request_id,
+                    error=(
+                        "request timed out after "
+                        f"{self.config.request_timeout_seconds:.0f}s"
+                    ),
+                )
+        finally:
+            with self._pending_lock:
+                self._pending_count -= 1
+        assert pending.response is not None
+        return pending.response
+
+    def _ping(self, request: Request) -> Response:
+        return Response(
+            ok=True,
+            request_id=request.request_id,
+            result={
+                "version": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "uptime_seconds": time.monotonic() - self.started_at,
+            },
+        )
+
+    def _stats_snapshot(self, request: Request) -> Response:
+        with self._stats_lock:
+            payload = self.stats.to_payload()
+        payload["uptime_seconds"] = time.monotonic() - self.started_at
+        payload["batch_window_ms"] = self.config.batch_window_ms
+        payload["max_batch_tables"] = self.config.max_batch_tables
+        return Response(ok=True, request_id=request.request_id, result=payload)
+
+    def _shutdown(self, request: Request) -> Response:
+        """Drain the queue, flush, and confirm -- the daemon closes after."""
+        self._draining = True
+        deadline = time.monotonic() + 60.0
+        while self._pending_count and time.monotonic() < deadline:
+            time.sleep(0.02)
+        saved = self.flush() if self.config.cache_dir is not None else {}
+        with self._stats_lock:
+            stats = self.stats.to_payload()
+        return Response(
+            ok=True,
+            request_id=request.request_id,
+            result={"saved": {k: bool(v) for k, v in saved.items()}, "stats": stats},
+        )
+
+    # -- the micro-batcher --------------------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        """Collect a tick's worth of requests, run the pooled pass, demux."""
+        window = self.config.batch_window_ms / 1000.0
+        while self._running.is_set():
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            batch = [first]
+            deadline = time.monotonic() + window
+            while len(batch) < self.config.max_batch_tables:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            self._process(batch)
+
+    def _process(self, batch: list[_Pending]) -> None:
+        """One tick: one pooled pass per distinct ``type_keys`` group."""
+        # A submitter that timed out already returned an error; paying a
+        # corpus pass (and counting a request in the stats) for it would
+        # only delay the live requests behind the annotator lock.
+        batch = [pending for pending in batch if not pending.abandoned]
+        groups: dict[tuple[str, ...], list[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.type_keys, []).append(pending)
+        for type_keys, group in groups.items():
+            try:
+                with self._annotator_lock:
+                    result = self.annotator.annotate_batch(
+                        [pending.table for pending in group],
+                        list(type_keys),
+                        workers=self.config.workers,
+                    )
+            except Exception as error:  # answer, never kill the batcher
+                for pending in group:
+                    pending.resolve(
+                        Response(
+                            ok=False,
+                            request_id=pending.request.request_id,
+                            error=f"annotation failed: {error}",
+                        )
+                    )
+                continue
+            with self._stats_lock:
+                self.stats.record_batch(len(group), result.diagnostics)
+            for pending, annotation in zip(group, result.annotations):
+                pending.resolve(self._respond(pending, annotation))
+
+    def _respond(
+        self, pending: _Pending, annotation: TableAnnotation
+    ) -> Response:
+        result: dict = {
+            "annotation": protocol.annotation_to_payload(annotation)
+        }
+        if pending.request.op == "annotate_cells":
+            result["cells"] = protocol.cell_decisions(
+                annotation, pending.table.n_rows
+            )
+        return Response(
+            ok=True, request_id=pending.request.request_id, result=result
+        )
+
+
+if HAVE_UNIX_SOCKETS:
+
+    class _UnixServer(socketserver.ThreadingUnixStreamServer):
+        daemon_threads = True
+        request_queue_size = 128  # a burst of clients must not hit EAGAIN
+        service: AnnotationService
+
+        def initiate_shutdown(self) -> None:
+            """Stop ``serve_forever`` without blocking the calling handler."""
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One client connection: line in, line out, any number of requests."""
+
+    def handle(self) -> None:
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = protocol.decode_request(line)
+            except ProtocolError as error:
+                self._write(Response(ok=False, error=str(error)))
+                continue
+            response = self.server.service.submit(request)  # type: ignore[attr-defined]
+            self._write(response)
+            if request.op == "shutdown" and response.ok:
+                self.server.initiate_shutdown()  # type: ignore[attr-defined]
+                return
+
+    def _write(self, response: Response) -> None:
+        try:
+            self.wfile.write(protocol.encode_response(response))
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+
+class AnnotationDaemon:
+    """The socket daemon: one warm annotator served over a Unix socket.
+
+    Construction binds the socket (stale socket files are replaced), so a
+    client may connect the moment the constructor returns;
+    :meth:`serve_forever` blocks in the accept loop,
+    :meth:`start_background` runs it on a thread (tests, benchmarks, and
+    in-process embedding).  Shutdown -- via a client ``shutdown`` request,
+    :meth:`close`, or ``KeyboardInterrupt`` in the serving thread --
+    always runs the service's drain-and-flush path before the socket file
+    is removed.
+    """
+
+    def __init__(
+        self,
+        annotator: EntityAnnotator,
+        socket_path,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        if not HAVE_UNIX_SOCKETS:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "AnnotationDaemon needs Unix-domain sockets; use "
+                "AnnotationService in-process instead"
+            )
+        self.socket_path = str(socket_path)
+        self.service = AnnotationService(annotator, config)
+        self._replace_stale_socket()
+        self.server = _UnixServer(self.socket_path, _ConnectionHandler)
+        self.server.service = self.service
+        try:
+            self._socket_inode = os.stat(self.socket_path).st_ino
+        except OSError:  # pragma: no cover - raced removal
+            self._socket_inode = None
+        self._thread: threading.Thread | None = None
+
+    def _replace_stale_socket(self) -> None:
+        """Unlink a *stale* socket file; refuse to steal a live daemon's.
+
+        A previous daemon that crashed leaves its socket file behind
+        (connecting is refused) -- replace it.  A file another daemon is
+        actively serving on must not be silently unlinked: that would
+        split clients between two daemons and let this one's teardown
+        delete the other's socket.
+        """
+        if not os.path.exists(self.socket_path):
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.settimeout(1.0)
+            try:
+                probe.connect(self.socket_path)
+            except OSError:
+                os.unlink(self.socket_path)  # stale: nobody is serving
+                return
+        finally:
+            probe.close()
+        raise RuntimeError(
+            f"a daemon is already serving on {self.socket_path}; "
+            "shut it down first or pick another --socket path"
+        )
+
+    def serve_forever(self) -> None:
+        """Serve until a shutdown request or :meth:`close` (blocking)."""
+        self.service.start()
+        try:
+            self.server.serve_forever(poll_interval=0.1)
+        finally:
+            self._teardown()
+
+    def start_background(self) -> "AnnotationDaemon":
+        """Serve on a daemon thread; returns once requests can be answered."""
+        if self._thread is not None:
+            raise RuntimeError("daemon already started")
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="annotation-daemon",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving (idempotent): drain, flush, remove the socket file."""
+        if self._thread is not None:
+            self.server.shutdown()
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        self._teardown()
+
+    def _teardown(self) -> None:
+        self.service.stop()
+        self.server.server_close()
+        try:
+            # Remove only *our own* socket file: if another process has
+            # since replaced it (a hijack we could not prevent, or an
+            # operator cleaning up by hand), the inode no longer matches
+            # and the file is theirs to manage.
+            if os.stat(self.socket_path).st_ino == self._socket_inode:
+                os.unlink(self.socket_path)
+        except OSError:  # pragma: no cover - already removed
+            pass
+
+    def __enter__(self) -> "AnnotationDaemon":
+        return self.start_background()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -2,7 +2,11 @@
 
 The CSV layout stores two header lines (column names, then GFT column
 types), matching what a Fusion Tables export with explicit typing would
-carry.  JSON stores the same information as a plain dictionary.
+carry.  JSON stores the same information as a plain dictionary.  The
+dictionary form is exposed directly (:func:`table_to_payload` /
+:func:`table_from_payload`) so other JSON carriers -- the resident
+service's wire protocol in :mod:`repro.service.protocol` -- embed tables
+without double-encoding.
 """
 
 from __future__ import annotations
@@ -45,9 +49,9 @@ def table_from_csv(text: str, name: str = "table") -> Table:
     return Table(name=name, columns=columns, rows=rows)
 
 
-def table_to_json(table: Table) -> str:
-    """Serialise *table* to a JSON document."""
-    payload = {
+def table_to_payload(table: Table) -> dict:
+    """*table* as a plain JSON-serialisable dictionary."""
+    return {
         "name": table.name,
         "columns": [
             {"name": column.name, "type": column.column_type.value}
@@ -55,12 +59,12 @@ def table_to_json(table: Table) -> str:
         ],
         "rows": table.rows,
     }
-    return json.dumps(payload, ensure_ascii=False, indent=2)
 
 
-def table_from_json(text: str) -> Table:
-    """Parse the JSON layout produced by :func:`table_to_json`."""
-    payload = json.loads(text)
+def table_from_payload(payload: dict) -> Table:
+    """Rebuild a table from the dictionary form of :func:`table_to_payload`."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"table payload must be a dict, got {type(payload).__name__}")
     for key in ("name", "columns", "rows"):
         if key not in payload:
             raise ValueError(f"JSON table is missing the {key!r} key")
@@ -73,3 +77,13 @@ def table_from_json(text: str) -> Table:
     ]
     rows = [[str(value) for value in row] for row in payload["rows"]]
     return Table(name=payload["name"], columns=columns, rows=rows)
+
+
+def table_to_json(table: Table) -> str:
+    """Serialise *table* to a JSON document."""
+    return json.dumps(table_to_payload(table), ensure_ascii=False, indent=2)
+
+
+def table_from_json(text: str) -> Table:
+    """Parse the JSON layout produced by :func:`table_to_json`."""
+    return table_from_payload(json.loads(text))

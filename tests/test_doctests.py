@@ -16,6 +16,7 @@ import repro.core.clustering
 import repro.eval.reporting
 import repro.geo.gazetteer
 import repro.kb.catalogue
+import repro.service.protocol
 import repro.synth.rng
 import repro.tables.model
 import repro.tables.render
@@ -35,6 +36,7 @@ _MODULES = [
     repro.eval.reporting,
     repro.geo.gazetteer,
     repro.kb.catalogue,
+    repro.service.protocol,
     repro.synth.rng,
     repro.tables.model,
     repro.tables.render,

@@ -13,6 +13,7 @@ _PACKAGES = [
     "repro.geo",
     "repro.kb",
     "repro.rdfstore",
+    "repro.service",
     "repro.synth",
     "repro.tables",
     "repro.text",
