@@ -32,7 +32,11 @@ warm-start from -- and merge-save back into -- one shared cache directory
 ``--schedule static|stealing`` picks the multi-worker scheduler
 (work-stealing chunk queue by default; contiguous static shards as the
 baseline) and ``--chunk-cost`` bounds the per-task cost of the stealing
-queue (0 = automatic).
+queue (0 = automatic).  ``--retries``, ``--retry-backoff-ms`` and
+``--breaker-threshold`` arm the resilience layer at the search boundary
+(bounded retries with deterministic backoff, a consecutive-failure
+circuit breaker; both default off, preserving seed behaviour) for the
+experiments that accept them and for ``serve``.
 
 ``serve`` keeps the warm engine resident: one process pays the cold start,
 then any number of ``client`` invocations (or :class:`ServiceClient`
@@ -147,11 +151,22 @@ def main(argv: list[str] | None = None) -> int:
             "automatically at about four tasks per worker"
         ),
     )
+    _add_resilience_arguments(parser)
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.chunk_cost < 0:
         parser.error(f"--chunk-cost must be >= 0, got {args.chunk_cost}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.retry_backoff_ms < 0:
+        parser.error(
+            f"--retry-backoff-ms must be >= 0, got {args.retry_backoff_ms}"
+        )
+    if args.breaker_threshold < 0:
+        parser.error(
+            f"--breaker-threshold must be >= 0, got {args.breaker_threshold}"
+        )
     names = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
     config = (
         WorldConfig.small(seed=args.seed)
@@ -190,6 +205,12 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["schedule"] = args.schedule
             if "chunk_cost_target" in parameters:
                 kwargs["chunk_cost_target"] = args.chunk_cost
+            if "retries" in parameters:
+                kwargs["retries"] = args.retries
+            if "retry_backoff_ms" in parameters:
+                kwargs["retry_backoff_ms"] = args.retry_backoff_ms
+            if "breaker_threshold" in parameters:
+                kwargs["breaker_threshold"] = args.breaker_threshold
             result = runner(context, **kwargs)
             print(result.render())
             print(f"[{name} in {time.time() - start:.1f}s]\n", file=sys.stderr)
@@ -203,6 +224,40 @@ def main(argv: list[str] | None = None) -> int:
         context.world.search_engine.save_results_cache(engine_cache)
         print(f"[engine cache saved to {engine_cache}]", file=sys.stderr)
     return SIGINT_EXIT_CODE if interrupted else 0
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """The search-boundary resilience knobs, shared by experiments and serve."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "extra search attempts per dropped request (default 0: one "
+            "attempt, seed behaviour); with retries the annotator backs "
+            "off exponentially on the virtual clock, marks exhausted "
+            "cells degraded, and repairs them in an end-of-corpus pass"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff-ms",
+        type=float,
+        default=200.0,
+        help=(
+            "base backoff before the first retry, in virtual "
+            "milliseconds; doubles per subsequent retry (default 200)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=0,
+        help=(
+            "consecutive search failures that open the circuit breaker "
+            "(fail fast until a cooldown probe succeeds); 0 (default) "
+            "disables the breaker"
+        ),
+    )
 
 
 # -- the resident service ---------------------------------------------------------------
@@ -278,6 +333,7 @@ def _serve_main(argv: list[str]) -> int:
             "(default 0: flush only on shutdown; needs --cache-dir)"
         ),
     )
+    _add_resilience_arguments(parser)
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -296,17 +352,27 @@ def _serve_main(argv: list[str]) -> int:
 
     from repro.core.annotation import SnippetCache
     from repro.core.annotator import EntityAnnotator
+    from repro.core.config import AnnotatorConfig
 
     config = (
         WorldConfig.small(seed=args.seed)
         if args.small
         else WorldConfig(seed=args.seed)
     )
+    try:
+        annotator_config = AnnotatorConfig(
+            retries=args.retries,
+            retry_backoff_ms=args.retry_backoff_ms,
+            breaker_threshold=args.breaker_threshold,
+        )
+    except ValueError as error:
+        parser.error(str(error))
     start = time.time()
     context = experiments.build_context(config)
     annotator = EntityAnnotator(
         context.classifiers[args.backend],
         context.world.search_engine,
+        config=annotator_config,
         cache=SnippetCache(),
     )
     daemon = AnnotationDaemon(annotator, args.socket, service_config)

@@ -37,6 +37,17 @@ class VirtualClock:
         self._elapsed += seconds
         self._charges += 1
 
+    def wait(self, seconds: float) -> None:
+        """Advance virtual time without counting a remote call.
+
+        Retry backoff and injected latency spikes cost virtual time but are
+        not requests, so :attr:`n_charges` keeps meaning "simulated remote
+        calls" for the Section 6.4 accounting.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot wait negative time: {seconds}")
+        self._elapsed += seconds
+
     def reset(self) -> None:
         """Zero the clock (used between experiment runs)."""
         self._elapsed = 0.0

@@ -48,6 +48,7 @@ from typing import Sequence
 from repro.classify.snippet import SnippetTypeClassifier
 from repro.core.config import AnnotatorConfig
 from repro.persistence import load_cache_payload, save_cache_payload
+from repro.resilience import CircuitBreaker, RetryPolicy
 from repro.web.search import SearchEngine, SearchEngineUnavailable
 
 _FAILED = object()
@@ -119,6 +120,17 @@ class CellAnnotator:
         self.config = config or AnnotatorConfig()
         self.cache = cache
         self.failure_count = 0
+        self.retry_count = 0
+        self.retry_policy = RetryPolicy(
+            retries=self.config.retries,
+            backoff_seconds=self.config.retry_backoff_ms / 1000.0,
+            seed=self.config.seed,
+        )
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold,
+            self.config.breaker_cooldown_seconds,
+            self.engine.clock,
+        )
         # snippet text -> label, filled by the batched path.  Classification
         # is a pure function of the text, so a long-lived annotator streaming
         # many tables about overlapping entities classifies each distinct
@@ -138,9 +150,10 @@ class CellAnnotator:
         """Decide whether *value* names an entity of one of *type_keys*.
 
         *spatial_context* (a city name) is appended to the query, the
-        Section 5.2.2 disambiguation.  A search-engine failure yields an
-        unannotated decision flagged ``failed=True`` -- the algorithm
-        degrades gracefully rather than aborting the table.
+        Section 5.2.2 disambiguation.  A search-engine failure (after the
+        configured retries, if any) yields an unannotated decision flagged
+        ``failed=True`` -- the algorithm degrades gracefully rather than
+        aborting the table.
         """
         if not type_keys:
             raise ValueError("type_keys must be non-empty")
@@ -148,9 +161,8 @@ class CellAnnotator:
         k = self.config.top_k
         snippets = self.cache.get(query, k) if self.cache is not None else None
         if snippets is None:
-            try:
-                results = self.engine.search(query, k=k)
-            except SearchEngineUnavailable:
+            results = self._search_with_retry(query, k)
+            if results is None:
                 self.failure_count += 1
                 return CellDecision(
                     type_key=None, score=0.0, query=query, failed=True
@@ -162,6 +174,35 @@ class CellAnnotator:
             return CellDecision(type_key=None, score=0.0, query=query)
         labels = self.classifier.classify_many(snippets)
         return self._decide(labels, type_keys, query)
+
+    def _search_with_retry(self, query: str, k: int):
+        """One query through the retry policy and circuit breaker.
+
+        Returns the result list, or ``None`` when every admitted attempt
+        failed (or the breaker refused to admit one).  Backoff between
+        attempts advances the virtual clock via
+        :meth:`~repro.clock.VirtualClock.wait`; an open breaker fails fast
+        without charging anything.  With ``retries=0`` and the breaker
+        disabled this is exactly one plain :meth:`SearchEngine.search`
+        call -- the seed behaviour.
+        """
+        attempts = 1 + self.retry_policy.retries
+        for attempt in range(1, attempts + 1):
+            if not self.breaker.allow():
+                return None
+            try:
+                results = self.engine.search(query, k=k)
+            except SearchEngineUnavailable:
+                self.breaker.record_failure()
+                if attempt < attempts:
+                    self.retry_count += 1
+                    self.engine.clock.wait(
+                        self.retry_policy.backoff_for(query, attempt)
+                    )
+                continue
+            self.breaker.record_success()
+            return results
+        return None
 
     # -- batched path ------------------------------------------------------------------
 
@@ -212,10 +253,19 @@ class CellAnnotator:
         return self._demux(queries, snippets_by_query, type_keys)
 
     def _resolve_queries(self, queries: Sequence[str]) -> dict[str, object]:
-        """Resolve unique queries: cache first, then one batched search.
+        """Resolve unique queries: cache first, then batched search rounds.
 
         Returns query -> snippet list, with :data:`_FAILED` marking queries
-        whose (single, shared) engine request failed.
+        whose engine request(s) failed.  With retries enabled, queries that
+        fail in one :meth:`search_many` round are re-issued together in the
+        next round after their (deterministic, per-query) backoff is
+        charged to the virtual clock.  Because both the backoff and the
+        failure draw are pure functions of the query and its attempt /
+        occurrence index, a query fails here exactly when the per-cell
+        path's :meth:`_search_with_retry` would fail it -- the rounds only
+        change *when* requests are issued, not their outcomes.  The breaker
+        is consulted at round boundaries (the batched path's granularity):
+        once it opens, the remaining pending queries fail fast uncharged.
         """
         k = self.config.top_k
         snippets_by_query: dict[str, object] = {}
@@ -232,14 +282,31 @@ class CellAnnotator:
             else:
                 snippets_by_query[query] = _FAILED  # placeholder until issued
                 to_issue.append(query)
-        for query, results in zip(to_issue, self.engine.search_many(to_issue, k=k)):
-            if results is None:
-                snippets_by_query[query] = _FAILED
-                continue
-            snippets = [result.snippet for result in results]
-            snippets_by_query[query] = snippets
-            if self.cache is not None:
-                self.cache.put(query, k, snippets)
+        pending = to_issue
+        attempt = 0
+        while pending:
+            if not self.breaker.allow():
+                break  # remaining queries stay _FAILED, uncharged
+            failed_round: list[str] = []
+            for query, results in zip(
+                pending, self.engine.search_many(pending, k=k)
+            ):
+                if results is None:
+                    self.breaker.record_failure()
+                    failed_round.append(query)
+                    continue
+                self.breaker.record_success()
+                snippets = [result.snippet for result in results]
+                snippets_by_query[query] = snippets
+                if self.cache is not None:
+                    self.cache.put(query, k, snippets)
+            attempt += 1
+            if not failed_round or attempt > self.retry_policy.retries:
+                break
+            for query in failed_round:
+                self.retry_count += 1
+                self.engine.clock.wait(self.retry_policy.backoff_for(query, attempt))
+            pending = failed_round
         return snippets_by_query
 
     def _classify_pooled(self, snippets_by_query: dict[str, object]) -> None:
@@ -313,6 +380,45 @@ class CellAnnotator:
                 self.failure_count += 1
             decisions.append(decision)
         return decisions
+
+    # -- end-of-corpus repair ----------------------------------------------------------
+
+    def repair_decisions(
+        self,
+        values_with_context: Sequence[tuple[str, str | None]],
+        decisions: Sequence[CellDecision],
+        type_keys: list[str],
+    ) -> tuple[list[CellDecision], int]:
+        """Re-issue every failed decision's query once, at end of corpus.
+
+        If the breaker is open, the repair pass first waits out the
+        remaining cooldown on the virtual clock so its probe is admitted.
+        Each failed cell gets a fresh retry cycle (fresh occurrence
+        indices, so fresh failure draws).  Returns the repaired decision
+        list and how many cells recovered.  :attr:`failure_count` is
+        adjusted so it counts cells whose resolution was *finally*
+        abandoned, not intermediate attempts.
+        """
+        failed_indices = [
+            index for index, decision in enumerate(decisions) if decision.failed
+        ]
+        repaired_decisions = list(decisions)
+        if not failed_indices:
+            return repaired_decisions, 0
+        if self.breaker.is_open:
+            self.engine.clock.wait(self.breaker.seconds_until_probe())
+        retried = self.annotate_values(
+            [values_with_context[index] for index in failed_indices], type_keys
+        )
+        # The first pass already counted these occurrences; only cells
+        # still failed after the repair belong in the final tally.
+        self.failure_count -= len(failed_indices)
+        repaired = 0
+        for index, decision in zip(failed_indices, retried):
+            if not decision.failed:
+                repaired += 1
+            repaired_decisions[index] = decision
+        return repaired_decisions, repaired
 
     # -- label-memo lifecycle and persistence ---------------------------------------------
 

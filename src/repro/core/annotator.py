@@ -76,6 +76,7 @@ from repro.core.results import (
     AnnotationRun,
     BatchAnnotationResult,
     CellAnnotation,
+    DegradedCell,
     RunDiagnostics,
     TableAnnotation,
 )
@@ -197,7 +198,12 @@ class EntityAnnotator:
         return {}
 
     def _collect(self, table: Table, candidates, decisions) -> TableAnnotation:
-        """Fold per-cell decisions into a (post-processed) TableAnnotation."""
+        """Fold per-cell decisions into a (post-processed) TableAnnotation.
+
+        Cells whose engine request(s) ultimately failed are recorded on
+        the annotation's ``degraded`` list -- the resilience contract: a
+        lossy run names its losses instead of silently shrinking.
+        """
         annotation = TableAnnotation(table_name=table.name)
         for candidate, decision in zip(candidates, decisions):
             if decision.annotated:
@@ -209,6 +215,16 @@ class EntityAnnotator:
                         type_key=decision.type_key,  # type: ignore[arg-type]
                         score=decision.score,
                         cell_value=candidate.value,
+                    )
+                )
+            elif decision.failed:
+                annotation.degraded.append(
+                    DegradedCell(
+                        table_name=table.name,
+                        row=candidate.row,
+                        column=candidate.column,
+                        cell_value=candidate.value,
+                        query=decision.query,
                     )
                 )
         if self.config.use_postprocessing:
@@ -248,11 +264,12 @@ class EntityAnnotator:
         once per table there -- the protocol-level amortisation that is
         the point of the corpus path.  The one caveat to output equality:
         a *failed* repeated query is final for the whole run here, while
-        the per-table loop retries it table by table (failures are never
-        cached), so under random failure injection the two protocols'
-        retry streams -- and hence annotations -- can legitimately
-        diverge; with a healthy engine, a fully-down engine, or distinct
-        queries, they cannot.
+        the per-table loop re-issues it table by table (failures are never
+        cached) and each re-issue is a fresh occurrence with a fresh
+        deterministic failure draw, so under failure injection the two
+        protocols can legitimately diverge on repeated queries; with a
+        healthy engine, a fully-down engine, or distinct queries, they
+        cannot.
 
         The returned run carries corpus-aggregated
         :class:`~repro.core.results.RunDiagnostics` spanning every table
@@ -275,12 +292,18 @@ class EntityAnnotator:
         ``RunDiagnostics.imbalance_ratio``).  Annotations are
         byte-identical to ``workers=1`` under either scheduler on a
         healthy (or fully-down) engine -- same-named tables merge in
-        corpus order everywhere -- and under random failure injection the
-        workers' independent rng streams may legitimately diverge,
-        exactly like the corpus-vs-sequential caveat above.  With
-        ``workers=1``, *cache_dir* warm-starts this process before the
-        run and merge-saves after it -- the same contract, minus the
-        pool.
+        corpus order everywhere.  Failure injection is deterministic per
+        (query, occurrence), so workers agree with the corpus path on
+        every query's *first* issue; repeats inside different shards may
+        still diverge, exactly like the corpus-vs-sequential caveat
+        above.  A worker that *dies* mid-run no longer aborts the corpus:
+        its task is requeued onto a fresh worker up to
+        ``config.task_retries`` times, then quarantined with its tables'
+        candidate cells marked degraded (see :mod:`repro.core.parallel`).
+        With ``workers=1``, *cache_dir* warm-starts this process before
+        the run and merge-saves after it -- the same contract, minus the
+        pool.  The end-of-corpus repair pass (``config.retries > 0``)
+        runs inside whichever process executes the pooled pass.
         """
         tables = list(tables)
         type_keys = list(type_keys)
@@ -308,6 +331,14 @@ class EntityAnnotator:
                 for candidate in candidates
             )
         decisions = self.cell_annotator.annotate_values(pairs, type_keys)
+        repaired = 0
+        if self.config.retries > 0:
+            # End-of-corpus repair: one more pass over the cells that
+            # exhausted their retries, issued once the breaker's cooldown
+            # (if any) has been waited out on the virtual clock.
+            decisions, repaired = self.cell_annotator.repair_decisions(
+                pairs, decisions, type_keys
+            )
         run = AnnotationRun()
         offset = 0
         for table, candidates in prepped:
@@ -319,7 +350,13 @@ class EntityAnnotator:
             )
             offset += n_cells
         run.diagnostics = self._diagnostics_since(
-            before, n_tables=len(tables), n_cells=len(pairs)
+            before,
+            n_tables=len(tables),
+            n_cells=len(pairs),
+            degraded_cells=sum(
+                len(annotation.degraded) for annotation in run.tables.values()
+            ),
+            repaired_cells=repaired,
         )
         if cache_dir is not None:
             self.save_caches(cache_dir)
@@ -378,6 +415,10 @@ class EntityAnnotator:
                             replace(cell, table_name=table.name)
                             for cell in aliased_annotation.cells
                         ],
+                        degraded=[
+                            replace(cell, table_name=table.name)
+                            for cell in aliased_annotation.degraded
+                        ],
                     )
                 )
         assert run.diagnostics is not None
@@ -407,7 +448,12 @@ class EntityAnnotator:
             run.merge_table(annotation)
             n_cells += n_candidates
         run.diagnostics = self._diagnostics_since(
-            before, n_tables=len(tables), n_cells=n_cells
+            before,
+            n_tables=len(tables),
+            n_cells=n_cells,
+            degraded_cells=sum(
+                len(annotation.degraded) for annotation in run.tables.values()
+            ),
         )
         return run
 
@@ -469,7 +515,7 @@ class EntityAnnotator:
         """
         return self.cell_annotator.failure_count
 
-    def _counters(self) -> tuple[int, int, int, int, int, float]:
+    def _counters(self) -> tuple[int, int, int, int, int, float, int, int]:
         """Snapshot of the counters :class:`RunDiagnostics` deltas over."""
         cache = self.cell_annotator.cache
         clock = self.engine.clock
@@ -480,10 +526,17 @@ class EntityAnnotator:
             self.engine.query_count,
             clock.n_charges,
             clock.elapsed_seconds,
+            self.cell_annotator.retry_count,
+            self.cell_annotator.breaker.opens,
         )
 
     def _diagnostics_since(
-        self, before: tuple[int, int, int, int, int, float], n_tables: int, n_cells: int
+        self,
+        before: tuple[int, int, int, int, int, float, int, int],
+        n_tables: int,
+        n_cells: int,
+        degraded_cells: int = 0,
+        repaired_cells: int = 0,
     ) -> RunDiagnostics:
         after = self._counters()
         return RunDiagnostics(
@@ -495,4 +548,8 @@ class EntityAnnotator:
             queries_issued=after[3] - before[3],
             clock_charges=after[4] - before[4],
             virtual_seconds=after[5] - before[5],
+            search_retries=after[6] - before[6],
+            breaker_opens=after[7] - before[7],
+            degraded_cells=degraded_cells,
+            repaired_cells=repaired_cells,
         )

@@ -45,6 +45,35 @@ class AnnotatorConfig:
     worker, as the parity and benchmark baseline.  Annotations are
     byte-identical either way (see :mod:`repro.core.parallel`)."""
 
+    retries: int = 0
+    """Extra search attempts after a dropped request, per query.  0
+    (default) keeps the seed behaviour: one attempt, a drop loses the
+    cell.  With retries > 0 the annotator re-issues failed queries with
+    exponential backoff (charged to the virtual clock, deterministic
+    jitter), marks cells that exhaust their attempts *degraded*, and
+    ``annotate_tables`` runs one end-of-corpus repair pass over the
+    degraded cells (see :mod:`repro.resilience`)."""
+
+    retry_backoff_ms: float = 200.0
+    """Base backoff before the first retry, in virtual milliseconds;
+    doubles per subsequent retry.  Backoff advances the virtual clock via
+    :meth:`~repro.clock.VirtualClock.wait`, so it shows up in virtual
+    seconds but not in the remote-call count."""
+
+    breaker_threshold: int = 0
+    """Consecutive search failures that open the circuit breaker; 0
+    (default) disables the breaker.  While open, requests fail fast
+    without charging the clock; after ``breaker_cooldown_seconds`` of
+    virtual time a half-open probe is admitted."""
+
+    breaker_cooldown_seconds: float = 30.0
+    """Virtual seconds an open breaker waits before probing."""
+
+    task_retries: int = 2
+    """How many times a parallel chunk task whose worker *died* is
+    requeued onto a fresh worker before the task is quarantined and its
+    tables marked degraded (see :mod:`repro.core.parallel`)."""
+
     chunk_cost_target: int = 0
     """Cost budget per work-stealing chunk task, in estimated cells
     (``rows x columns``, the cheap proxy for per-table work).  Consecutive
@@ -79,6 +108,25 @@ class AnnotatorConfig:
         if self.schedule not in SCHEDULES:
             raise ValueError(
                 f"schedule must be one of {SCHEDULES}, got {self.schedule!r}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff_ms < 0:
+            raise ValueError(
+                f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms}"
+            )
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_seconds < 0:
+            raise ValueError(
+                "breaker_cooldown_seconds must be >= 0, got "
+                f"{self.breaker_cooldown_seconds}"
+            )
+        if self.task_retries < 0:
+            raise ValueError(
+                f"task_retries must be >= 0, got {self.task_retries}"
             )
         if self.chunk_cost_target < 0:
             raise ValueError(

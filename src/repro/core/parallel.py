@@ -16,29 +16,53 @@ view with per-worker load accounting
 Two schedulers place the work (``AnnotatorConfig.schedule``):
 
 ``stealing`` (default)
-    The parent enqueues cost-bounded *chunk* tasks -- consecutive tables
+    The parent dispatches cost-bounded *chunk* tasks -- consecutive tables
     packed until a cell-count budget is reached, a giant table travelling
-    alone -- and long-lived workers pull the next task from the shared
-    queue the moment they finish one.  A skewed corpus (one 2,000-row
-    table next to hundreds of tiny ones, the shape real web-table corpora
-    exhibit) keeps every worker busy: whoever draws the giant table works
-    it while the rest drain the small chunks.
+    alone -- and long-lived workers receive the next task the moment they
+    finish one.  A skewed corpus (one 2,000-row table next to hundreds of
+    tiny ones, the shape real web-table corpora exhibit) keeps every
+    worker busy: whoever draws the giant table works it while the rest
+    drain the small chunks.
 
 ``static``
     PR 3's contiguous near-equal slices, one task per worker.  Retained
     as the parity and benchmark baseline; on a skewed corpus the worker
     whose slice holds the giant table serialises the run.
 
-Worker state is established once per process via the pool initializer.
-Under the ``fork`` start method the parent's annotator is inherited by
-reference (copy-on-write, no serialisation at all); under ``spawn`` or
-``forkserver`` a pickled payload is shipped instead.  Either way every
-worker computes with an identical copy of the classifier/engine state, so
-annotations are a pure function of the task's tables -- which is why both
-schedulers are byte-identical to the sequential path (the parity caveat
-is the same as for corpus-at-a-time batching: under random *failure
-injection* the workers' independent rng streams legitimately diverge from
-the sequential retry stream).
+The pool itself is hand-rolled (one duplex pipe per worker, parent-side
+dispatch) rather than a ``ProcessPoolExecutor``, because the executor
+declares the *whole pool* broken when any worker dies.  Here a worker
+death is survivable by construction:
+
+* the parent records exactly which task each worker holds in flight, so a
+  crashed worker's task is identified without any acknowledgement
+  protocol and **requeued** onto a fresh worker (the dead one is
+  respawned), up to ``AnnotatorConfig.task_retries`` times;
+* a task that keeps killing its workers -- a poison task -- is
+  **quarantined**: the parent stops re-running it, marks every candidate
+  cell of its tables *degraded* on the run
+  (:class:`~repro.core.results.DegradedCell`, ``reason="worker-crash"``)
+  and finishes the rest of the corpus;
+* per-worker result pipes isolate crash damage: a worker killed mid-send
+  corrupts only its own pipe, which the parent simply closes (after
+  draining any complete messages that landed before the death, so a
+  worker that finished its task and died idle never has its work redone).
+
+``diagnostics.tasks_requeued`` / ``tasks_quarantined`` report what
+happened.  With no crashes the dispatch order, results and accounting are
+exactly the executor-based layer's, so annotations stay byte-identical to
+the sequential run.
+
+Worker state is established once per process.  Under the ``fork`` start
+method the parent's annotator is inherited by reference (copy-on-write,
+no serialisation at all); under ``spawn`` or ``forkserver`` a pickled
+payload is shipped instead.  Either way every worker computes with an
+identical copy of the classifier/engine state, so annotations are a pure
+function of the task's tables -- which is why both schedulers are
+byte-identical to the sequential path.  (Failure injection is
+deterministic per (seed, query, occurrence), so even a flaky engine fails
+the same queries inside a worker as the sequential run fails for each
+query's first issue.)
 
 The layer stays deliberately dumb about content: query deduplication
 happens *within* a task (each worker runs the normal corpus-at-a-time
@@ -56,14 +80,20 @@ import os
 import pickle
 import signal
 import sys
-import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
 from dataclasses import replace
-from typing import TYPE_CHECKING, Sequence
+from multiprocessing import connection
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.config import SCHEDULES
-from repro.core.results import AnnotationRun, RunDiagnostics, WorkerLoad
+from repro.core.results import (
+    AnnotationRun,
+    DegradedCell,
+    RunDiagnostics,
+    TableAnnotation,
+    WorkerLoad,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotator imports us)
     from repro.core.annotator import EntityAnnotator
@@ -72,21 +102,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotator imports us
 CHUNKS_PER_WORKER = 4
 """Automatic chunk sizing: aim for this many stealing tasks per worker."""
 
-_FLUSH_BARRIER_TIMEOUT = 120.0
-"""Upper bound on waiting for the save barrier; a broken barrier degrades
-to best-effort saves (merge-on-save makes duplicates harmless)."""
+_FLUSH_TIMEOUT = 120.0
+"""Upper bound on waiting for a worker's end-of-run cache flush; a worker
+that cannot ack in time is abandoned (merge-on-save makes a lost flush
+cost warmth, never correctness)."""
 
-# Worker-process state, set by _init_worker.  One annotator per process,
-# reused across every task that lands on it.
-_WORKER_ANNOTATOR = None
+_WAIT_TICK = 1.0
+"""Parent poll granularity while waiting for worker messages, seconds.
+The common case is event-driven (process sentinels are waited on
+alongside the pipes, so both results and deaths wake the parent
+immediately); the tick only bounds exotic missed-wakeup cases."""
 
-# Barrier shared by the end-of-run cache-flush tasks (see _flush_caches).
-_WORKER_BARRIER = None
+_STOP_JOIN_TIMEOUT = 5.0
+"""Grace period for workers to exit after a stop command."""
 
-# Fork-path handoff: the parent parks its annotator here right before
-# creating the pool; forked children inherit the reference and the parent
-# clears it immediately after.  Avoids pickling multi-megabyte engine
-# state when the OS can copy-on-write it for free.
+# Fork-path handoff: the parent parks its annotator here for the duration
+# of the run; forked children (including crash replacements spawned
+# mid-run) inherit the reference and the parent clears it in a finally.
+# Avoids pickling multi-megabyte engine state when the OS can
+# copy-on-write it for free.
 _FORK_PAYLOAD = None
 
 
@@ -103,65 +137,367 @@ def _start_method() -> str:
     return multiprocessing.get_start_method()
 
 
-def _init_worker(pickled_annotator: bytes | None, cache_dir, barrier) -> None:
-    """Pool initializer: materialise this process's annotator, warm it up."""
-    global _WORKER_ANNOTATOR, _WORKER_BARRIER
+def _portable_error(error: BaseException) -> BaseException:
+    """The error itself when it pickles, else a faithful stand-in."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RuntimeError(f"{type(error).__name__}: {error}")
+
+
+def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
+    """Worker process loop: receive commands, ship results home.
+
+    Commands (tuples, first element the kind): ``("task", index, tables,
+    type_keys)`` annotates and answers ``("done", index, pid, run,
+    busy_seconds)`` or ``("error", index, pid, error)``; ``("flush",)``
+    merge-saves the caches and answers ``("flushed", pid)`` (or
+    ``("flush-error", pid, error)``); ``("stop",)`` exits the loop.
+    """
     # A terminal Ctrl-C delivers SIGINT to the whole foreground process
     # group.  The *parent* owns interrupt handling (stop dispatching,
     # flush every worker's caches, re-raise); a worker that dies on its
-    # own KeyboardInterrupt breaks the pool before those flush tasks can
-    # run, losing exactly the warmth the graceful path exists to save.
+    # own KeyboardInterrupt would lose exactly the warmth the graceful
+    # path exists to save.
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic hosts
         pass
     if pickled_annotator is None:
-        _WORKER_ANNOTATOR = _FORK_PAYLOAD  # inherited via fork
-    else:
-        _WORKER_ANNOTATOR = pickle.loads(pickled_annotator)
-    if _WORKER_ANNOTATOR is None:  # pragma: no cover - defensive
+        annotator = _FORK_PAYLOAD  # inherited via fork
+    else:  # pragma: no cover - exercised only on spawn-only platforms
+        annotator = pickle.loads(pickled_annotator)
+    if annotator is None:  # pragma: no cover - defensive
         raise RuntimeError("worker started without an annotator payload")
-    _WORKER_BARRIER = barrier
     if cache_dir is not None:
         # Warm start from the shared cache directory.  A cold report is
         # fine (first worker ever, stale fingerprint, lock timeout): the
         # caches are an optimisation, never a correctness dependency.
-        _WORKER_ANNOTATOR.load_caches(cache_dir)
-
-
-def _annotate_task(
-    index: int, tables: "Sequence[Table]", type_keys: list[str]
-) -> tuple[int, AnnotationRun, int, float]:
-    """One queue task: corpus-at-a-time over *tables*.
-
-    Returns ``(task index, run, worker pid, busy seconds)`` so the parent
-    can reassemble deterministically by index and attribute the work to
-    the process that actually did it.  Cache saving is *not* done here --
-    one save per task would serialise the pool on the advisory lock --
-    but once per worker at the end of the run (:func:`_flush_caches`).
-    """
-    start = time.perf_counter()
-    run = _WORKER_ANNOTATOR.annotate_tables(tables, type_keys)
-    return index, run, os.getpid(), time.perf_counter() - start
-
-
-def _flush_caches(cache_dir) -> int:
-    """End-of-run task: merge-save this worker's caches, exactly once.
-
-    The parent submits one flush task per pool process; the barrier makes
-    each task block until every process holds one, so no worker can drain
-    two flushes while another saves nothing.  A broken barrier (a worker
-    died mid-run) degrades to best-effort: whoever is still alive saves
-    anyway -- merge-on-save under the advisory lock means duplicate or
-    missing saves cost warmth, never correctness.
-    """
-    if _WORKER_BARRIER is not None:
+        annotator.load_caches(cache_dir)
+    while True:
         try:
-            _WORKER_BARRIER.wait(timeout=_FLUSH_BARRIER_TIMEOUT)
-        except threading.BrokenBarrierError:  # pragma: no cover - worker loss
-            pass
-    _WORKER_ANNOTATOR.save_caches(cache_dir)
-    return os.getpid()
+            message = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent died
+            break
+        kind = message[0]
+        if kind == "task":
+            _, index, tables, type_keys = message
+            start = time.perf_counter()
+            try:
+                run = annotator.annotate_tables(tables, type_keys)
+            except Exception as error:
+                conn.send(("error", index, os.getpid(), _portable_error(error)))
+            else:
+                conn.send(
+                    ("done", index, os.getpid(), run, time.perf_counter() - start)
+                )
+        elif kind == "flush":
+            try:
+                annotator.save_caches(cache_dir)
+            except Exception as error:
+                conn.send(("flush-error", os.getpid(), _portable_error(error)))
+            else:
+                conn.send(("flushed", os.getpid()))
+        elif kind == "stop":
+            break
+    conn.close()
+
+
+def _wait_ready(targets, timeout: float):
+    """Block until a pipe has a message or a worker sentinel fires.
+
+    Thin wrapper over :func:`multiprocessing.connection.wait`, kept as a
+    module-level seam so the graceful-interrupt tests can inject a
+    ``KeyboardInterrupt`` at the exact point a terminal Ctrl-C lands in
+    the parent: while it sits waiting on the pool.
+    """
+    return connection.wait(targets, timeout)
+
+
+class _Worker:
+    """Parent-side handle of one pool process."""
+
+    __slots__ = ("slot", "process", "conn", "inflight", "retired")
+
+    def __init__(self, slot: int, process, conn) -> None:
+        self.slot = slot
+        self.process = process
+        self.conn = conn
+        # Index of the task this worker is annotating, or None when idle.
+        # This single field is the whole crash-recovery bookkeeping: a
+        # dead worker with a non-None inflight crashed mid-task, and that
+        # is the task to requeue.
+        self.inflight: int | None = None
+        # A reaped-and-not-replaced worker: excluded from dispatch and
+        # from the wait set (a joined process's sentinel stays signalled
+        # forever and would busy-spin the parent).
+        self.retired = False
+
+
+class _WorkerPool:
+    """A crash-tolerant process pool with parent-side task dispatch.
+
+    One duplex pipe per worker.  The parent assigns tasks to specific
+    idle workers (recording what is in flight where), collects results as
+    they arrive, requeues the in-flight task of any worker that dies and
+    spawns a replacement, and quarantines tasks that exhaust their
+    requeue budget.  Dispatch order is deterministic: tasks go out in
+    index order, workers are offered work in slot order.
+    """
+
+    def __init__(
+        self,
+        context,
+        n_workers: int,
+        payload: bytes | None,
+        cache_dir,
+        on_worker_spawn: Callable[[int], None] | None = None,
+    ) -> None:
+        self._context = context
+        self._payload = payload
+        self._cache_dir = cache_dir
+        self._on_worker_spawn = on_worker_spawn
+        self.n_workers = n_workers
+        self.workers: list[_Worker] = [
+            self._spawn(slot) for slot in range(n_workers)
+        ]
+
+    def _spawn(self, slot: int) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, self._payload, self._cache_dir),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if self._on_worker_spawn is not None:
+            self._on_worker_spawn(process.pid)
+        return _Worker(slot=slot, process=process, conn=parent_conn)
+
+    # -- task loop -----------------------------------------------------------------------
+
+    def run_tasks(
+        self,
+        tasks: "Sequence[Sequence[Table]]",
+        type_keys: list[str],
+        task_retries: int,
+    ) -> tuple[dict[int, tuple], list[int], int, list[BaseException]]:
+        """Drive every task to completion, quarantine or error.
+
+        Returns ``(completed, quarantined_indices, n_requeued, errors)``
+        where ``completed[index] = (index, run, pid, busy_seconds)``.  A
+        worker *exception* (the task itself raised) aborts the run as the
+        executor-based layer did: dispatch stops, in-flight tasks drain,
+        and the caller raises the first error after the cache flush.  A
+        worker *death* is recovered instead.  ``KeyboardInterrupt``
+        switches to the same drain-then-return path, the interrupt placed
+        first in ``errors`` so the caller re-raises it after the flush.
+        """
+        pending: deque[int] = deque(range(len(tasks)))
+        attempts = [0] * len(tasks)
+        completed: dict[int, tuple] = {}
+        quarantined: list[int] = []
+        errored: set[int] = set()
+        errors: list[BaseException] = []
+        requeued = 0
+        interrupt: BaseException | None = None
+
+        def handle(worker: _Worker, message: tuple) -> None:
+            kind = message[0]
+            if kind == "done":
+                _, index, pid, run, busy = message
+                completed[index] = (index, run, pid, busy)
+                worker.inflight = None
+            elif kind == "error":
+                _, index, pid, error = message
+                errored.add(index)
+                errors.append(error)
+                worker.inflight = None
+            # "flushed"/"flush-error" cannot arrive here: flushes are
+            # only requested after this loop returns.
+
+        while len(completed) + len(quarantined) + len(errored) < len(tasks):
+            aborting = bool(errors) or interrupt is not None
+            try:
+                if not aborting:
+                    self._dispatch(pending, tasks, type_keys)
+                elif all(w.inflight is None for w in self.workers):
+                    break  # aborting and nothing left to drain
+                ready = _wait_ready(self._wait_targets(), _WAIT_TICK)
+                self._receive(ready, handle)
+                requeued += self._reap(
+                    handle,
+                    pending,
+                    attempts,
+                    task_retries,
+                    quarantined,
+                    respawn=not aborting,
+                )
+            except KeyboardInterrupt as error:
+                # Graceful shutdown (terminal Ctrl-C): stop handing out
+                # new tasks, but keep the pool alive long enough to flush
+                # the warmth the finished tasks already paid for.  Queued
+                # tasks are dropped; running ones complete (a worker
+                # cannot be interrupted mid-task without losing its
+                # caches anyway).  The interrupt is re-raised by the
+                # caller after the flush so the CLI still observes it
+                # (exit code 130).
+                interrupt = error
+        if interrupt is not None:
+            errors.insert(0, interrupt)
+        return completed, quarantined, requeued, errors
+
+    def _dispatch(
+        self,
+        pending: deque[int],
+        tasks: "Sequence[Sequence[Table]]",
+        type_keys: list[str],
+    ) -> None:
+        for worker in self.workers:
+            if not pending:
+                return
+            if worker.retired or worker.inflight is not None:
+                continue
+            if not worker.process.is_alive():
+                continue  # the next reap requeues/respawns
+            index = pending[0]
+            try:
+                worker.conn.send(("task", index, list(tasks[index]), type_keys))
+            except (BrokenPipeError, OSError):
+                continue  # died between is_alive and send; reaped next tick
+            pending.popleft()
+            worker.inflight = index
+
+    def _wait_targets(self) -> list:
+        targets: list = []
+        for worker in self.workers:
+            if worker.retired:
+                continue
+            targets.append(worker.conn)
+            targets.append(worker.process.sentinel)
+        return targets
+
+    def _receive(self, ready, handle) -> None:
+        ready = set(ready or ())
+        for worker in self.workers:
+            if worker.retired or worker.conn not in ready:
+                continue
+            try:
+                while worker.conn.poll():
+                    handle(worker, worker.conn.recv())
+            except (EOFError, OSError):
+                # Dead or corrupt pipe (worker killed mid-send); the reap
+                # below requeues whatever it held.
+                pass
+
+    def _reap(
+        self,
+        handle,
+        pending: deque[int],
+        attempts: list[int],
+        task_retries: int,
+        quarantined: list[int],
+        respawn: bool,
+    ) -> int:
+        """Recover from dead workers; returns how many tasks were requeued."""
+        requeued = 0
+        for position, worker in enumerate(self.workers):
+            if worker.retired or worker.process.is_alive():
+                continue
+            # Drain results that made it onto the pipe before the death:
+            # a worker that completed its task and died idle must not
+            # have its finished work redone.
+            try:
+                while worker.conn.poll():
+                    handle(worker, worker.conn.recv())
+            except (EOFError, OSError):
+                pass
+            crashed_task = worker.inflight
+            worker.inflight = None
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            worker.process.join(timeout=0)
+            if crashed_task is not None:
+                attempts[crashed_task] += 1
+                if attempts[crashed_task] > task_retries:
+                    quarantined.append(crashed_task)
+                else:
+                    requeued += 1
+                    pending.appendleft(crashed_task)
+            if respawn:
+                self.workers[position] = self._spawn(worker.slot)
+            else:
+                worker.retired = True
+        return requeued
+
+    # -- flush & shutdown ----------------------------------------------------------------
+
+    def flush(self) -> list[BaseException]:
+        """Ask every live worker to merge-save its caches, best-effort.
+
+        One flush per worker process, no barrier needed: each worker has
+        its own command pipe, so a flush cannot be drained twice by one
+        worker while another saves nothing.  Returns any errors the
+        saves reported.
+        """
+        waiting: list[_Worker] = []
+        for worker in self.workers:
+            if worker.retired or not worker.process.is_alive():
+                continue
+            try:
+                worker.conn.send(("flush",))
+            except (BrokenPipeError, OSError):  # pragma: no cover - race
+                continue
+            waiting.append(worker)
+        errors: list[BaseException] = []
+        deadline = time.monotonic() + _FLUSH_TIMEOUT
+        while waiting:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:  # pragma: no cover - pathological save stall
+                break
+            ready = set(
+                connection.wait([w.conn for w in waiting], min(remaining, 1.0))
+                or ()
+            )
+            still_waiting: list[_Worker] = []
+            for worker in waiting:
+                acked = False
+                if worker.conn in ready:
+                    try:
+                        message = worker.conn.recv()
+                        if message[0] == "flush-error":
+                            errors.append(message[2])
+                        acked = True
+                    except (EOFError, OSError):
+                        acked = True  # died mid-flush; abandon it
+                elif not worker.process.is_alive():
+                    acked = True  # pragma: no cover - died without output
+                if not acked:
+                    still_waiting.append(worker)
+            waiting = still_waiting
+        return errors
+
+    def shutdown(self) -> None:
+        """Stop every worker: polite command, then escalate."""
+        for worker in self.workers:
+            if not worker.retired and worker.process.is_alive():
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in self.workers:
+            worker.process.join(timeout=_STOP_JOIN_TIMEOUT)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
 
 def table_cost(table: "Table") -> int:
@@ -268,7 +604,10 @@ def _worker_loads(
     processes that never completed a task (one worker drained the whole
     queue before another finished spawning) still get a zero load, so the
     imbalance ratio honestly reports the idle worker instead of calling a
-    one-worker run "perfectly balanced"."""
+    one-worker run "perfectly balanced".  Crash-replacement workers show
+    up as extra pids, so a recovered run may report more loads than the
+    nominal pool size -- every process that completed work is accounted
+    for."""
     by_pid: dict[int, list[tuple[int, AnnotationRun, int, float]]] = {}
     for result in results:
         by_pid.setdefault(result[2], []).append(result)
@@ -295,6 +634,46 @@ def _worker_loads(
     return tuple(loads)
 
 
+def _quarantine_run(
+    annotator: "EntityAnnotator", tables: "Sequence[Table]"
+) -> AnnotationRun:
+    """The degraded stand-in for a quarantined task's annotations.
+
+    Every candidate cell of the task's tables is marked degraded with
+    ``reason="worker-crash"``; no annotations, no engine traffic (the
+    parent computes candidates locally -- preprocessing never touches the
+    network).
+    """
+    run = AnnotationRun()
+    n_cells = 0
+    for table in tables:
+        annotation = TableAnnotation(table_name=table.name)
+        for candidate in annotator.preprocessor.candidate_cells(table):
+            annotation.degraded.append(
+                DegradedCell(
+                    table_name=table.name,
+                    row=candidate.row,
+                    column=candidate.column,
+                    cell_value=candidate.value,
+                    reason="worker-crash",
+                )
+            )
+        n_cells += len(annotation.degraded)
+        run.merge_table(annotation)
+    run.diagnostics = RunDiagnostics(
+        n_tables=len(tables),
+        n_cells=n_cells,
+        search_failures=0,
+        cache_hits=0,
+        cache_misses=0,
+        queries_issued=0,
+        clock_charges=0,
+        virtual_seconds=0.0,
+        degraded_cells=n_cells,
+    )
+    return run
+
+
 def annotate_tables_parallel(
     annotator: "EntityAnnotator",
     tables: "Sequence[Table]",
@@ -303,28 +682,40 @@ def annotate_tables_parallel(
     cache_dir=None,
     schedule: str | None = None,
     chunk_cost_target: int | None = None,
+    task_retries: int | None = None,
+    on_worker_spawn: Callable[[int], None] | None = None,
 ) -> AnnotationRun:
     """Annotate *tables* across a pool of *workers* processes.
 
     The task-queue -> warm-start -> annotate -> merge-save data flow
-    described in ``docs/architecture.md``.  *schedule* and
-    *chunk_cost_target* default to the annotator's config
-    (``AnnotatorConfig.schedule`` / ``.chunk_cost_target``).  Returns one
-    :class:`AnnotationRun` whose ``tables`` are in original corpus order
-    (same-named tables merged, exactly as the sequential path merges
-    them), whose ``diagnostics`` are the :meth:`RunDiagnostics.combined`
-    fold of every task's in task order, and whose
-    ``diagnostics.worker_loads`` record what each pool process really did
-    (tasks, tables, cells, busy seconds -- see
+    described in ``docs/architecture.md``.  *schedule*,
+    *chunk_cost_target* and *task_retries* default to the annotator's
+    config (``AnnotatorConfig.schedule`` / ``.chunk_cost_target`` /
+    ``.task_retries``).  Returns one :class:`AnnotationRun` whose
+    ``tables`` are in original corpus order (same-named tables merged,
+    exactly as the sequential path merges them), whose ``diagnostics``
+    are the :meth:`RunDiagnostics.combined` fold of every task's in task
+    order, and whose ``diagnostics.worker_loads`` record what each pool
+    process really did (tasks, tables, cells, busy seconds -- see
     ``RunDiagnostics.imbalance_ratio``).
+
+    Crash recovery: a worker that dies mid-task has its task requeued on
+    a replacement worker up to *task_retries* times; a task that keeps
+    killing its workers is quarantined -- its tables' candidate cells
+    marked degraded (``reason="worker-crash"``) -- and the rest of the
+    corpus completes normally.  ``diagnostics.tasks_requeued`` /
+    ``tasks_quarantined`` count both.  *on_worker_spawn* (tests, chaos
+    harnesses) is called with the pid of every worker the pool starts,
+    replacements included.
 
     The *parent* annotator does none of the annotation work, so its
     lifetime counters (engine clock, ``failure_count``) do not advance --
-    the run's diagnostics carry the workers' accounting.  When *cache_dir*
-    is set every worker merge-saves its caches once at the end of the run
-    (a barrier hands exactly one flush task to each process), and the
-    parent warm-starts itself from the merged caches afterwards, so
-    follow-up in-process work benefits from the workers' effort.
+    the run's diagnostics carry the workers' accounting.  When
+    *cache_dir* is set every worker merge-saves its caches once at the
+    end of the run (each worker has its own command pipe, so exactly one
+    flush lands on each), and the parent warm-starts itself from the
+    merged caches afterwards, so follow-up in-process work benefits from
+    the workers' effort.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -333,6 +724,8 @@ def annotate_tables_parallel(
         schedule = getattr(annotator.config, "schedule", "stealing")
     if chunk_cost_target is None:
         chunk_cost_target = getattr(annotator.config, "chunk_cost_target", 0)
+    if task_retries is None:
+        task_retries = getattr(annotator.config, "task_retries", 2)
     tasks = _build_tasks(tables, workers, schedule, chunk_cost_target)
     run = AnnotationRun()
     if not tasks:
@@ -341,80 +734,64 @@ def annotate_tables_parallel(
     n_workers = min(workers, len(tasks))
     method = _start_method()
     context = multiprocessing.get_context(method)
-    barrier = context.Barrier(n_workers) if cache_dir is not None else None
     global _FORK_PAYLOAD
     if method == "fork":
         payload = None
         _FORK_PAYLOAD = annotator
     else:  # pragma: no cover - exercised only on spawn-only platforms
         payload = pickle.dumps(annotator, protocol=pickle.HIGHEST_PROTOCOL)
+    pool = None
     try:
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            mp_context=context,
-            initializer=_init_worker,
-            initargs=(payload, cache_dir, barrier),
-        ) as pool:
-            futures = [
-                pool.submit(_annotate_task, index, task, type_keys)
-                for index, task in enumerate(tasks)
-            ]
-            results = []
-            errors: list[BaseException] = []
-            interrupt: BaseException | None = None
-            for future in futures:
-                if interrupt is not None:
-                    future.cancel()
-                    continue
-                try:
-                    results.append(future.result())
-                except Exception as error:
-                    errors.append(error)
-                except KeyboardInterrupt as error:
-                    # Graceful shutdown (Ctrl-C / SIGTERM): stop handing
-                    # out new tasks, but keep the pool alive long enough
-                    # to flush the warmth the finished tasks already paid
-                    # for.  Queued tasks are cancelled; running ones
-                    # complete (a worker cannot be interrupted mid-task
-                    # without losing its caches anyway).  The interrupt
-                    # is re-raised after the flush so callers -- the CLI,
-                    # the daemon -- still observe it (exit code 130).
-                    interrupt = error
-                    future.cancel()
-            if cache_dir is not None:
-                # One flush per pool process: each blocks on the barrier
-                # until every process holds its own, then merge-saves.
-                # Flushing happens even when a task failed, so the work
-                # the surviving tasks already paid for stays warm; if the
-                # *pool* broke (a worker died) the flush fails too and
-                # the original task error is what propagates.
-                try:
-                    flushes = [
-                        pool.submit(_flush_caches, cache_dir)
-                        for _ in range(n_workers)
-                    ]
-                    for flush in flushes:
-                        flush.result()
-                except Exception:
-                    if not errors and interrupt is None:
-                        raise
-            if interrupt is not None:
-                raise interrupt
-            if errors:
-                raise errors[0]
+        pool = _WorkerPool(
+            context,
+            n_workers,
+            payload,
+            cache_dir,
+            on_worker_spawn=on_worker_spawn,
+        )
+        completed, quarantined, requeued, errors = pool.run_tasks(
+            tasks, type_keys, task_retries
+        )
+        if cache_dir is not None:
+            # Flushing happens even when a task failed or the run was
+            # interrupted, so the warmth the surviving tasks already paid
+            # for is kept; a flush error only propagates when nothing
+            # more important already wants to.
+            flush_errors = pool.flush()
+            if flush_errors and not errors:
+                errors = flush_errors
+        pool.shutdown()
+        pool = None
+        if errors:
+            raise errors[0]
     finally:
+        if pool is not None:  # pragma: no cover - error unwinding
+            pool.shutdown()
         _FORK_PAYLOAD = None
     # Deterministic reassembly: tasks are contiguous slices of the corpus,
     # so walking them in task order visits tables in original corpus
     # order; merge_table folds duplicate-named tables' cells together in
-    # that same order, byte-identical to the workers=1 run.
-    results.sort(key=lambda result: result[0])
-    for _, task_run, _, _ in results:
+    # that same order, byte-identical to the workers=1 run.  Quarantined
+    # tasks contribute degraded placeholders at their corpus position.
+    quarantine_runs = {
+        index: _quarantine_run(annotator, tasks[index]) for index in quarantined
+    }
+    parts: list[AnnotationRun] = []
+    results = []
+    for index in range(len(tasks)):
+        if index in completed:
+            parts.append(completed[index][1])
+            results.append(completed[index])
+        elif index in quarantine_runs:
+            parts.append(quarantine_runs[index])
+    for task_run in parts:
         for annotation in task_run.tables.values():
             run.merge_table(annotation)
     run.diagnostics = replace(
-        RunDiagnostics.combined([r[1].diagnostics for r in results]),
+        RunDiagnostics.combined([part.diagnostics for part in parts]),
         worker_loads=_worker_loads(results, n_workers),
+        tasks_requeued=requeued,
+        tasks_quarantined=len(quarantined),
     )
     if cache_dir is not None:
         annotator.load_caches(cache_dir)

@@ -59,8 +59,13 @@ def eliminate_spurious(
     """Keep, per type, only the annotations in that type's winning column.
 
     Returns a new :class:`TableAnnotation`; the input is not modified.
+    Degraded-cell records are carried through untouched -- elimination
+    judges *answered* cells only.
     """
-    result = TableAnnotation(table_name=annotation.table_name)
+    result = TableAnnotation(
+        table_name=annotation.table_name,
+        degraded=list(annotation.degraded),
+    )
     type_keys = sorted({cell.type_key for cell in annotation.cells})
     for type_key in type_keys:
         of_type = annotation.of_type(type_key)

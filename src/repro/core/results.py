@@ -49,12 +49,37 @@ class CellAnnotation:
             raise ValueError(f"score must be in [0, 1], got {self.score}")
 
 
+@dataclass(frozen=True)
+class DegradedCell:
+    """A candidate cell whose resolution was abandoned, not answered.
+
+    Recorded when every search attempt for the cell's query failed (after
+    retries and the end-of-corpus repair pass, when enabled) or when the
+    cell's chunk task was quarantined after repeated worker crashes.
+    Degraded cells are the resilience layer's honesty contract: a run that
+    lost cells says *which* cells and *why* instead of silently shrinking.
+    """
+
+    table_name: str
+    row: int
+    column: int
+    cell_value: str = ""
+    query: str = ""
+    reason: str = "search-failure"
+
+
 @dataclass
 class TableAnnotation:
-    """All annotations of one table."""
+    """All annotations of one table.
+
+    ``degraded`` lists the candidate cells this table *lost* to failures
+    (empty on healthy runs, so equality with pre-resilience annotations is
+    unaffected).
+    """
 
     table_name: str
     cells: list[CellAnnotation] = field(default_factory=list)
+    degraded: list[DegradedCell] = field(default_factory=list)
 
     def add(self, annotation: CellAnnotation) -> None:
         if annotation.table_name != self.table_name:
@@ -101,6 +126,15 @@ class RunDiagnostics:
     ``clock_charges`` / ``virtual_seconds``
         simulated remote calls and latency charged, including geocoding
         when spatial disambiguation is on;
+    ``search_retries`` / ``breaker_opens``
+        re-issued requests and circuit-breaker open transitions during the
+        run (zero unless retries / the breaker are enabled);
+    ``degraded_cells`` / ``repaired_cells``
+        candidate cells abandoned after every attempt failed, and cells
+        recovered by the end-of-corpus repair pass;
+    ``tasks_requeued`` / ``tasks_quarantined``
+        parallel chunk tasks re-run after a worker crash, and tasks given
+        up on (their tables degraded) after exhausting requeues;
     ``worker_loads``
         per-worker load accounting of a ``workers=N`` run (one
         :class:`WorkerLoad` per worker process, empty on in-process runs).
@@ -114,6 +148,12 @@ class RunDiagnostics:
     queries_issued: int
     clock_charges: int
     virtual_seconds: float
+    search_retries: int = 0
+    breaker_opens: int = 0
+    degraded_cells: int = 0
+    repaired_cells: int = 0
+    tasks_requeued: int = 0
+    tasks_quarantined: int = 0
     worker_loads: tuple[WorkerLoad, ...] = ()
 
     @property
@@ -164,6 +204,12 @@ class RunDiagnostics:
             queries_issued=sum(part.queries_issued for part in parts),
             clock_charges=sum(part.clock_charges for part in parts),
             virtual_seconds=sum(part.virtual_seconds for part in parts),
+            search_retries=sum(part.search_retries for part in parts),
+            breaker_opens=sum(part.breaker_opens for part in parts),
+            degraded_cells=sum(part.degraded_cells for part in parts),
+            repaired_cells=sum(part.repaired_cells for part in parts),
+            tasks_requeued=sum(part.tasks_requeued for part in parts),
+            tasks_quarantined=sum(part.tasks_quarantined for part in parts),
         )
 
 
@@ -204,6 +250,13 @@ class ServiceStats:
         resident engine's warmth is visible across requests;
     ``search_failures``
         cells whose engine request failed, summed over all passes;
+    ``search_retries`` / ``breaker_opens`` / ``degraded_cells`` /
+    ``repaired_cells``
+        the folded resilience counters of every pass (see
+        :class:`RunDiagnostics`);
+    ``poisoned_requests``
+        requests isolated by batch bisection and failed individually after
+        their pooled pass raised (the rest of the batch was served);
     ``flushes``
         cache flushes performed (periodic and shutdown).
     """
@@ -216,6 +269,11 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     search_failures: int = 0
+    search_retries: int = 0
+    breaker_opens: int = 0
+    degraded_cells: int = 0
+    repaired_cells: int = 0
+    poisoned_requests: int = 0
     flushes: int = 0
 
     @property
@@ -245,6 +303,10 @@ class ServiceStats:
         self.cache_hits += diagnostics.cache_hits
         self.cache_misses += diagnostics.cache_misses
         self.search_failures += diagnostics.search_failures
+        self.search_retries += diagnostics.search_retries
+        self.breaker_opens += diagnostics.breaker_opens
+        self.degraded_cells += diagnostics.degraded_cells
+        self.repaired_cells += diagnostics.repaired_cells
 
     def to_payload(self) -> dict:
         """JSON-serialisable snapshot (counters plus derived ratios)."""
@@ -257,6 +319,11 @@ class ServiceStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "search_failures": self.search_failures,
+            "search_retries": self.search_retries,
+            "breaker_opens": self.breaker_opens,
+            "degraded_cells": self.degraded_cells,
+            "repaired_cells": self.repaired_cells,
+            "poisoned_requests": self.poisoned_requests,
             "flushes": self.flushes,
             "mean_batch_size": self.mean_batch_size,
             "coalescing_ratio": self.coalescing_ratio,
@@ -303,6 +370,15 @@ class AnnotationRun:
             self.tables[annotation.table_name] = annotation
         else:
             existing.cells.extend(annotation.cells)
+            existing.degraded.extend(annotation.degraded)
+
+    def degraded_cells(self) -> list[DegradedCell]:
+        """Every degraded (abandoned) cell in the run, grouped by table."""
+        return [
+            cell
+            for name in sorted(self.tables)
+            for cell in self.tables[name].degraded
+        ]
 
     def all_cells(self) -> Iterator[CellAnnotation]:
         """Every cell annotation in the run, grouped by table."""

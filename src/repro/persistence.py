@@ -52,6 +52,7 @@ when serialisation fails (disk full, unpicklable payload).  Loads treat
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import threading
@@ -59,6 +60,8 @@ import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable
+
+logger = logging.getLogger(__name__)
 
 try:  # POSIX advisory locking; degrade gracefully elsewhere.
     import fcntl
@@ -124,16 +127,38 @@ def _locked(path: Path, exclusive: bool, timeout: float):
 
 
 def _read_blob(path) -> dict | None:
-    """The raw guarded blob at *path*, or ``None`` for anything unreadable."""
+    """The raw guarded blob at *path*, or ``None`` for anything unreadable.
+
+    A missing file is the normal cold start and stays silent; a file that
+    *exists* but cannot be unpickled (truncated by a crashed writer on a
+    pre-atomic layout, bit rot, a foreign file dropped into the cache
+    dir) is worth a warning -- the operator should know warmth was lost
+    and why -- but still only means "start cold", never an exception.
+    """
     try:
         with open(path, "rb") as handle:
             blob = pickle.load(handle)
-    except Exception:
+    except FileNotFoundError:
+        return None
+    except Exception as error:
         # Unpickling a foreign file can raise nearly anything -- missing
         # modules or attributes from an old layout, truncation, corruption.
         # Every failure mode means the same thing here: start cold.
+        logger.warning(
+            "cache file %s is unreadable (%s: %s); starting cold",
+            path,
+            type(error).__name__,
+            error,
+        )
         return None
-    return blob if isinstance(blob, dict) else None
+    if not isinstance(blob, dict):
+        logger.warning(
+            "cache file %s holds a %s, not a guarded blob; starting cold",
+            path,
+            type(blob).__name__,
+        )
+        return None
+    return blob
 
 
 def _payload_of(blob: dict | None, kind: str, fingerprint: Any) -> Any | None:

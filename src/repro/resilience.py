@@ -1,0 +1,248 @@
+"""Failure handling for the simulated search boundary.
+
+The paper treats the search engine as a flaky remote dependency whose
+latency dominates running time (Sections 5.2 and 6.4).  The repo has long
+been able to *inject* failures (``SearchEngine.available``,
+``failure_rate``) but, until this module, nothing ever recovered: a dropped
+query silently lost its cell.  Three building blocks close that gap:
+
+:class:`RetryPolicy`
+    Bounded re-attempts with exponential backoff.  Backoff is *charged to
+    the virtual clock* (via :meth:`~repro.clock.VirtualClock.wait`, so it
+    costs virtual seconds without inflating the remote-call count) and its
+    jitter is a pure function of ``(seed, query, attempt)`` -- the schedule
+    is therefore identical no matter which execution tier replays it.
+
+:class:`CircuitBreaker`
+    Per-engine consecutive-failure breaker.  After ``threshold`` straight
+    :class:`~repro.web.search.SearchEngineUnavailable` outcomes it opens
+    and fails fast (no clock charge); once ``cooldown_seconds`` of virtual
+    time pass it lets a half-open probe through, closing again on success.
+
+:class:`FaultPlan`
+    A deterministic fault injector installed on
+    :class:`~repro.web.search.SearchEngine` (``engine.fault_plan = plan``).
+    It scripts failures as a function of the query text, its occurrence
+    index and the global request index -- no RNG stream to perturb -- so
+    chaos tests can assert exact recovery behaviour.
+
+All decisions route through :func:`deterministic_unit`, a keyed hash onto
+``[0, 1)``: resilience never consumes entropy from the engine's RNG, which
+keeps zero-fault runs byte-identical to the pre-resilience pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.clock import VirtualClock
+
+
+def deterministic_unit(seed: int, *parts: object) -> float:
+    """Hash ``(seed, *parts)`` onto ``[0, 1)``, stable across processes.
+
+    Used for failure-rate draws and backoff jitter so that the *same*
+    logical event (a given query's n-th issue, a given retry attempt) gets
+    the same draw in the per-cell, batched, multi-process and service
+    tiers, regardless of the order in which requests happen to be issued.
+    """
+    key = "\x1f".join(str(part) for part in (seed, *parts))
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``retries`` is the number of *extra* attempts after the first failure;
+    ``retries == 0`` reproduces the historical fail-on-first-drop
+    behaviour exactly.  ``backoff_for`` returns the virtual seconds to wait
+    before retry number ``attempt`` (1-based): ``backoff * multiplier **
+    (attempt - 1)``, scaled by ``1 +/- jitter_fraction`` where the sign and
+    magnitude come from :func:`deterministic_unit` keyed on the query --
+    never from a shared RNG, so concurrent tiers charge identical totals.
+    """
+
+    retries: int = 0
+    backoff_seconds: float = 0.2
+    multiplier: float = 2.0
+    jitter_fraction: float = 0.1
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
+            )
+
+    def backoff_for(self, key: str, attempt: int) -> float:
+        """Virtual seconds to wait before retry ``attempt`` of ``key``."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        base = self.backoff_seconds * self.multiplier ** (attempt - 1)
+        unit = deterministic_unit(self.seed, "backoff", key, attempt)
+        return base * (1.0 + self.jitter_fraction * (2.0 * unit - 1.0))
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over a :class:`VirtualClock`.
+
+    States: *closed* (requests flow), *open* (fail fast without charging
+    the clock) and an implicit *half-open* probe: once the virtual clock
+    has advanced ``cooldown_seconds`` past the moment the breaker opened,
+    :meth:`allow` admits requests again; the next recorded success closes
+    the breaker, the next failure re-opens it for a fresh cooldown.
+
+    A ``threshold`` of 0 disables the breaker entirely -- :meth:`allow`
+    is always true and no state is kept, preserving seed behaviour.
+    """
+
+    def __init__(
+        self, threshold: int, cooldown_seconds: float, clock: "VirtualClock"
+    ) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        if cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {cooldown_seconds}"
+            )
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock
+        self.consecutive_failures = 0
+        self.opens = 0
+        self.closes = 0
+        self.probes = 0
+        self._open = False
+        self._opened_at = 0.0
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def allow(self) -> bool:
+        """Whether a request may be issued right now.
+
+        While open, returns ``False`` until the cooldown has elapsed on
+        the virtual clock; the first call after that counts as the
+        half-open probe and is admitted.
+        """
+        if self.threshold == 0 or not self._open:
+            return True
+        if self.seconds_until_probe() > 0:
+            return False
+        self.probes += 1
+        return True
+
+    def seconds_until_probe(self) -> float:
+        """Virtual seconds left before a half-open probe is admitted."""
+        if not self._open:
+            return 0.0
+        remaining = self._opened_at + self.cooldown_seconds
+        return max(0.0, remaining - self.clock.elapsed_seconds)
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self._open:
+            self._open = False
+            self.closes += 1
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.threshold == 0:
+            return
+        if not self._open and self.consecutive_failures >= self.threshold:
+            self._open = True
+            self.opens += 1
+            self._opened_at = self.clock.elapsed_seconds
+        elif self._open:
+            # A failed half-open probe re-arms the cooldown.
+            self._opened_at = self.clock.elapsed_seconds
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Scripted, deterministic faults for :class:`SearchEngine`.
+
+    The plan is stateless and picklable: the engine supplies the query's
+    occurrence index (how many times *it* has issued that query text) and
+    the global request index (its ``query_count`` at issue time), and the
+    plan answers purely from those.  Forked pool workers therefore replay
+    the same faults their parent would have seen for the same workload.
+
+    - ``fail_first`` drops the first K issues of a given query text.
+    - ``fail_every_nth`` drops every n-th request overall (1-based:
+      requests n, 2n, ... fail).
+    - ``outage_windows`` are half-open ``[start, stop)`` ranges of request
+      indices during which the engine behaves as fully unavailable.
+    - ``latency_spikes`` maps a request index to *extra* virtual seconds,
+      applied via :meth:`VirtualClock.wait` on top of the normal charge.
+    - ``kill_on_query`` SIGKILLs the serving process when that exact query
+      is issued -- the chaos hook for worker-crash tests.  With
+      ``kill_once_token`` set to a path, the kill fires at most once
+      across all processes (the token file is created atomically first);
+      without it, the query is a poison pill that crashes every worker
+      that attempts it.
+    """
+
+    fail_first: Mapping[str, int] = field(default_factory=dict)
+    fail_every_nth: int = 0
+    outage_windows: Tuple[Tuple[int, int], ...] = ()
+    latency_spikes: Mapping[int, float] = field(default_factory=dict)
+    kill_on_query: Optional[str] = None
+    kill_once_token: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.fail_every_nth < 0:
+            raise ValueError(
+                f"fail_every_nth must be >= 0, got {self.fail_every_nth}"
+            )
+        for start, stop in self.outage_windows:
+            if start < 0 or stop < start:
+                raise ValueError(
+                    f"invalid outage window [{start}, {stop})"
+                )
+
+    def should_fail(self, query: str, occurrence: int, request_index: int) -> bool:
+        """Whether the request at ``request_index`` for ``query`` drops."""
+        if occurrence < self.fail_first.get(query, 0):
+            return True
+        if self.fail_every_nth and (request_index + 1) % self.fail_every_nth == 0:
+            return True
+        for start, stop in self.outage_windows:
+            if start <= request_index < stop:
+                return True
+        return False
+
+    def extra_latency(self, request_index: int) -> float:
+        """Extra virtual seconds injected into this request, if any."""
+        return float(self.latency_spikes.get(request_index, 0.0))
+
+    def maybe_kill(self, query: str) -> None:
+        """SIGKILL the current process if this query is a kill trigger."""
+        if self.kill_on_query is None or query != self.kill_on_query:
+            return
+        if self.kill_once_token is not None:
+            try:
+                fd = os.open(
+                    self.kill_once_token,
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                return
+            os.close(fd)
+        os.kill(os.getpid(), signal.SIGKILL)

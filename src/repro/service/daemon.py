@@ -342,27 +342,50 @@ class AnnotationService:
         for pending in batch:
             groups.setdefault(pending.type_keys, []).append(pending)
         for type_keys, group in groups.items():
-            try:
-                with self._annotator_lock:
-                    result = self.annotator.annotate_batch(
-                        [pending.table for pending in group],
-                        list(type_keys),
-                        workers=self.config.workers,
+            self._annotate_group(group, list(type_keys))
+
+    def _annotate_group(
+        self, group: list[_Pending], type_keys: list[str]
+    ) -> None:
+        """One pooled pass, with batch-poison isolation on failure.
+
+        Micro-batching's sharp edge: one malformed request pooled with
+        nine healthy ones must not fail all ten.  When a pooled pass
+        raises, the group is bisected and each half retried, recursively,
+        until the offending request is alone -- *it* gets a structured
+        error response (and counts as ``poisoned_requests``), everyone
+        else is served by the successful sub-passes.  A healthy batch
+        costs zero extra passes; a single poison among N costs
+        O(log N) extra pooled passes.
+        """
+        try:
+            with self._annotator_lock:
+                result = self.annotator.annotate_batch(
+                    [pending.table for pending in group],
+                    type_keys,
+                    workers=self.config.workers,
+                )
+        except Exception as error:  # answer, never kill the batcher
+            if len(group) == 1:
+                pending = group[0]
+                with self._stats_lock:
+                    self.stats.poisoned_requests += 1
+                pending.resolve(
+                    Response(
+                        ok=False,
+                        request_id=pending.request.request_id,
+                        error=f"annotation failed: {error}",
                     )
-            except Exception as error:  # answer, never kill the batcher
-                for pending in group:
-                    pending.resolve(
-                        Response(
-                            ok=False,
-                            request_id=pending.request.request_id,
-                            error=f"annotation failed: {error}",
-                        )
-                    )
-                continue
-            with self._stats_lock:
-                self.stats.record_batch(len(group), result.diagnostics)
-            for pending, annotation in zip(group, result.annotations):
-                pending.resolve(self._respond(pending, annotation))
+                )
+                return
+            middle = len(group) // 2
+            self._annotate_group(group[:middle], type_keys)
+            self._annotate_group(group[middle:], type_keys)
+            return
+        with self._stats_lock:
+            self.stats.record_batch(len(group), result.diagnostics)
+        for pending, annotation in zip(group, result.annotations):
+            pending.resolve(self._respond(pending, annotation))
 
     def _respond(
         self, pending: _Pending, annotation: TableAnnotation
@@ -395,23 +418,31 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
     """One client connection: line in, line out, any number of requests."""
 
     def handle(self) -> None:
-        while True:
-            line = self.rfile.readline()
-            if not line:
-                return
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                request = protocol.decode_request(line)
-            except ProtocolError as error:
-                self._write(Response(ok=False, error=str(error)))
-                continue
-            response = self.server.service.submit(request)  # type: ignore[attr-defined]
-            self._write(response)
-            if request.op == "shutdown" and response.ok:
-                self.server.initiate_shutdown()  # type: ignore[attr-defined]
-                return
+        try:
+            while True:
+                line = self.rfile.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = protocol.decode_request(line)
+                except ProtocolError as error:
+                    # Malformed line (bad JSON, missing op, oversized):
+                    # structured error back, connection stays usable.
+                    self._write(Response(ok=False, error=str(error)))
+                    continue
+                response = self.server.service.submit(request)  # type: ignore[attr-defined]
+                self._write(response)
+                if request.op == "shutdown" and response.ok:
+                    self.server.initiate_shutdown()  # type: ignore[attr-defined]
+                    return
+        except (ConnectionError, socket.timeout):
+            # A client that vanished mid-request (reset, broken pipe)
+            # takes down its own handler thread only -- the daemon and
+            # every other connection keep serving.
+            return
 
     def _write(self, response: Response) -> None:
         try:

@@ -39,7 +39,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-from repro.core.results import CellAnnotation, TableAnnotation
+from repro.core.results import CellAnnotation, DegradedCell, TableAnnotation
 from repro.tables.model import Column, ColumnType, Table
 from repro.tables.io import table_from_payload, table_to_payload
 
@@ -270,8 +270,13 @@ def table_for_request(request: Request) -> Table:
 
 
 def annotation_to_payload(annotation: TableAnnotation) -> dict:
-    """*annotation* as a plain JSON-serialisable dictionary."""
-    return {
+    """*annotation* as a plain JSON-serialisable dictionary.
+
+    The ``degraded`` key (cells the resilience layer abandoned) is only
+    present when non-empty, keeping healthy-run payloads byte-identical
+    to the pre-resilience wire format.
+    """
+    payload = {
         "table": annotation.table_name,
         "cells": [
             {
@@ -284,6 +289,18 @@ def annotation_to_payload(annotation: TableAnnotation) -> dict:
             for cell in annotation.cells
         ],
     }
+    if annotation.degraded:
+        payload["degraded"] = [
+            {
+                "row": cell.row,
+                "column": cell.column,
+                "value": cell.cell_value,
+                "query": cell.query,
+                "reason": cell.reason,
+            }
+            for cell in annotation.degraded
+        ]
+    return payload
 
 
 def annotation_from_payload(payload: dict) -> TableAnnotation:
@@ -301,6 +318,17 @@ def annotation_from_payload(payload: dict) -> TableAnnotation:
                 type_key=cell["type_key"],
                 score=float(cell["score"]),
                 cell_value=cell.get("value", ""),
+            )
+        )
+    for cell in payload.get("degraded", []):
+        annotation.degraded.append(
+            DegradedCell(
+                table_name=payload["table"],
+                row=int(cell["row"]),
+                column=int(cell["column"]),
+                cell_value=cell.get("value", ""),
+                query=cell.get("query", ""),
+                reason=cell.get("reason", "search-failure"),
             )
         )
     return annotation

@@ -27,7 +27,15 @@ every query raise :class:`SearchEngineUnavailable`, and ``failure_rate``
 drops queries pseudo-randomly -- both are exercised by the failure-handling
 tests of the annotator.  Failure is decided per issued query, *before* any
 compute cache is consulted: a dropped request returns nothing even when the
-engine could have answered it from cache.
+engine could have answered it from cache.  The failure-rate draw is a
+deterministic hash of ``(seed, query text, occurrence index)`` rather than
+a shared RNG stream, so every execution tier -- per-cell, batched,
+multi-process, service -- agrees on exactly *which* requests drop for a
+given workload, and a retry of the same query (its next occurrence) gets a
+fresh draw.  Scripted faults beyond the uniform rate (fail the first K
+issues of a query, every Nth request, outage windows, latency spikes) are
+installed via :attr:`SearchEngine.fault_plan`
+(a :class:`repro.resilience.FaultPlan`).
 
 The signature -> results cache is also *durable*: :meth:`SearchEngine.save_results_cache`
 writes it (with the per-page snippet-window maps) to disk, fingerprinted by
@@ -65,7 +73,6 @@ True
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -73,6 +80,7 @@ import numpy as np
 
 from repro.clock import VirtualClock
 from repro.persistence import load_cache_payload, save_cache_payload
+from repro.resilience import FaultPlan, deterministic_unit
 from repro.text.stopwords import ENGLISH_STOPWORDS
 from repro.text.tokenization import tokenize
 from repro.web.documents import WebPage
@@ -141,7 +149,14 @@ class SearchEngine:
         self.parameters = parameters or BM25Parameters()
         self.failure_rate = failure_rate
         self.available = True
-        self._rng = random.Random(seed)
+        self._seed = seed
+        # Scripted deterministic faults (see repro.resilience.FaultPlan);
+        # None means only `available` / `failure_rate` apply.
+        self.fault_plan: FaultPlan | None = None
+        # query text -> how many times this engine has issued it; the
+        # occurrence index keys the failure-rate draw and FaultPlan's
+        # fail-first-K schedule, and gives retries a fresh draw.
+        self._query_occurrences: dict[str, int] = {}
         self._index = InvertedIndex()
         # -- batched-path compute caches (pages are immutable; ranking
         # caches are invalidated whenever the corpus grows) --------------
@@ -184,11 +199,9 @@ class SearchEngine:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        self._charge_request()
-        if not self.available:
-            raise SearchEngineUnavailable("search engine is down")
-        if self.failure_rate and self._rng.random() < self.failure_rate:
-            raise SearchEngineUnavailable("request dropped")
+        reason = self._issue_request(query)
+        if reason is not None:
+            raise SearchEngineUnavailable(reason)
         tokens = self._effective_tokens(query)
         scores = bm25_score_array(self._index, tokens, self.parameters)
         matched = np.flatnonzero(scores > 0.0)
@@ -237,10 +250,7 @@ class SearchEngine:
         for query in queries:
             if query in resolved:
                 continue
-            self._charge_request()
-            if not self.available or (
-                self.failure_rate and self._rng.random() < self.failure_rate
-            ):
+            if self._issue_request(query) is not None:
                 resolved[query] = None
                 continue
             resolved[query] = self._ranked_results(query, k)
@@ -251,6 +261,39 @@ class SearchEngine:
             for query in queries
         ]
 
+    def _issue_request(self, query: str) -> str | None:
+        """Account one issued request and decide its fate.
+
+        Returns ``None`` on success or a human-readable failure reason when
+        the request is dropped.  A dropped request is still charged: the
+        remote round-trip happened, it just failed.  The decision is a pure
+        function of the engine's seed, the query text, how many times this
+        engine has issued that text (its occurrence index), the global
+        request index, and the installed :class:`FaultPlan` -- never of a
+        shared RNG stream -- so identical workloads fail identically across
+        every execution tier.
+        """
+        request_index = self.query_count
+        occurrence = self._query_occurrences.get(query, 0)
+        self._query_occurrences[query] = occurrence + 1
+        plan = self.fault_plan
+        if plan is not None:
+            plan.maybe_kill(query)
+        self._charge_request()
+        if plan is not None:
+            extra = plan.extra_latency(request_index)
+            if extra:
+                self.clock.wait(extra)
+        if not self.available:
+            return "search engine is down"
+        if plan is not None and plan.should_fail(query, occurrence, request_index):
+            return "request dropped by fault plan"
+        if self.failure_rate and (
+            deterministic_unit(self._seed, query, occurrence) < self.failure_rate
+        ):
+            return "request dropped"
+        return None
+
     def _charge_request(self) -> None:
         """Account one issued request: virtual charge + optional real wait."""
         self.clock.charge(self.latency_seconds)
@@ -259,6 +302,15 @@ class SearchEngine:
             import time
 
             time.sleep(self.real_latency_seconds)
+
+    def reset_failure_injection(self) -> None:
+        """Forget per-query occurrence counters (and nothing else).
+
+        After a reset, re-issuing a query gets the occurrence-0 draw again:
+        benchmarks use this to run a no-retry baseline and a retrying pass
+        over the same corpus with *identical* first-attempt failures.
+        """
+        self._query_occurrences.clear()
 
     # -- ranking core (batched path) ------------------------------------------------------
 

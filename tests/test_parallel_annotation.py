@@ -557,61 +557,31 @@ class TestGracefulInterrupt:
     merge-saving the caches, losing everything the finished tasks had paid
     for; the driver now routes the interrupt through the same end-of-run
     flush the healthy path uses (and the CLI maps it to exit code 130).
+    The interrupt is injected through the ``parallel._wait_ready`` seam --
+    the exact point a terminal Ctrl-C lands in the parent, which sits
+    waiting on the pool while workers annotate.
     """
+
+    @staticmethod
+    def _interrupt_first_wait(monkeypatch):
+        from repro.core import parallel
+
+        real_wait = parallel._wait_ready
+        calls = {"n": 0}
+
+        def interrupting_wait(targets, timeout):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt()
+            return real_wait(targets, timeout)
+
+        monkeypatch.setattr(parallel, "_wait_ready", interrupting_wait)
+        return calls
 
     def test_interrupt_flushes_caches_then_reraises(
         self, classifier, tmp_path, monkeypatch
     ):
-        from repro.core import parallel
-
-        flush_results = []
-
-        class _ImmediateFuture:
-            """A future resolved at submit time (or primed to interrupt)."""
-
-            def __init__(self, value=None, exception=None):
-                self._value, self._exception = value, exception
-                self.cancelled = False
-
-            def result(self):
-                if self._exception is not None:
-                    raise self._exception
-                return self._value
-
-            def cancel(self):
-                self.cancelled = True
-                return True
-
-        class _FakePool:
-            """In-process stand-in for the executor: runs the initializer
-            and every submitted task synchronously, and injects a
-            ``KeyboardInterrupt`` at the second task's ``result()`` --
-            exactly what the parent sees when the user hits Ctrl-C while
-            waiting on the pool."""
-
-            def __init__(self, max_workers, mp_context, initializer, initargs):
-                initializer(*initargs)
-                self.annotate_futures = []
-
-            def __enter__(self):
-                return self
-
-            def __exit__(self, *exc_info):
-                return False
-
-            def submit(self, fn, *args):
-                if fn is parallel._annotate_task:
-                    if args[0] == 1:
-                        future = _ImmediateFuture(exception=KeyboardInterrupt())
-                    else:
-                        future = _ImmediateFuture(value=fn(*args))
-                    self.annotate_futures.append(future)
-                    return future
-                result = fn(*args)  # _flush_caches, in-process
-                flush_results.append(result)
-                return _ImmediateFuture(value=result)
-
-        monkeypatch.setattr(parallel, "ProcessPoolExecutor", _FakePool)
+        calls = self._interrupt_first_wait(monkeypatch)
         annotator = EntityAnnotator(
             classifier,
             _make_engine(),
@@ -625,39 +595,17 @@ class TestGracefulInterrupt:
                 workers=1,
                 cache_dir=tmp_path,
             )
-        # The flush still ran: one merge-save per pool process, caches on
-        # disk despite the interrupt.
-        assert len(flush_results) == 1
+        # The interrupt landed on the very first wait (before any result
+        # came home), the parent drained the in-flight task, and the
+        # flush still ran: caches on disk despite the interrupt.
+        assert calls["n"] >= 1
         assert (tmp_path / "search_results.cache").exists()
         assert (tmp_path / "label_memo.cache").exists()
 
     def test_interrupt_without_cache_dir_just_reraises(
         self, classifier, monkeypatch
     ):
-        from repro.core import parallel
-
-        class _InterruptingFuture:
-            def result(self):
-                raise KeyboardInterrupt()
-
-            def cancel(self):
-                return True
-
-        class _FakePool:
-            def __init__(self, max_workers, mp_context, initializer, initargs):
-                initializer(*initargs)
-
-            def __enter__(self):
-                return self
-
-            def __exit__(self, *exc_info):
-                return False
-
-            def submit(self, fn, *args):
-                assert fn is parallel._annotate_task  # no flush without dir
-                return _InterruptingFuture()
-
-        monkeypatch.setattr(parallel, "ProcessPoolExecutor", _FakePool)
+        self._interrupt_first_wait(monkeypatch)
         annotator = EntityAnnotator(classifier, _make_engine(), AnnotatorConfig())
         with pytest.raises(KeyboardInterrupt):
             annotate_tables_parallel(
