@@ -32,7 +32,10 @@ warm-start from -- and merge-save back into -- one shared cache directory
 ``--schedule static|stealing`` picks the multi-worker scheduler
 (work-stealing chunk queue by default; contiguous static shards as the
 baseline) and ``--chunk-cost`` bounds the per-task cost of the stealing
-queue (0 = automatic).  ``--retries``, ``--retry-backoff-ms`` and
+queue (0 = automatic).  ``--split-giant-tables`` lets the stealing queue
+cut a giant table into row-range slice tasks (byte-identical
+reassembly), and ``--max-slice-cost`` bounds the per-slice cost (a
+positive value implies splitting; 0 = the effective chunk cost).  ``--retries``, ``--retry-backoff-ms`` and
 ``--breaker-threshold`` arm the resilience layer at the search boundary
 (bounded retries with deterministic backoff, a consecutive-failure
 circuit breaker; both default off, preserving seed behaviour) for the
@@ -151,12 +154,37 @@ def main(argv: list[str] | None = None) -> int:
             "automatically at about four tasks per worker"
         ),
     )
+    parser.add_argument(
+        "--split-giant-tables",
+        action="store_true",
+        help=(
+            "let the work-stealing queue cut a table costing more than "
+            "the slice budget into row-range slice tasks, annotated "
+            "independently and reassembled byte-identically (ignored "
+            "under --schedule static)"
+        ),
+    )
+    parser.add_argument(
+        "--max-slice-cost",
+        type=int,
+        default=0,
+        help=(
+            "cost budget per row-range slice task, in estimated cells; "
+            "a positive value also enables splitting, 0 (default) sizes "
+            "slices to the effective chunk cost target when "
+            "--split-giant-tables is set"
+        ),
+    )
     _add_resilience_arguments(parser)
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.chunk_cost < 0:
         parser.error(f"--chunk-cost must be >= 0, got {args.chunk_cost}")
+    if args.max_slice_cost < 0:
+        parser.error(
+            f"--max-slice-cost must be >= 0, got {args.max_slice_cost}"
+        )
     if args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
     if args.retry_backoff_ms < 0:
@@ -205,6 +233,10 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["schedule"] = args.schedule
             if "chunk_cost_target" in parameters:
                 kwargs["chunk_cost_target"] = args.chunk_cost
+            if "split_giant_tables" in parameters:
+                kwargs["split_giant_tables"] = args.split_giant_tables
+            if "max_slice_cost" in parameters:
+                kwargs["max_slice_cost"] = args.max_slice_cost
             if "retries" in parameters:
                 kwargs["retries"] = args.retries
             if "retry_backoff_ms" in parameters:

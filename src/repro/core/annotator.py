@@ -64,7 +64,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.classify.snippet import SnippetTypeClassifier
 from repro.core.annotation import CellAnnotator, SnippetCache
@@ -83,6 +83,9 @@ from repro.core.results import (
 from repro.geo.geocoder import Geocoder
 from repro.tables.model import Table
 from repro.web.search import SearchEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel imports us)
+    from repro.core.parallel import TableSlice
 
 ENGINE_CACHE_FILE = "search_results.cache"
 """File name of the persisted engine signature cache inside a cache dir."""
@@ -204,13 +207,28 @@ class EntityAnnotator:
         the annotation's ``degraded`` list -- the resilience contract: a
         lossy run names its losses instead of silently shrinking.
         """
-        annotation = TableAnnotation(table_name=table.name)
+        return self.postprocess_table(
+            table, self._collect_raw(table.name, candidates, decisions)
+        )
+
+    def _collect_raw(
+        self, table_name: str, candidates, decisions, row_offset: int = 0
+    ) -> TableAnnotation:
+        """Fold decisions into a *raw* (pre-post-processing) annotation.
+
+        *row_offset* shifts candidate rows into the coordinates of a
+        larger table -- the row-range splitting path annotates a slice's
+        sub-table (rows renumbered from 0) and ships absolute positions
+        home, so reassembled slices are indistinguishable from an
+        unsliced annotation of the full table.
+        """
+        annotation = TableAnnotation(table_name=table_name)
         for candidate, decision in zip(candidates, decisions):
             if decision.annotated:
                 annotation.add(
                     CellAnnotation(
-                        table_name=table.name,
-                        row=candidate.row,
+                        table_name=table_name,
+                        row=candidate.row + row_offset,
                         column=candidate.column,
                         type_key=decision.type_key,  # type: ignore[arg-type]
                         score=decision.score,
@@ -220,15 +238,29 @@ class EntityAnnotator:
             elif decision.failed:
                 annotation.degraded.append(
                     DegradedCell(
-                        table_name=table.name,
-                        row=candidate.row,
+                        table_name=table_name,
+                        row=candidate.row + row_offset,
                         column=candidate.column,
                         cell_value=candidate.value,
                         query=decision.query,
                     )
                 )
+        return annotation
+
+    def postprocess_table(
+        self, table: Table, annotation: TableAnnotation
+    ) -> TableAnnotation:
+        """Apply Equation 2 elimination when configured, else pass through.
+
+        Post-processing is deliberately *table-global* -- the
+        column-coherence score weighs whole-column value occurrences over
+        all of a table's annotations -- which is exactly why the
+        splitting scheduler defers it: workers annotate row slices raw,
+        and the parent calls this once per reassembled table with the
+        full original table.
+        """
         if self.config.use_postprocessing:
-            annotation = eliminate_spurious(
+            return eliminate_spurious(
                 table,
                 annotation,
                 use_repetition_factor=self.config.use_repetition_factor,
@@ -425,6 +457,58 @@ class EntityAnnotator:
         return BatchAnnotationResult(
             annotations=annotations, diagnostics=run.diagnostics
         )
+
+    def annotate_table_slice(
+        self, table_slice: "TableSlice", type_keys: Sequence[str]
+    ) -> AnnotationRun:
+        """Annotate one row-range slice of a table (the splitting unit).
+
+        The work-stealing pool's counterpart of :meth:`annotate_tables`
+        for a :class:`~repro.core.parallel.TableSlice` task: runs
+        pre-processing and the batched resolution (plus the repair pass
+        when ``config.retries > 0``) over the slice's rows only, and
+        returns **raw** -- pre-post-processing -- annotations with rows
+        shifted to the full table's coordinates.  Equation 2 elimination
+        is table-global, so the parent applies :meth:`postprocess_table`
+        once per reassembled table; spatial disambiguation is table-global
+        too, which is why the scheduler never splits when it is enabled.
+
+        Diagnostics count the slice's candidate cells; ``n_tables`` is 1
+        only for the slice that starts at row 0, so summing slice
+        diagnostics across a corpus still counts each physical table
+        once.
+        """
+        type_keys = list(type_keys)
+        if not type_keys:
+            raise ValueError("type_keys must be non-empty")
+        before = self._counters()
+        sub_table = table_slice.table
+        candidates = self.preprocessor.candidate_cells(sub_table)
+        pairs: list[tuple[str, str | None]] = [
+            (candidate.value, None) for candidate in candidates
+        ]
+        decisions = self.cell_annotator.annotate_values(pairs, type_keys)
+        repaired = 0
+        if self.config.retries > 0:
+            decisions, repaired = self.cell_annotator.repair_decisions(
+                pairs, decisions, type_keys
+            )
+        annotation = self._collect_raw(
+            sub_table.name,
+            candidates,
+            decisions,
+            row_offset=table_slice.row_start,
+        )
+        run = AnnotationRun()
+        run.merge_table(annotation)
+        run.diagnostics = self._diagnostics_since(
+            before,
+            n_tables=1 if table_slice.row_start == 0 else 0,
+            n_cells=len(candidates),
+            degraded_cells=len(annotation.degraded),
+            repaired_cells=repaired,
+        )
+        return run
 
     def _annotate_tables_sequential(
         self, tables: Iterable[Table], type_keys: Sequence[str]

@@ -84,6 +84,28 @@ class AnnotatorConfig:
     fine-grained enough to rebalance around a giant table, coarse enough
     to keep per-task overhead negligible."""
 
+    split_giant_tables: bool = False
+    """Let the work-stealing scheduler split a giant table into row-range
+    slice tasks (:class:`~repro.core.parallel.TableSlice`).  Off by
+    default: a table is then the atomic stealing unit, which bounds the
+    skewed-corpus speedup by the giant table's own cost.  When on, a
+    table whose estimated cost (``rows x columns``) exceeds the slice
+    budget (``max_slice_cost``, or the effective chunk cost target when
+    that is 0) is cut into contiguous row ranges, each annotated
+    independently by pool workers and reassembled -- and post-processed
+    once, whole-table -- by the parent, byte-identical to ``workers=1``.
+    Ignored under ``schedule="static"`` and whenever
+    ``use_spatial_disambiguation`` is on (row contexts are table-global,
+    so a slice could not reproduce them)."""
+
+    max_slice_cost: int = 0
+    """Cost budget per row-range slice task, in estimated cells (same
+    unit as ``chunk_cost_target``).  A positive value also *enables*
+    splitting (no need to set ``split_giant_tables`` separately); 0
+    (default) means: when splitting is enabled, size slices to the
+    effective chunk cost target, so slices steal exactly like ordinary
+    chunks."""
+
     def __post_init__(self) -> None:
         if self.top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {self.top_k}")
@@ -132,6 +154,11 @@ class AnnotatorConfig:
             raise ValueError(
                 "chunk_cost_target must be >= 0 (0 = automatic), got "
                 f"{self.chunk_cost_target}"
+            )
+        if self.max_slice_cost < 0:
+            raise ValueError(
+                "max_slice_cost must be >= 0 (0 = chunk cost target), got "
+                f"{self.max_slice_cost}"
             )
 
     @property

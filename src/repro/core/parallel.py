@@ -29,6 +29,22 @@ Two schedulers place the work (``AnnotatorConfig.schedule``):
     as the parity and benchmark baseline; on a skewed corpus the worker
     whose slice holds the giant table serialises the run.
 
+Under the stealing scheduler a giant table may additionally be **split
+into row-range slice tasks** (:class:`TableSlice`,
+``AnnotatorConfig.split_giant_tables`` / ``max_slice_cost``) so even the
+giant stops bounding the critical path: each slice's sub-table is
+annotated *raw* by whichever worker pulls it
+(:meth:`~repro.core.annotator.EntityAnnotator.annotate_table_slice`
+shifts rows to full-table coordinates and skips post-processing, which
+is table-global), the parent reassembles a table's slices in row order
+through :meth:`AnnotationRun.merge_table`, then post-processes once with
+the full original table -- byte-identical to the unsplit run, degraded
+cells included.  A slice is its own queue task, so crash recovery keeps
+its granularity for free: a worker SIGKILLed mid-slice requeues exactly
+that slice, and a poisonous slice quarantines alone (only its rows'
+candidate cells degrade).  Splitting never engages under spatial
+disambiguation (row contexts are table-global) or the static schedule.
+
 The pool itself is hand-rolled (one duplex pipe per worker, parent-side
 dispatch) rather than a ``ProcessPoolExecutor``, because the executor
 declares the *whole pool* broken when any worker dies.  Here a worker
@@ -74,6 +90,7 @@ the cost budget, so a given corpus always yields the same task list.
 
 from __future__ import annotations
 
+import logging
 import math
 import multiprocessing
 import os
@@ -82,9 +99,9 @@ import signal
 import sys
 import time
 from collections import deque
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from multiprocessing import connection
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 from repro.core.config import SCHEDULES
 from repro.core.results import (
@@ -94,10 +111,12 @@ from repro.core.results import (
     TableAnnotation,
     WorkerLoad,
 )
+from repro.tables.model import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotator imports us)
     from repro.core.annotator import EntityAnnotator
-    from repro.tables.model import Table
+
+_LOG = logging.getLogger(__name__)
 
 CHUNKS_PER_WORKER = 4
 """Automatic chunk sizing: aim for this many stealing tasks per worker."""
@@ -185,7 +204,7 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
             _, index, tables, type_keys = message
             start = time.perf_counter()
             try:
-                run = annotator.annotate_tables(tables, type_keys)
+                run = _annotate_task(annotator, tables, type_keys)
             except Exception as error:
                 conn.send(("error", index, os.getpid(), _portable_error(error)))
             else:
@@ -202,6 +221,21 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
         elif kind == "stop":
             break
     conn.close()
+
+
+def _annotate_task(
+    annotator: "EntityAnnotator", items: "Sequence[TaskItem]", type_keys
+) -> AnnotationRun:
+    """Annotate one queue task inside a worker.
+
+    A slice task (always a single :class:`TableSlice`) goes through the
+    raw slice path -- no post-processing, rows shifted to full-table
+    coordinates -- everything else through the ordinary corpus-at-a-time
+    path, exactly as before splitting existed.
+    """
+    if len(items) == 1 and isinstance(items[0], TableSlice):
+        return annotator.annotate_table_slice(items[0], type_keys)
+    return annotator.annotate_tables(items, type_keys)
 
 
 def _wait_ready(targets, timeout: float):
@@ -280,7 +314,7 @@ class _WorkerPool:
 
     def run_tasks(
         self,
-        tasks: "Sequence[Sequence[Table]]",
+        tasks: "Sequence[Sequence[TaskItem]]",
         type_keys: list[str],
         task_retries: int,
     ) -> tuple[dict[int, tuple], list[int], int, list[BaseException]]:
@@ -352,7 +386,7 @@ class _WorkerPool:
     def _dispatch(
         self,
         pending: deque[int],
-        tasks: "Sequence[Sequence[Table]]",
+        tasks: "Sequence[Sequence[TaskItem]]",
         type_keys: list[str],
     ) -> None:
         for worker in self.workers:
@@ -500,6 +534,70 @@ class _WorkerPool:
                 pass
 
 
+@dataclass(frozen=True)
+class TableSlice:
+    """A row-range sub-task of one corpus table (the splitting unit).
+
+    ``table`` is the materialised sub-table -- same name and columns,
+    ``rows[row_start:row_stop]`` -- that ships to the worker; ``rows``
+    hold references into the original row lists, so slicing is cheap.
+    ``table_index`` is the table's position in the corpus: slices group
+    by *position*, never by name, because a corpus may contain several
+    distinct tables sharing a name and their slices must not be
+    reassembled into one table.  Half-open ``[row_start, row_stop)``
+    ranges partition the table exactly: no row lost, none duplicated.
+    """
+
+    table_name: str
+    row_start: int
+    row_stop: int
+    table_index: int
+    table: "Table"
+
+
+TaskItem = Union["Table", TableSlice]
+"""One unit of a queue task: a whole table, or a row-range slice of one.
+A slice always travels as its own single-item task, so crash recovery
+requeues (and quarantine degrades) exactly one slice."""
+
+
+def slice_table(
+    table: "Table", table_index: int, slice_cost_target: int
+) -> list[TableSlice]:
+    """Cut *table* into row-range slices of at most *slice_cost_target*
+    estimated cost each (cost model of :func:`table_cost`: rows x
+    columns).
+
+    Slices are contiguous, cover every row exactly once, and never go
+    below one row -- a one-row table is unsplittable however small the
+    budget, the same "atomic floor" a giant table had under pure
+    chunking.  The cut is a pure function of the table shape and the
+    budget, so a given corpus always yields the same slice list.
+    """
+    if slice_cost_target < 1:
+        raise ValueError(
+            f"slice_cost_target must be >= 1, got {slice_cost_target}"
+        )
+    rows_per_slice = max(1, slice_cost_target // max(1, table.n_columns))
+    slices: list[TableSlice] = []
+    for row_start in range(0, table.n_rows, rows_per_slice):
+        row_stop = min(row_start + rows_per_slice, table.n_rows)
+        slices.append(
+            TableSlice(
+                table_name=table.name,
+                row_start=row_start,
+                row_stop=row_stop,
+                table_index=table_index,
+                table=Table(
+                    name=table.name,
+                    columns=table.columns,
+                    rows=table.rows[row_start:row_stop],
+                ),
+            )
+        )
+    return slices
+
+
 def table_cost(table: "Table") -> int:
     """Cheap per-table work estimate: its cell count (``rows x columns``).
 
@@ -529,28 +627,50 @@ def shard_tables(tables: "Sequence[Table]", workers: int) -> list[list["Table"]]
 
 
 def chunk_tables(
-    tables: "Sequence[Table]", chunk_cost_target: int
-) -> list[list["Table"]]:
+    tables: "Sequence[Table]",
+    chunk_cost_target: int,
+    slice_cost_target: int = 0,
+) -> list[list[TaskItem]]:
     """Pack *tables* into contiguous chunks of at most *chunk_cost_target*
     estimated cost each (see :func:`table_cost`).
 
     Consecutive small tables share a chunk until adding the next one
-    would exceed the budget; a table costing more than the budget on its
-    own always travels alone (tables are the atomic unit of work -- they
-    never split).  Chunks preserve the input order, so concatenating them
-    in chunk order reproduces the corpus exactly; the packing is a pure
-    function of the table shapes and the budget, so the same corpus
-    always yields the same task list.
+    would exceed the budget; with *slice_cost_target* at its default 0, a
+    table costing more than the budget on its own travels alone (tables
+    are then the atomic unit of work -- they never split).  With a
+    positive *slice_cost_target*, a multi-row table whose cost exceeds
+    that budget is instead cut into row-range slices
+    (:func:`slice_table`), each emitted as its **own single-item task**
+    so the queue -- and crash recovery -- handles slices at slice
+    granularity.  Chunks preserve the input order (a split table's
+    slices appear consecutively, in row order), so walking tasks in
+    order reproduces the corpus exactly; the packing is a pure function
+    of the table shapes and the budgets, so the same corpus always
+    yields the same task list.
     """
     if chunk_cost_target < 1:
         raise ValueError(
             f"chunk_cost_target must be >= 1, got {chunk_cost_target}"
         )
-    chunks: list[list["Table"]] = []
-    current: list["Table"] = []
+    if slice_cost_target < 0:
+        raise ValueError(
+            f"slice_cost_target must be >= 0 (0 = no splitting), got "
+            f"{slice_cost_target}"
+        )
+    chunks: list[list[TaskItem]] = []
+    current: list[TaskItem] = []
     current_cost = 0
-    for table in tables:
+    for index, table in enumerate(tables):
         cost = table_cost(table)
+        if slice_cost_target and cost > slice_cost_target and table.n_rows > 1:
+            if current:
+                chunks.append(current)
+                current, current_cost = [], 0
+            chunks.extend(
+                [table_slice]
+                for table_slice in slice_table(table, index, slice_cost_target)
+            )
+            continue
         if current and current_cost + cost > chunk_cost_target:
             chunks.append(current)
             current, current_cost = [], 0
@@ -575,21 +695,59 @@ def _build_tasks(
     workers: int,
     schedule: str,
     chunk_cost_target: int,
-) -> list[list["Table"]]:
-    """The scheduler's task list: shards (static) or chunks (stealing)."""
+    split_giant_tables: bool = False,
+    max_slice_cost: int = 0,
+) -> tuple[list[list[TaskItem]], int]:
+    """The scheduler's task list: shards (static) or chunks (stealing).
+
+    Returns ``(tasks, effective_chunk_cost)`` -- the cost target the
+    stealing chunker actually packed with (0 for the static schedule,
+    where no chunking happens), which the run's diagnostics record so an
+    automatic target is never invisible.  A target below every table's
+    cost degenerates to one task per table; that used to happen
+    *silently*, so it is logged here -- a warning when splitting is off
+    (the scheduler is back at its table-atomic ceiling), debug otherwise.
+    """
     if schedule not in SCHEDULES:
         raise ValueError(
             f"schedule must be one of {SCHEDULES}, got {schedule!r}"
         )
     if schedule == "static":
-        return shard_tables(tables, workers)
+        return shard_tables(tables, workers), 0
     if chunk_cost_target < 0:
         raise ValueError(
             "chunk_cost_target must be >= 0 (0 = automatic), got "
             f"{chunk_cost_target}"
         )
+    if max_slice_cost < 0:
+        raise ValueError(
+            f"max_slice_cost must be >= 0 (0 = chunk cost target), got "
+            f"{max_slice_cost}"
+        )
     target = chunk_cost_target or automatic_chunk_cost(tables, workers)
-    return chunk_tables(tables, target)
+    slice_cost_target = 0
+    if split_giant_tables or max_slice_cost:
+        slice_cost_target = max_slice_cost or target
+    if tables:
+        smallest = min(table_cost(table) for table in tables)
+        if target < smallest and not slice_cost_target:
+            _LOG.warning(
+                "chunk cost target %d (%s) is below every table's cost "
+                "(min %d): each table travels alone and the giant table "
+                "bounds the run; enable split_giant_tables to cut rows",
+                target,
+                "explicit" if chunk_cost_target else "automatic",
+                smallest,
+            )
+        else:
+            _LOG.debug(
+                "stealing schedule: effective chunk cost target %d (%s), "
+                "slice cost target %d",
+                target,
+                "explicit" if chunk_cost_target else "automatic",
+                slice_cost_target,
+            )
+    return chunk_tables(tables, target, slice_cost_target), target
 
 
 def _worker_loads(
@@ -635,24 +793,33 @@ def _worker_loads(
 
 
 def _quarantine_run(
-    annotator: "EntityAnnotator", tables: "Sequence[Table]"
+    annotator: "EntityAnnotator", items: "Sequence[TaskItem]"
 ) -> AnnotationRun:
     """The degraded stand-in for a quarantined task's annotations.
 
     Every candidate cell of the task's tables is marked degraded with
     ``reason="worker-crash"``; no annotations, no engine traffic (the
     parent computes candidates locally -- preprocessing never touches the
-    network).
+    network).  For a slice task only the slice's rows degrade (shifted
+    to full-table coordinates), and ``n_tables`` follows the slice
+    accounting convention: only a table's first slice counts it.
     """
     run = AnnotationRun()
     n_cells = 0
-    for table in tables:
+    n_tables = 0
+    for item in items:
+        if isinstance(item, TableSlice):
+            table, row_offset = item.table, item.row_start
+            n_tables += 1 if item.row_start == 0 else 0
+        else:
+            table, row_offset = item, 0
+            n_tables += 1
         annotation = TableAnnotation(table_name=table.name)
         for candidate in annotator.preprocessor.candidate_cells(table):
             annotation.degraded.append(
                 DegradedCell(
                     table_name=table.name,
-                    row=candidate.row,
+                    row=candidate.row + row_offset,
                     column=candidate.column,
                     cell_value=candidate.value,
                     reason="worker-crash",
@@ -661,7 +828,7 @@ def _quarantine_run(
         n_cells += len(annotation.degraded)
         run.merge_table(annotation)
     run.diagnostics = RunDiagnostics(
-        n_tables=len(tables),
+        n_tables=n_tables,
         n_cells=n_cells,
         search_failures=0,
         cache_hits=0,
@@ -683,6 +850,8 @@ def annotate_tables_parallel(
     schedule: str | None = None,
     chunk_cost_target: int | None = None,
     task_retries: int | None = None,
+    split_giant_tables: bool | None = None,
+    max_slice_cost: int | None = None,
     on_worker_spawn: Callable[[int], None] | None = None,
 ) -> AnnotationRun:
     """Annotate *tables* across a pool of *workers* processes.
@@ -699,11 +868,25 @@ def annotate_tables_parallel(
     process really did (tasks, tables, cells, busy seconds -- see
     ``RunDiagnostics.imbalance_ratio``).
 
+    *split_giant_tables* / *max_slice_cost* (defaulting to the config
+    knobs of the same names) let the stealing chunker cut a giant table
+    into row-range :class:`TableSlice` tasks; workers annotate slices
+    raw, and this parent reassembles each split table's slices in row
+    order and post-processes it once, whole-table, so the run stays
+    byte-identical to ``workers=1``.  Splitting is ignored under the
+    static schedule and under spatial disambiguation (row contexts are
+    table-global).  ``diagnostics.tables_split`` counts the tables that
+    were cut; ``diagnostics.effective_chunk_cost`` records the chunk
+    budget the stealing chunker actually used (automatic targets
+    included).
+
     Crash recovery: a worker that dies mid-task has its task requeued on
     a replacement worker up to *task_retries* times; a task that keeps
     killing its workers is quarantined -- its tables' candidate cells
     marked degraded (``reason="worker-crash"``) -- and the rest of the
-    corpus completes normally.  ``diagnostics.tasks_requeued`` /
+    corpus completes normally.  A slice task requeues and quarantines at
+    slice granularity: losing a worker mid-slice never redoes (or
+    degrades) the rest of its table.  ``diagnostics.tasks_requeued`` /
     ``tasks_quarantined`` count both.  *on_worker_spawn* (tests, chaos
     harnesses) is called with the pid of every worker the pool starts,
     replacements included.
@@ -726,7 +909,25 @@ def annotate_tables_parallel(
         chunk_cost_target = getattr(annotator.config, "chunk_cost_target", 0)
     if task_retries is None:
         task_retries = getattr(annotator.config, "task_retries", 2)
-    tasks = _build_tasks(tables, workers, schedule, chunk_cost_target)
+    if split_giant_tables is None:
+        split_giant_tables = getattr(
+            annotator.config, "split_giant_tables", False
+        )
+    if max_slice_cost is None:
+        max_slice_cost = getattr(annotator.config, "max_slice_cost", 0)
+    if getattr(annotator.config, "use_spatial_disambiguation", False):
+        # Row contexts are computed iteratively over the whole table; a
+        # slice cannot reproduce them, so splitting is gated off rather
+        # than trading byte-parity for balance.
+        split_giant_tables, max_slice_cost = False, 0
+    tasks, effective_chunk_cost = _build_tasks(
+        tables,
+        workers,
+        schedule,
+        chunk_cost_target,
+        split_giant_tables=split_giant_tables,
+        max_slice_cost=max_slice_cost,
+    )
     run = AnnotationRun()
     if not tasks:
         run.diagnostics = RunDiagnostics.combined([])
@@ -773,25 +974,67 @@ def annotate_tables_parallel(
     # order; merge_table folds duplicate-named tables' cells together in
     # that same order, byte-identical to the workers=1 run.  Quarantined
     # tasks contribute degraded placeholders at their corpus position.
+    # A split table's slice tasks are consecutive: their raw annotations
+    # accumulate (merge_table again, so cells/degraded extend in row
+    # order) until the last slice lands, then the parent post-processes
+    # once with the full original table -- the deferred table-global
+    # stage -- and merges the finished table at its corpus position.
+    # Slices group by corpus *position* (table_index), never by name, so
+    # duplicate-named distinct tables cannot bleed into each other.
     quarantine_runs = {
         index: _quarantine_run(annotator, tasks[index]) for index in quarantined
     }
+    slice_counts: dict[int, int] = {}
+    for task in tasks:
+        if len(task) == 1 and isinstance(task[0], TableSlice):
+            index = task[0].table_index
+            slice_counts[index] = slice_counts.get(index, 0) + 1
+    pending_slices: dict[int, AnnotationRun] = {}
+    seen_slices: dict[int, int] = {}
     parts: list[AnnotationRun] = []
     results = []
     for index in range(len(tasks)):
         if index in completed:
-            parts.append(completed[index][1])
+            task_run = completed[index][1]
             results.append(completed[index])
         elif index in quarantine_runs:
-            parts.append(quarantine_runs[index])
-    for task_run in parts:
-        for annotation in task_run.tables.values():
-            run.merge_table(annotation)
+            task_run = quarantine_runs[index]
+        else:  # pragma: no cover - only reachable on an aborted run
+            continue
+        parts.append(task_run)
+        task = tasks[index]
+        if len(task) == 1 and isinstance(task[0], TableSlice):
+            table_slice = task[0]
+            partial = pending_slices.setdefault(
+                table_slice.table_index, AnnotationRun()
+            )
+            for annotation in task_run.tables.values():
+                partial.merge_table(annotation)
+            seen_slices[table_slice.table_index] = (
+                seen_slices.get(table_slice.table_index, 0) + 1
+            )
+            if (
+                seen_slices[table_slice.table_index]
+                == slice_counts[table_slice.table_index]
+            ):
+                combined = partial.tables.get(
+                    table_slice.table_name
+                ) or TableAnnotation(table_name=table_slice.table_name)
+                run.merge_table(
+                    annotator.postprocess_table(
+                        tables[table_slice.table_index], combined
+                    )
+                )
+        else:
+            for annotation in task_run.tables.values():
+                run.merge_table(annotation)
     run.diagnostics = replace(
         RunDiagnostics.combined([part.diagnostics for part in parts]),
         worker_loads=_worker_loads(results, n_workers),
         tasks_requeued=requeued,
         tasks_quarantined=len(quarantined),
+        effective_chunk_cost=effective_chunk_cost,
+        tables_split=len(slice_counts),
     )
     if cache_dir is not None:
         annotator.load_caches(cache_dir)

@@ -31,7 +31,7 @@ from repro.core.annotation import SnippetCache
 from repro.core.annotator import EntityAnnotator
 from repro.core.config import AnnotatorConfig
 from repro.core.postprocessing import eliminate_spurious
-from repro.core.results import AnnotationRun
+from repro.core.results import AnnotationRun, RunDiagnostics
 from repro.core.training import CorpusStats, TrainingCorpusBuilder
 from repro.eval.evaluator import EvaluationResult, evaluate_annotations
 from repro.eval.reporting import format_table
@@ -644,9 +644,12 @@ class ThroughputResult:
                     "1-worker s",
                     "Static s",
                     "Stealing s",
+                    "Splitting s",
                     "vs static",
+                    "Split vs static",
                     "Static imb",
                     "Stealing imb",
+                    "Splitting imb",
                     "Identical",
                 ],
                 [
@@ -658,9 +661,12 @@ class ThroughputResult:
                         skewed.single_seconds,
                         skewed.static_seconds,
                         skewed.stealing_seconds,
+                        skewed.splitting_seconds,
                         skewed.speedup_vs_static,
+                        skewed.splitting_speedup_vs_static,
                         skewed.static_imbalance,
                         skewed.stealing_imbalance,
+                        skewed.splitting_imbalance,
                         skewed.identical,
                     )
                 ],
@@ -674,8 +680,12 @@ class ThroughputResult:
                 "distinct-content tables; static contiguous sharding "
                 "serialises on the shard holding the giant table while the "
                 f"stealing queue ({skewed.stealing_tasks} cost-bounded "
-                "tasks) keeps every worker busy; imb = busiest worker over "
-                "the mean, 1.0 = perfectly balanced)"
+                "tasks) keeps every worker busy -- but the atomic giant "
+                "table still bounds it; row-range splitting "
+                f"({skewed.splitting_tasks} tasks, {skewed.tables_split} "
+                f"table(s) cut into slices of <= {skewed.slice_cost} "
+                "cells) removes that bound too, byte-identically; imb = "
+                "busiest worker over the mean, 1.0 = perfectly balanced)"
             )
         if self.service is not None:
             service = self.service
@@ -827,11 +837,14 @@ class ThroughputResult:
             payload["skewed"] = {
                 "scenario": (
                     "skewed distinct-content corpus (one giant table + "
-                    "many small ones); workers=1, static shards and the "
-                    "work-stealing chunk queue all warm-start from one "
-                    "shared cache directory under real per-request "
-                    "latency; imbalance = busiest worker's busy seconds "
-                    "over the pool mean"
+                    "many small ones); workers=1, static shards, the "
+                    "work-stealing chunk queue and stealing with row-range "
+                    "splitting of the giant table, all timed under real "
+                    "per-request latency with in-memory compute caches "
+                    "pre-warmed by an untimed seed pass (no cache "
+                    "directory: file I/O is a fixed per-arm cost that "
+                    "would blur the scheduling ratios); imbalance = "
+                    "busiest worker's busy seconds over the pool mean"
                 ),
                 "n_tables": skewed.n_tables,
                 "giant_rows": skewed.giant_rows,
@@ -842,11 +855,20 @@ class ThroughputResult:
                 "single_worker_seconds": skewed.single_seconds,
                 "static_seconds": skewed.static_seconds,
                 "stealing_seconds": skewed.stealing_seconds,
+                "splitting_seconds": skewed.splitting_seconds,
                 "stealing_speedup_vs_static": skewed.speedup_vs_static,
                 "stealing_speedup_vs_single_worker": skewed.speedup_vs_single,
+                "splitting_speedup_vs_static": skewed.splitting_speedup_vs_static,
+                "splitting_speedup_vs_stealing": skewed.splitting_speedup_vs_stealing,
+                "splitting_speedup_vs_single_worker": skewed.splitting_speedup_vs_single,
                 "static_imbalance_ratio": skewed.static_imbalance,
                 "stealing_imbalance_ratio": skewed.stealing_imbalance,
+                "splitting_imbalance_ratio": skewed.splitting_imbalance,
                 "stealing_tasks": skewed.stealing_tasks,
+                "splitting_tasks": skewed.splitting_tasks,
+                "tables_split": skewed.tables_split,
+                "slice_cost": skewed.slice_cost,
+                "effective_chunk_cost": skewed.effective_chunk_cost,
                 "identical_annotations": skewed.identical,
             }
         if self.service is not None:
@@ -1037,21 +1059,36 @@ class SkewedThroughput:
     ones; static contiguous sharding hands whichever worker draws the
     giant table nearly the whole run.  This scenario builds that shape --
     one *giant_rows*-row table followed by many *small_rows*-row tables,
-    all distinct-content -- and annotates it three ways under real
-    per-request engine latency (the paper's Section 6.4 regime), every
-    run warm-starting from one shared cache directory:
+    all distinct-content -- and annotates it four ways under real
+    per-request engine latency (the paper's Section 6.4 regime).  An
+    untimed seed pass pre-warms the engine's in-memory compute caches
+    (inherited copy-on-write by forked workers; a cache hit still sleeps
+    its per-request latency), so every timed arm measures how its
+    scheduler places the latency units -- not cache-file I/O, which is a
+    fixed per-arm cost that would blur the ratios:
 
     * ``single_seconds`` -- ``workers=1``, the parity reference;
     * ``static_seconds`` -- ``workers=N`` with ``schedule="static"``
       (contiguous shards: the giant table's shard serialises the run);
     * ``stealing_seconds`` -- ``workers=N`` with ``schedule="stealing"``
-      (cost-bounded chunk queue: one worker takes the giant table while
-      the others drain the small chunks).
+      (cost-bounded chunk queue, the giant table travelling alone as one
+      atomic task: one worker takes it while the others drain the small
+      chunks, so the giant's own cost still bounds the run);
+    * ``splitting_seconds`` -- the stealing queue with
+      ``split_giant_tables=True``: the giant table is cut into row-range
+      slice tasks (:class:`~repro.core.parallel.TableSlice`), annotated
+      independently and reassembled byte-identically, so the critical
+      path drops to roughly ``total_cost / workers``.
 
-    ``static_imbalance`` / ``stealing_imbalance`` are the runs'
+    ``static_imbalance`` / ``stealing_imbalance`` /
+    ``splitting_imbalance`` are the runs'
     ``RunDiagnostics.imbalance_ratio`` (busiest worker over the mean, 1.0
-    = perfectly balanced); ``stealing_tasks`` counts the queue tasks the
-    chunker produced.  All three runs must produce identical annotations.
+    = perfectly balanced); ``stealing_tasks`` / ``splitting_tasks`` count
+    the queue tasks each chunker produced, ``tables_split`` the tables
+    the splitting run cut, ``slice_cost`` the per-slice cell budget its
+    tables were cut under, and ``effective_chunk_cost`` the (automatic)
+    chunk budget its diagnostics recorded.  All four runs must produce
+    identical annotations.
     """
 
     n_tables: int
@@ -1063,9 +1100,15 @@ class SkewedThroughput:
     single_seconds: float
     static_seconds: float
     stealing_seconds: float
+    splitting_seconds: float
     static_imbalance: float
     stealing_imbalance: float
+    splitting_imbalance: float
     stealing_tasks: int
+    splitting_tasks: int
+    tables_split: int
+    slice_cost: int
+    effective_chunk_cost: int
     identical: bool
 
     @property
@@ -1081,6 +1124,32 @@ class SkewedThroughput:
         if not self.stealing_seconds:
             return 0.0
         return self.single_seconds / self.stealing_seconds
+
+    @property
+    def splitting_speedup_vs_static(self) -> float:
+        """Row-range splitting's wall-clock gain over static shards --
+        the number that must clear the table-atomic stealing ceiling
+        (``speedup_vs_static`` can never exceed roughly
+        ``(giant + half the small tables) / giant``)."""
+        if not self.splitting_seconds:
+            return 0.0
+        return self.static_seconds / self.splitting_seconds
+
+    @property
+    def splitting_speedup_vs_stealing(self) -> float:
+        """Row-range splitting's wall-clock gain over table-atomic
+        stealing (> 1.0 means splitting removed the giant-table bound)."""
+        if not self.splitting_seconds:
+            return 0.0
+        return self.stealing_seconds / self.splitting_seconds
+
+    @property
+    def splitting_speedup_vs_single(self) -> float:
+        """Row-range splitting's wall-clock gain over the single-worker
+        run."""
+        if not self.splitting_seconds:
+            return 0.0
+        return self.single_seconds / self.splitting_seconds
 
 
 @dataclass
@@ -1179,6 +1248,8 @@ def run_throughput(
     parallel_latency_seconds: float = 0.008,
     schedule: str = "stealing",
     chunk_cost_target: int = 0,
+    split_giant_tables: bool = False,
+    max_slice_cost: int = 0,
     skew_giant_rows: int = 2000,
     skew_small_tables: int = 19,
     skew_small_rows: int = 100,
@@ -1373,7 +1444,10 @@ def run_throughput(
                 context.classifiers["svm"],
                 engine,
                 AnnotatorConfig(
-                    schedule=schedule, chunk_cost_target=chunk_cost_target
+                    schedule=schedule,
+                    chunk_cost_target=chunk_cost_target,
+                    split_giant_tables=split_giant_tables,
+                    max_slice_cost=max_slice_cost,
                 ),
             )
             start = time.perf_counter()
@@ -1399,6 +1473,19 @@ def run_throughput(
         identical=seed_run == single_run == multi_run,
     )
 
+    # The skewed arms measure a 0.25 s margin between the table-atomic
+    # ceiling and the splitting asymptote, and every forked pool worker
+    # pays copy-on-write for whatever the parent still references.  The
+    # finished scenarios' corpora, runs and annotators (hundreds of MB
+    # of tables and annotations; their results live on as scalars in the
+    # dataclasses above) are dead weight for the arms to come -- release
+    # them so the pool forks over a minimal heap.
+    del stream, table, batch_results, per_cell_results, batch_annotator
+    del per_cell_annotator, cold_annotator, cold_run, warm_run_of
+    del per_table_run, corpus_run, corpus, distinct_corpus
+    del seed_annotator, seed_run, single_annotator, single_run
+    del multi_annotator, multi_run
+
     # -- skewed-corpus scenario ---------------------------------------------------------
     # The size mix real web-table corpora exhibit: one giant table next
     # to many small ones, all distinct-content.  The giant table leads,
@@ -1417,43 +1504,80 @@ def run_throughput(
                 start=skew_base + skew_giant_rows + index * skew_small_rows,
             )[0]
         )
-    with tempfile.TemporaryDirectory() as skew_cache_dir:
-        engine.reset_compute_caches()
-        skew_seed = EntityAnnotator(context.classifiers["svm"], engine, config)
-        skew_seed_run = skew_seed.annotate_tables(
-            skew_corpus, ALL_TYPE_KEYS, cache_dir=skew_cache_dir
+    # The untimed seed pass warms the engine's *in-memory* compute caches
+    # (BM25 rankings, snippets, label memo); every timed arm -- and every
+    # forked pool worker, copy-on-write -- inherits that warmth, and a
+    # results-cache hit still sleeps its per-request latency (the remote
+    # round-trip is what is being modelled, not the local ranking
+    # arithmetic).  No cache *directory* is involved: per-worker cache
+    # file loads and the end-of-run merge-save flush are fixed wall-clock
+    # costs (~2 s here) that would dilute the scheduling ratios this
+    # scenario exists to measure, whereas warm in-memory caches cost the
+    # arms nothing and keep them byte-identical.
+    engine.reset_compute_caches()
+    skew_seed = EntityAnnotator(context.classifiers["svm"], engine, config)
+    skew_seed_run = skew_seed.annotate_tables(skew_corpus, ALL_TYPE_KEYS)
+    engine.real_latency_seconds = skew_latency_seconds
+    try:
+        # Each arm is compared against the seed and reduced to its
+        # scalars immediately, so no arm's AnnotationRun (~4k cells)
+        # stays on the parent heap while later arms fork their workers:
+        # retained runs are pure copy-on-write / GC-scan overhead for
+        # the arms still to come, and a bias that lands hardest on
+        # whichever arm runs last.  gc.collect() before each timed run
+        # keeps young-generation survivors from being rescanned (and
+        # their pages rewritten) mid-measurement.
+        import gc
+
+        def skew_timed(
+            run_config: AnnotatorConfig, run_workers: int
+        ) -> tuple[float, bool, RunDiagnostics]:
+            annotator = EntityAnnotator(
+                context.classifiers["svm"], engine, run_config
+            )
+            gc.collect()
+            start = time.perf_counter()
+            run = annotator.annotate_tables(
+                skew_corpus, ALL_TYPE_KEYS, workers=run_workers
+            )
+            seconds = time.perf_counter() - start
+            return seconds, run == skew_seed_run, run.diagnostics
+
+        skew_single_seconds, skew_single_identical, _ = skew_timed(
+            config, 1
         )
-        engine.real_latency_seconds = skew_latency_seconds
-        try:
-
-            def skew_timed(
-                run_config: AnnotatorConfig, run_workers: int
-            ) -> tuple[float, AnnotationRun]:
-                engine.reset_compute_caches()
-                annotator = EntityAnnotator(
-                    context.classifiers["svm"], engine, run_config
-                )
-                start = time.perf_counter()
-                run = annotator.annotate_tables(
-                    skew_corpus,
-                    ALL_TYPE_KEYS,
-                    workers=run_workers,
-                    cache_dir=skew_cache_dir,
-                )
-                return time.perf_counter() - start, run
-
-            skew_single_seconds, skew_single_run = skew_timed(config, 1)
-            skew_static_seconds, skew_static_run = skew_timed(
-                AnnotatorConfig(schedule="static"), workers
-            )
-            skew_stealing_seconds, skew_stealing_run = skew_timed(
-                AnnotatorConfig(
-                    schedule="stealing", chunk_cost_target=chunk_cost_target
-                ),
-                workers,
-            )
-        finally:
-            engine.real_latency_seconds = 0.0
+        skew_static_seconds, skew_static_identical, skew_static_diag = (
+            skew_timed(AnnotatorConfig(schedule="static"), workers)
+        )
+        (
+            skew_stealing_seconds,
+            skew_stealing_identical,
+            skew_stealing_diag,
+        ) = skew_timed(
+            AnnotatorConfig(
+                schedule="stealing", chunk_cost_target=chunk_cost_target
+            ),
+            workers,
+        )
+        # The fourth arm: the same stealing queue, but the giant
+        # table no longer travels alone -- it is cut into row-range
+        # slice tasks (reassembled byte-identically), so the giant
+        # stops bounding the critical path.
+        (
+            skew_splitting_seconds,
+            skew_splitting_identical,
+            skew_splitting_diag,
+        ) = skew_timed(
+            AnnotatorConfig(
+                schedule="stealing",
+                chunk_cost_target=chunk_cost_target,
+                split_giant_tables=True,
+                max_slice_cost=max_slice_cost,
+            ),
+            workers,
+        )
+    finally:
+        engine.real_latency_seconds = 0.0
 
     skewed_result = SkewedThroughput(
         n_tables=len(skew_corpus),
@@ -1465,16 +1589,27 @@ def run_throughput(
         single_seconds=skew_single_seconds,
         static_seconds=skew_static_seconds,
         stealing_seconds=skew_stealing_seconds,
-        static_imbalance=skew_static_run.diagnostics.imbalance_ratio,
-        stealing_imbalance=skew_stealing_run.diagnostics.imbalance_ratio,
+        splitting_seconds=skew_splitting_seconds,
+        static_imbalance=skew_static_diag.imbalance_ratio,
+        stealing_imbalance=skew_stealing_diag.imbalance_ratio,
+        splitting_imbalance=skew_splitting_diag.imbalance_ratio,
         stealing_tasks=sum(
-            load.n_tasks
-            for load in skew_stealing_run.diagnostics.worker_loads
+            load.n_tasks for load in skew_stealing_diag.worker_loads
         ),
-        identical=skew_seed_run
-        == skew_single_run
-        == skew_static_run
-        == skew_stealing_run,
+        splitting_tasks=sum(
+            load.n_tasks for load in skew_splitting_diag.worker_loads
+        ),
+        tables_split=skew_splitting_diag.tables_split,
+        slice_cost=(
+            max_slice_cost or skew_splitting_diag.effective_chunk_cost
+        ),
+        effective_chunk_cost=skew_splitting_diag.effective_chunk_cost,
+        identical=(
+            skew_single_identical
+            and skew_static_identical
+            and skew_stealing_identical
+            and skew_splitting_identical
+        ),
     )
 
     # -- resident-service scenario ------------------------------------------------------

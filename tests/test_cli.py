@@ -26,6 +26,42 @@ class TestArgumentParsing:
         with pytest.raises(SystemExit):
             cli.main(["figure7", "--small", "--chunk-cost", "-1"])
 
+    def test_negative_max_slice_cost_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["figure7", "--small", "--max-slice-cost", "-1"])
+
+    def test_splitting_flags_forwarded_to_runner(
+        self, small_context, monkeypatch
+    ):
+        seen = {}
+
+        def spy_runner(context, split_giant_tables=False, max_slice_cost=0):
+            seen["split_giant_tables"] = split_giant_tables
+            seen["max_slice_cost"] = max_slice_cost
+
+            class _Result:
+                def render(self):
+                    return "ok"
+
+            return _Result()
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "figure7", spy_runner)
+        assert (
+            cli.main(
+                [
+                    "figure7",
+                    "--small",
+                    "--split-giant-tables",
+                    "--max-slice-cost",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        assert seen == {"split_giant_tables": True, "max_slice_cost": 64}
+        assert cli.main(["figure7", "--small"]) == 0
+        assert seen == {"split_giant_tables": False, "max_slice_cost": 0}
+
 
 class TestExecution:
     def test_figure7_small(self, capsys, small_context):

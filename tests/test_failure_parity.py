@@ -21,6 +21,8 @@ from repro.classify.snippet import SnippetTypeClassifier
 from repro.clock import VirtualClock
 from repro.core.annotator import EntityAnnotator
 from repro.core.config import AnnotatorConfig
+from repro.core.results import AnnotationRun
+from repro.resilience import FaultPlan
 from repro.tables.model import Column, ColumnType, Table
 from repro.web.documents import WebPage
 from repro.web.search import SearchEngine, SearchEngineUnavailable
@@ -160,6 +162,82 @@ class TestPipelineFailureParity:
             run.degraded_cells()
         )
         assert run.diagnostics.search_failures == len(run.degraded_cells())
+
+    def test_execution_matrix_identical_payloads(self, classifier):
+        """The full execution matrix on a skewed distinct-content corpus:
+        per-cell, batched sequential, workers=2 static, workers=2
+        stealing, and workers=2 stealing with row-range splitting of the
+        giant table -- crossed with three fault regimes (healthy, seeded
+        failure rate, scripted :class:`FaultPlan`) -- all produce
+        byte-identical per-table payloads and degrade the same queries."""
+        giant = Table(name="giant", columns=[Column("Name", ColumnType.TEXT)])
+        for row in range(14):
+            giant.append_row([_NAMES[row]])
+        smalls = []
+        for index in range(5):
+            small = Table(
+                name=f"s{index}", columns=[Column("Name", ColumnType.TEXT)]
+            )
+            for row in range(2):
+                small.append_row([_NAMES[14 + index * 2 + row]])
+            smalls.append(small)
+        tables = [giant, *smalls]
+
+        def payload(run_or_tables):
+            if isinstance(run_or_tables, AnnotationRun):
+                annotations = run_or_tables.tables
+            else:
+                annotations = run_or_tables
+            return {name: repr(a) for name, a in annotations.items()}
+
+        regimes = {
+            "healthy": (0.0, None),
+            "seeded-rate": (_RATE, None),
+            "fault-plan": (
+                0.0,
+                FaultPlan(fail_first={_NAMES[2]: 1, _NAMES[7]: 3, _NAMES[19]: 1}),
+            ),
+        }
+        for regime, (rate, plan) in regimes.items():
+
+            def annotator(config=None):
+                engine = _make_engine(failure_rate=rate)
+                engine.fault_plan = plan
+                return EntityAnnotator(
+                    classifier, engine, config or AnnotatorConfig()
+                )
+
+            per_cell = {
+                table.name: annotator()._annotate_table_per_cell(
+                    table, _TYPE_KEYS
+                )
+                for table in tables
+            }
+            arms = {
+                "batched": annotator().annotate_tables(tables, _TYPE_KEYS),
+                "static": annotator(
+                    AnnotatorConfig(schedule="static")
+                ).annotate_tables(tables, _TYPE_KEYS, workers=2),
+                "stealing": annotator(
+                    AnnotatorConfig(schedule="stealing")
+                ).annotate_tables(tables, _TYPE_KEYS, workers=2),
+                "splitting": annotator(
+                    AnnotatorConfig(schedule="stealing", split_giant_tables=True)
+                ).annotate_tables(tables, _TYPE_KEYS, workers=2),
+            }
+            # The splitting arm genuinely split: auto chunk cost for this
+            # corpus is below the giant table's cost.
+            assert arms["splitting"].diagnostics.tables_split == 1, regime
+            reference = payload(per_cell)
+            reference_degraded = set().union(
+                *[_degraded_queries(a) for a in per_cell.values()]
+            )
+            for arm, run in arms.items():
+                assert payload(run) == reference, (regime, arm)
+                assert _degraded_queries(run) == reference_degraded, (
+                    regime,
+                    arm,
+                )
 
     def test_service_batch_agrees_with_annotate_tables(self, classifier):
         """The service's pooled ``annotate_batch`` rides the same batched
