@@ -68,11 +68,24 @@ fail the same first attempts, so the coverage gap is exactly what the
 resilience layer recovered: the retrying run must keep >= 95% of the
 candidate cells.
 
+The index-backend scenario (PR 8) annotates a distinct-content corpus at
+``workers=2`` under the ``spawn`` start method twice: over the in-memory
+index backend (each worker unpickles a private copy of the whole
+annotator -- postings, pages and all) and over a frozen mmap artifact
+built from the same index (workers receive the artifact *path* and map
+the same physical file read-only).  Both pools must be byte-identical to
+the single-worker in-memory reference; at full scale the mmap pool's
+pickled payload and per-worker incremental attach RSS must each be a
+small fraction of the in-memory pool's.
+
 Set ``REPRO_THROUGHPUT_SMOKE=1`` (CI) to run a single small size with no
 artifact writing and no speedup assertions (the workers=2 pool, both
 schedulers, the splitting arm, the shared cache directory, the live
-daemon and the flaky engine are still exercised, and
-parity/coverage-ordering still asserted).
+daemon, the flaky engine and both index backends are still exercised,
+and parity/coverage-ordering still asserted).  Set
+``REPRO_INDEX_BACKEND=mmap`` to run every *other* scenario over the
+frozen mmap backend too -- their parity flags then double as an
+end-to-end backend check at every granularity.
 """
 
 import json
@@ -101,6 +114,10 @@ SERVICE_SHAPE = (4, 10) if SMOKE else (8, 60)  # (clients, rows per table)
 FLAKY_SHAPE = (4, 15) if SMOKE else (8, 50)  # (tables, rows per table)
 FLAKY_FAILURE_RATE = 0.2
 FLAKY_RETRIES = 2
+MMAP_SHAPE = (4, 10) if SMOKE else (6, 50)  # (tables, rows per table)
+INDEX_BACKEND = os.environ.get("REPRO_INDEX_BACKEND", "memory")
+"""Index backend the non-mmap scenarios run over (``REPRO_INDEX_BACKEND``,
+CI sets ``mmap``); the index-backend scenario always measures both."""
 SERVICE_WINDOW_MS = 250.0
 """Micro-batching window: generous enough that concurrently-released
 clients always share a tick (the batch closes early once all have
@@ -138,6 +155,18 @@ MIN_FLAKY_COVERAGE = 0.95
 failure rate 0.2 (the ISSUE 6 acceptance criterion; the no-retry
 baseline loses ~20% of the cells on the same failure draws)."""
 
+MAX_MMAP_PAYLOAD_FRACTION = 0.5
+"""Required bound on the mmap pool's pickled payload relative to the
+in-memory pool's (the ISSUE 8 acceptance criterion: the frozen backend
+ships a path, not the postings; in practice the ratio is < 0.01 -- the
+bound is generous because the payload also carries the classifier,
+which both backends pay alike on a small training set)."""
+
+MAX_MMAP_ATTACH_RSS_FRACTION = 0.5
+"""Required bound on per-worker incremental attach RSS, mmap over
+in-memory: a spawn worker on the in-memory backend unpickles a private
+postings + page store, one on the frozen artifact only maps it."""
+
 
 def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     result = benchmark.pedantic(
@@ -163,6 +192,9 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
             "flaky_rows": FLAKY_SHAPE[1],
             "flaky_failure_rate": FLAKY_FAILURE_RATE,
             "retries": FLAKY_RETRIES,
+            "index_backend": INDEX_BACKEND,
+            "mmap_tables": MMAP_SHAPE[0],
+            "mmap_rows": MMAP_SHAPE[1],
         },
         rounds=1,
         iterations=1,
@@ -205,6 +237,17 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     assert result.flaky is not None
     assert result.flaky.resilient_coverage >= result.flaky.baseline_coverage
     assert result.flaky.search_retries > 0
+    # Index backends: both spawn pools -- annotator pickled per worker
+    # vs frozen mmap artifact shared by path -- must reproduce the
+    # single-worker in-memory reference byte for byte, and the frozen
+    # artifact must genuinely exist and ship a smaller payload even at
+    # smoke scale (a path pickles smaller than a postings store at any
+    # corpus size).
+    assert result.mmap is not None
+    assert result.mmap.identical
+    assert result.mmap.workers == WORKERS
+    assert result.mmap.artifact_bytes > 0
+    assert result.mmap.mmap_payload_bytes < result.mmap.memory_payload_bytes
 
     if SMOKE:
         return
@@ -270,3 +313,11 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     assert result.flaky.resilient_coverage >= MIN_FLAKY_COVERAGE
     assert result.flaky.baseline_coverage < result.flaky.resilient_coverage
     assert result.flaky.baseline_degraded > 0
+
+    # Index backends: at full scale the frozen artifact's shipping bill
+    # must be a small fraction of the in-memory pool's on both axes that
+    # matter for N-worker deployments (the ISSUE 8 acceptance criterion)
+    # -- bytes pickled to each spawn worker, and RSS each worker grows
+    # while becoming ready.
+    assert result.mmap.payload_fraction <= MAX_MMAP_PAYLOAD_FRACTION
+    assert result.mmap.attach_rss_fraction <= MAX_MMAP_ATTACH_RSS_FRACTION

@@ -86,11 +86,10 @@ class SnippetTypeClassifier:
             model: OneVsRestClassifier | MultinomialNaiveBayes = MultinomialNaiveBayes()
             model.fit(X, dataset.labels)
         else:
-            factory = (
-                (lambda: KernelSVC())
-                if self.backend == "kernel-svm"
-                else (lambda: LinearSVM())
-            )
+            # The class itself is the factory: unlike a local lambda it
+            # pickles by reference, so a fitted classifier can ship to
+            # ``spawn``-ed worker processes.
+            factory = KernelSVC if self.backend == "kernel-svm" else LinearSVM
             model = OneVsRestClassifier(factory)
             model.fit(X, dataset.labels)
         self._model = model

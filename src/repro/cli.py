@@ -9,6 +9,11 @@ Usage::
     python -m repro.cli table1 --small --cache-dir .repro-cache
     python -m repro.cli throughput --workers 4 --cache-dir .repro-cache
 
+    # frozen mmap index artifacts (shared zero-copy across processes)
+    python -m repro.cli index build --small --out .repro-cache/index.reproidx
+    python -m repro.cli throughput --small --workers 2 \\
+        --index-backend mmap --index-artifact .repro-cache/index.reproidx
+
     # the resident annotation service
     python -m repro.cli serve --socket /tmp/repro.sock --small \\
         --cache-dir .repro-cache --batch-window-ms 25
@@ -41,6 +46,16 @@ positive value implies splitting; 0 = the effective chunk cost).  ``--retries``,
 circuit breaker; both default off, preserving seed behaviour) for the
 experiments that accept them and for ``serve``.
 
+``--index-backend memory|mmap`` picks the index storage backend
+(:mod:`repro.web.backends`).  ``mmap`` swaps the engine onto a frozen
+on-disk artifact -- built on demand, or reused from ``--index-artifact``
+/ ``<cache-dir>/index.reproidx`` when its fingerprint still matches the
+world -- so every worker process and daemon on the host shares one
+physical copy of the postings through the OS page cache instead of
+pickling or duplicating the index per process.  ``index build`` writes
+that artifact explicitly (same ``--small``/``--seed`` world knobs), so
+fleets can pay the compaction once up front.
+
 ``serve`` keeps the warm engine resident: one process pays the cold start,
 then any number of ``client`` invocations (or :class:`ServiceClient`
 users) annotate against it, with concurrent requests micro-batched into
@@ -61,7 +76,7 @@ import time
 from pathlib import Path
 from typing import Callable
 
-from repro.core.config import SCHEDULES
+from repro.core.config import INDEX_BACKENDS, SCHEDULES
 from repro.eval import ablation, experiments, extensions
 from repro.synth.world import WorldConfig
 
@@ -93,6 +108,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "client":
         return _client_main(argv[1:])
+    if argv and argv[0] == "index":
+        return _index_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -176,6 +193,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     _add_resilience_arguments(parser)
+    _add_index_backend_arguments(parser)
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -210,6 +228,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(context.wiki.tables)} wiki tables]\n",
         file=sys.stderr,
     )
+    artifact_path = _apply_index_backend(
+        context.world.search_engine,
+        args.index_backend,
+        args.index_artifact,
+        args.cache_dir,
+    )
+    if artifact_path is not None:
+        print(
+            f"[index backend mmap: serving from {artifact_path}]\n",
+            file=sys.stderr,
+        )
     engine_cache = (
         args.cache_dir / "search_results.cache" if args.cache_dir else None
     )
@@ -243,6 +272,8 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["retry_backoff_ms"] = args.retry_backoff_ms
             if "breaker_threshold" in parameters:
                 kwargs["breaker_threshold"] = args.breaker_threshold
+            if "index_backend" in parameters:
+                kwargs["index_backend"] = args.index_backend
             result = runner(context, **kwargs)
             print(result.render())
             print(f"[{name} in {time.time() - start:.1f}s]\n", file=sys.stderr)
@@ -290,6 +321,122 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
             "disables the breaker"
         ),
     )
+
+
+def _add_index_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """The index storage-backend knobs, shared by experiments and serve."""
+    parser.add_argument(
+        "--index-backend",
+        choices=list(INDEX_BACKENDS),
+        default="memory",
+        help=(
+            "index storage backend: 'memory' (default) keeps the mutable "
+            "in-process inverted index; 'mmap' serves from a frozen "
+            "on-disk artifact that every worker process and daemon on "
+            "this host shares zero-copy through the OS page cache"
+        ),
+    )
+    parser.add_argument(
+        "--index-artifact",
+        type=Path,
+        default=None,
+        help=(
+            "artifact path for --index-backend mmap (default: "
+            "<cache-dir>/index.reproidx, or a temporary directory); an "
+            "existing artifact is reused when its fingerprint matches "
+            "the world, rebuilt otherwise -- see 'index build'"
+        ),
+    )
+
+
+def _apply_index_backend(
+    engine, index_backend: str, index_artifact, cache_dir
+) -> Path | None:
+    """Swap *engine* onto the frozen mmap backend when requested.
+
+    Returns the artifact path in use, or ``None`` under the memory
+    backend.  The artifact is built from the engine's current corpus
+    unless a fresh one (matching fingerprint) already exists at the
+    resolved path.
+    """
+    if index_backend != "mmap":
+        return None
+    from repro.web.backends import ensure_index_artifact
+
+    if index_artifact is not None:
+        path = Path(index_artifact)
+    elif cache_dir is not None:
+        path = Path(cache_dir) / "index.reproidx"
+    else:
+        import tempfile
+
+        path = Path(tempfile.mkdtemp(prefix="repro-index-")) / "index.reproidx"
+    engine.use_index_backend(ensure_index_artifact(engine.index, path))
+    return path
+
+
+# -- index artifacts --------------------------------------------------------------------
+
+
+def _index_main(argv: list[str]) -> int:
+    """``repro.cli index``: build the frozen mmap index artifact."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments index",
+        description=(
+            "Compact the world's inverted index into a frozen artifact "
+            "that any number of processes open via mmap (used by "
+            "--index-backend mmap)."
+        ),
+    )
+    parser.add_argument(
+        "action", choices=["build"], help="what to do with the artifact"
+    )
+    parser.add_argument(
+        "--out",
+        required=True,
+        type=Path,
+        help="artifact file to write (conventionally *.reproidx)",
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="use the reduced-scale world (fast; for smoke-testing)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=13, help="world seed (default 13)"
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild even when the existing artifact's fingerprint matches",
+    )
+    args = parser.parse_args(argv)
+    from repro.web.backends import build_index_artifact, ensure_index_artifact
+
+    config = (
+        WorldConfig.small(seed=args.seed)
+        if args.small
+        else WorldConfig(seed=args.seed)
+    )
+    start = time.time()
+    context = experiments.build_context(config)
+    index = context.world.search_engine.index
+    print(
+        f"[context ready in {time.time() - start:.1f}s: "
+        f"{context.world.page_count} pages]",
+        file=sys.stderr,
+    )
+    start = time.time()
+    if args.force:
+        build_index_artifact(index, args.out)
+    else:
+        ensure_index_artifact(index, args.out)
+    print(
+        f"[index artifact at {args.out}: {index.n_documents} pages, "
+        f"{index.vocabulary_size()} tokens, "
+        f"{args.out.stat().st_size} bytes, {time.time() - start:.1f}s]"
+    )
+    return 0
 
 
 # -- the resident service ---------------------------------------------------------------
@@ -366,6 +513,7 @@ def _serve_main(argv: list[str]) -> int:
         ),
     )
     _add_resilience_arguments(parser)
+    _add_index_backend_arguments(parser)
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -401,6 +549,17 @@ def _serve_main(argv: list[str]) -> int:
         parser.error(str(error))
     start = time.time()
     context = experiments.build_context(config)
+    artifact_path = _apply_index_backend(
+        context.world.search_engine,
+        args.index_backend,
+        args.index_artifact,
+        args.cache_dir,
+    )
+    if artifact_path is not None:
+        print(
+            f"[index backend mmap: serving from {artifact_path}]",
+            file=sys.stderr,
+        )
     annotator = EntityAnnotator(
         context.classifiers[args.backend],
         context.world.search_engine,

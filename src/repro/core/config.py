@@ -10,6 +10,14 @@ SCHEDULES = ("static", "stealing")
 ``"static"`` pins one contiguous shard per worker.  Single source of
 truth for :class:`AnnotatorConfig`, the execution layer and the CLI."""
 
+INDEX_BACKENDS = ("memory", "mmap")
+"""The recognised index storage backends (see :mod:`repro.web.backends`):
+``"memory"`` is the mutable in-process :class:`~repro.web.index.InvertedIndex`,
+``"mmap"`` serves queries from a frozen on-disk artifact that all workers
+and daemons on a host share zero-copy through the OS page cache.  Single
+source of truth for the CLI (``--index-backend``, ``index build``) and the
+benchmark harness."""
+
 
 @dataclass(frozen=True)
 class AnnotatorConfig:

@@ -103,6 +103,11 @@ from dataclasses import dataclass, replace
 from multiprocessing import connection
 from typing import TYPE_CHECKING, Callable, Sequence, Union
 
+try:  # POSIX rusage for per-worker RSS accounting; absent on some hosts.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
 from repro.core.config import SCHEDULES
 from repro.core.results import (
     AnnotationRun,
@@ -156,6 +161,42 @@ def _start_method() -> str:
     return multiprocessing.get_start_method()
 
 
+def _max_rss_kb() -> int:
+    """This process's peak resident set size in KiB (0 when unknowable).
+
+    ``ru_maxrss`` is kilobytes on Linux but *bytes* on macOS; normalised
+    here so :class:`~repro.core.results.WorkerLoad` readers never have to
+    care.  Fallback only: some Linux kernels let a child *inherit* the
+    parent's ``ru_maxrss`` across ``spawn``, so a freshly started worker
+    can report the parent's lifetime peak and every subsequent delta
+    reads zero — prefer :func:`_current_rss_kb` where ``/proc`` exists.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        peak //= 1024
+    return int(peak)
+
+
+def _current_rss_kb() -> int:
+    """This process's *current* resident set size in KiB.
+
+    Read from ``/proc/self/statm`` (field 2, resident pages) because it
+    reflects this process alone, right now — unlike ``ru_maxrss``, which
+    is a lifetime peak that spawn children may inherit from the parent.
+    Deltas of this value are the honest "how much memory did attaching
+    cost" number, and a running ``max`` of samples stands in for the
+    peak.  Falls back to :func:`_max_rss_kb` where ``/proc`` is absent.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * (os.sysconf("SC_PAGE_SIZE") // 1024)
+    except (OSError, ValueError, IndexError):  # pragma: no cover - no /proc
+        return _max_rss_kb()
+
+
 def _portable_error(error: BaseException) -> BaseException:
     """The error itself when it pickles, else a faithful stand-in."""
     try:
@@ -170,9 +211,18 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
 
     Commands (tuples, first element the kind): ``("task", index, tables,
     type_keys)`` annotates and answers ``("done", index, pid, run,
-    busy_seconds)`` or ``("error", index, pid, error)``; ``("flush",)``
-    merge-saves the caches and answers ``("flushed", pid)`` (or
-    ``("flush-error", pid, error)``); ``("stop",)`` exits the loop.
+    busy_seconds, (peak_rss_kb, attach_seconds, attach_rss_kb))`` or
+    ``("error", index, pid, error)``; ``("flush",)`` merge-saves the
+    caches and answers ``("flushed", pid)`` (or ``("flush-error", pid,
+    error)``); ``("stop",)`` exits the loop.
+
+    The trailing stats triple makes the memory economics of the index
+    backends auditable: *attach_rss_kb* is how much resident memory this
+    worker grew while materialising its annotator (unpickling under
+    ``spawn``, near-zero under ``fork`` or when the engine's index is a
+    shared mmap artifact) and loading caches; *attach_seconds* is how
+    long that took; *peak_rss_kb* is the highest resident size sampled
+    (at entry, after attach, after each task).
     """
     # A terminal Ctrl-C delivers SIGINT to the whole foreground process
     # group.  The *parent* owns interrupt handling (stop dispatching,
@@ -183,9 +233,11 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic hosts
         pass
+    rss_at_entry = _current_rss_kb()
+    attach_start = time.perf_counter()
     if pickled_annotator is None:
         annotator = _FORK_PAYLOAD  # inherited via fork
-    else:  # pragma: no cover - exercised only on spawn-only platforms
+    else:
         annotator = pickle.loads(pickled_annotator)
     if annotator is None:  # pragma: no cover - defensive
         raise RuntimeError("worker started without an annotator payload")
@@ -194,6 +246,13 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
         # fine (first worker ever, stale fingerprint, lock timeout): the
         # caches are an optimisation, never a correctness dependency.
         annotator.load_caches(cache_dir)
+    attach_seconds = time.perf_counter() - attach_start
+    attach_rss_kb = max(0, _current_rss_kb() - rss_at_entry)
+    # Sampled peak: entry, post-attach, then after every task.  A true
+    # kernel peak (``ru_maxrss``) would be preferable, but spawn children
+    # can inherit the parent's value on some kernels (see _max_rss_kb),
+    # which poisons both the peak and every delta computed from it.
+    peak_rss_kb = max(rss_at_entry, rss_at_entry + attach_rss_kb)
     while True:
         try:
             message = conn.recv()
@@ -208,8 +267,16 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
             except Exception as error:
                 conn.send(("error", index, os.getpid(), _portable_error(error)))
             else:
+                peak_rss_kb = max(peak_rss_kb, _current_rss_kb())
                 conn.send(
-                    ("done", index, os.getpid(), run, time.perf_counter() - start)
+                    (
+                        "done",
+                        index,
+                        os.getpid(),
+                        run,
+                        time.perf_counter() - start,
+                        (peak_rss_kb, attach_seconds, attach_rss_kb),
+                    )
                 )
         elif kind == "flush":
             try:
@@ -321,7 +388,9 @@ class _WorkerPool:
         """Drive every task to completion, quarantine or error.
 
         Returns ``(completed, quarantined_indices, n_requeued, errors)``
-        where ``completed[index] = (index, run, pid, busy_seconds)``.  A
+        where ``completed[index] = (index, run, pid, busy_seconds,
+        worker_stats)`` (*worker_stats* the ``(peak_rss_kb,
+        attach_seconds, attach_rss_kb)`` triple from the worker).  A
         worker *exception* (the task itself raised) aborts the run as the
         executor-based layer did: dispatch stops, in-flight tasks drain,
         and the caller raises the first error after the cache flush.  A
@@ -341,8 +410,8 @@ class _WorkerPool:
         def handle(worker: _Worker, message: tuple) -> None:
             kind = message[0]
             if kind == "done":
-                _, index, pid, run, busy = message
-                completed[index] = (index, run, pid, busy)
+                _, index, pid, run, busy, worker_stats = message
+                completed[index] = (index, run, pid, busy, worker_stats)
                 worker.inflight = None
             elif kind == "error":
                 _, index, pid, error = message
@@ -751,7 +820,7 @@ def _build_tasks(
 
 
 def _worker_loads(
-    results: "Sequence[tuple[int, AnnotationRun, int, float]]",
+    results: "Sequence[tuple]",
     n_workers: int,
 ) -> tuple[WorkerLoad, ...]:
     """Fold per-task results into one :class:`WorkerLoad` per pool process.
@@ -765,8 +834,10 @@ def _worker_loads(
     one-worker run "perfectly balanced".  Crash-replacement workers show
     up as extra pids, so a recovered run may report more loads than the
     nominal pool size -- every process that completed work is accounted
-    for."""
-    by_pid: dict[int, list[tuple[int, AnnotationRun, int, float]]] = {}
+    for.  Each load also carries the process's memory/attach accounting
+    (peak RSS, attach time, attach RSS delta -- the last stats triple the
+    process reported, peak RSS being monotonic by definition)."""
+    by_pid: dict[int, list[tuple]] = {}
     for result in results:
         by_pid.setdefault(result[2], []).append(result)
     loads = [
@@ -776,6 +847,9 @@ def _worker_loads(
             n_tables=sum(r[1].diagnostics.n_tables for r in group),
             n_cells=sum(r[1].diagnostics.n_cells for r in group),
             busy_seconds=sum(r[3] for r in group),
+            peak_rss_kb=max(r[4][0] for r in group),
+            attach_seconds=group[0][4][1],
+            attach_rss_kb=group[0][4][2],
         )
         for worker_id, (_, group) in enumerate(sorted(by_pid.items()))
     ]
@@ -853,6 +927,7 @@ def annotate_tables_parallel(
     split_giant_tables: bool | None = None,
     max_slice_cost: int | None = None,
     on_worker_spawn: Callable[[int], None] | None = None,
+    start_method: str | None = None,
 ) -> AnnotationRun:
     """Annotate *tables* across a pool of *workers* processes.
 
@@ -890,6 +965,17 @@ def annotate_tables_parallel(
     ``tasks_quarantined`` count both.  *on_worker_spawn* (tests, chaos
     harnesses) is called with the pid of every worker the pool starts,
     replacements included.
+
+    *start_method* overrides how pool processes start (any name in
+    ``multiprocessing.get_all_start_methods()``); the default picks
+    ``fork`` where safe (see :func:`_start_method`).  Under ``fork`` the
+    annotator is inherited copy-on-write; under ``spawn`` it is pickled
+    once and each worker unpickles its own copy -- *except* state that
+    pickles by reference, like a frozen mmap index backend, which ships
+    as an artifact path and re-opens against the same physical pages
+    (the ``worker_loads`` attach columns make the difference visible).
+    Benchmarks and backend-parity tests force ``spawn`` to measure and
+    pin exactly that.
 
     The *parent* annotator does none of the annotation work, so its
     lifetime counters (engine clock, ``failure_count``) do not advance --
@@ -933,13 +1019,18 @@ def annotate_tables_parallel(
         run.diagnostics = RunDiagnostics.combined([])
         return run
     n_workers = min(workers, len(tasks))
-    method = _start_method()
+    method = start_method if start_method is not None else _start_method()
+    if method not in multiprocessing.get_all_start_methods():
+        raise ValueError(
+            f"start_method must be one of "
+            f"{multiprocessing.get_all_start_methods()}, got {method!r}"
+        )
     context = multiprocessing.get_context(method)
     global _FORK_PAYLOAD
     if method == "fork":
         payload = None
         _FORK_PAYLOAD = annotator
-    else:  # pragma: no cover - exercised only on spawn-only platforms
+    else:
         payload = pickle.dumps(annotator, protocol=pickle.HIGHEST_PROTOCOL)
     pool = None
     try:

@@ -24,6 +24,18 @@ class WorkerLoad:
     busy annotating (wall-clock inside the worker, excluding cache
     saves).  The corpus-wide view lives on
     :attr:`RunDiagnostics.worker_loads`.
+
+    The memory columns make the cost of standing a worker up auditable
+    (and, with the mmap index backend, the saving measurable rather than
+    claimed): *peak_rss_kb* is the highest resident set size the worker
+    sampled (``/proc/self/statm``, in KiB, read at entry, after attach
+    and after each task — not ``ru_maxrss``, which spawn children can
+    inherit from the parent on some kernels); *attach_seconds* /
+    *attach_rss_kb* are the time and resident-memory growth spent
+    materialising the annotator (fork inheritance or spawn unpickling)
+    and warm-starting its caches before the first task.  All three are
+    0 for workers that completed no task or on hosts without ``/proc``
+    and ``resource``.
     """
 
     worker_id: int
@@ -31,6 +43,9 @@ class WorkerLoad:
     n_tables: int
     n_cells: int
     busy_seconds: float
+    peak_rss_kb: int = 0
+    attach_seconds: float = 0.0
+    attach_rss_kb: int = 0
 
 
 @dataclass(frozen=True)

@@ -27,9 +27,11 @@ from repro.baselines.limaye import LimayeAnnotator
 from repro.baselines.type_in_name import TypeInNameAnnotator
 from repro.baselines.type_in_snippet import TypeInSnippetAnnotator
 from repro.classify.snippet import SnippetTypeClassifier
+from repro.clock import VirtualClock
 from repro.core.annotation import SnippetCache
 from repro.core.annotator import EntityAnnotator
-from repro.core.config import AnnotatorConfig
+from repro.core.config import INDEX_BACKENDS, AnnotatorConfig
+from repro.core.parallel import annotate_tables_parallel
 from repro.core.postprocessing import eliminate_spurious
 from repro.core.results import AnnotationRun, RunDiagnostics
 from repro.core.training import CorpusStats, TrainingCorpusBuilder
@@ -39,6 +41,13 @@ from repro.synth.table_corpus import TableCorpus, build_gft_corpus, build_wiki_m
 from repro.synth.types import CATEGORIES, TYPE_SPECS, TypeSpec, types_in_category
 from repro.synth.world import SyntheticWorld, WorldConfig
 from repro.tables.model import Column, ColumnType, Table
+from repro.web.backends import (
+    FrozenMmapIndex,
+    build_index_artifact,
+    ensure_index_artifact,
+)
+from repro.web.index import InvertedIndex
+from repro.web.search import SearchEngine
 
 ALL_TYPE_KEYS = [spec.key for spec in TYPE_SPECS]
 
@@ -524,6 +533,7 @@ class ThroughputResult:
     skewed: "SkewedThroughput | None" = None
     service: "ServiceThroughput | None" = None
     flaky: "FlakyThroughput | None" = None
+    mmap: "MmapBackendThroughput | None" = None
 
     def render(self) -> str:
         table = format_table(
@@ -768,6 +778,54 @@ class ThroughputResult:
                 "backoff and an end-of-corpus repair pass; cov = annotated "
                 "candidate cells over all candidate cells)"
             )
+        if self.mmap is not None:
+            mmap = self.mmap
+            mmap_table = format_table(
+                [
+                    "Tables",
+                    "Rows",
+                    "Pages",
+                    "Artifact MB",
+                    "Build s",
+                    "Payload KB mem",
+                    "Payload KB mmap",
+                    "Attach MB mem",
+                    "Attach MB mmap",
+                    "Attach s mem",
+                    "Attach s mmap",
+                    "Identical",
+                ],
+                [
+                    (
+                        mmap.n_tables,
+                        mmap.n_rows,
+                        mmap.n_pages,
+                        mmap.artifact_bytes / 1e6,
+                        mmap.build_seconds,
+                        mmap.memory_payload_bytes / 1024.0,
+                        mmap.mmap_payload_bytes / 1024.0,
+                        mmap.memory_attach_rss_kb / 1024.0,
+                        mmap.mmap_attach_rss_kb / 1024.0,
+                        mmap.memory_attach_seconds,
+                        mmap.mmap_attach_seconds,
+                        mmap.identical,
+                    )
+                ],
+                title=(
+                    "Index storage backends: frozen mmap artifact vs "
+                    f"in-memory pickling (workers={mmap.workers}, spawn)"
+                ),
+            )
+            text += (
+                f"\n\n{mmap_table}\n(both pools use the spawn start "
+                "method, so each worker pays its true shipping cost: the "
+                "in-memory backend pickles the whole annotator per worker "
+                "while the frozen artifact ships a path and every worker "
+                "maps the same physical pages; attach = per-worker mean "
+                "RSS grown / wall-clock spent becoming ready; payload "
+                f"fraction {mmap.payload_fraction:.3f}, attach-RSS "
+                f"fraction {mmap.attach_rss_fraction:.3f})"
+            )
         return text
 
     def to_json(self) -> dict:
@@ -923,6 +981,41 @@ class ThroughputResult:
                 "search_retries": flaky.search_retries,
                 "repaired_cells": flaky.repaired_cells,
                 "breaker_opens": flaky.breaker_opens,
+            }
+        if self.mmap is not None:
+            mmap = self.mmap
+            payload["mmap_backend"] = {
+                "scenario": (
+                    "distinct-content corpus annotated at workers=N under "
+                    "the spawn start method, once over the in-memory index "
+                    "backend (whole annotator pickled to every worker) and "
+                    "once over a frozen mmap artifact built from the same "
+                    "index (workers receive the artifact path and share "
+                    "the file's pages read-only through the OS page "
+                    "cache); attach = per-worker mean RSS grown and "
+                    "wall-clock spent between worker entry and readiness"
+                ),
+                "n_tables": mmap.n_tables,
+                "n_rows": mmap.n_rows,
+                "n_cells": mmap.n_cells,
+                "workers": mmap.workers,
+                "n_pages": mmap.n_pages,
+                "artifact_bytes": mmap.artifact_bytes,
+                "build_seconds": mmap.build_seconds,
+                "memory_payload_bytes": mmap.memory_payload_bytes,
+                "mmap_payload_bytes": mmap.mmap_payload_bytes,
+                "payload_fraction": mmap.payload_fraction,
+                "memory_attach_rss_kb": mmap.memory_attach_rss_kb,
+                "mmap_attach_rss_kb": mmap.mmap_attach_rss_kb,
+                "attach_rss_fraction": mmap.attach_rss_fraction,
+                "memory_attach_seconds": mmap.memory_attach_seconds,
+                "mmap_attach_seconds": mmap.mmap_attach_seconds,
+                "attach_speedup": mmap.attach_speedup,
+                "memory_peak_rss_kb": mmap.memory_peak_rss_kb,
+                "mmap_peak_rss_kb": mmap.mmap_peak_rss_kb,
+                "memory_seconds": mmap.memory_seconds,
+                "mmap_seconds": mmap.mmap_seconds,
+                "identical_annotations": mmap.identical,
             }
         return payload
 
@@ -1236,6 +1329,70 @@ class FlakyThroughput:
         return 1.0 - self.resilient_degraded / self.n_cells
 
 
+@dataclass
+class MmapBackendThroughput:
+    """Frozen mmap index backend versus the in-memory backend at workers=N.
+
+    The storage claim of the pluggable index backends (see
+    :mod:`repro.web.backends`), measured under the ``spawn`` start method
+    -- the one that cannot hide per-worker copies behind fork's
+    copy-on-write sharing.  The in-memory backend ships every worker a
+    pickle of the whole annotator (postings, pages and all) which each
+    worker unpickles into a private heap copy; the frozen artifact
+    pickles by *path*, so every worker maps the same physical file
+    read-only and the OS page cache holds one copy for all of them.
+
+    ``*_payload_bytes`` is the pickled annotator each pool shipped;
+    ``*_attach_rss_kb`` / ``*_attach_seconds`` are per-worker means of
+    the RSS grown and the wall-clock spent between worker entry and
+    readiness (payload resolution + cache load);  ``*_peak_rss_kb`` is
+    the per-worker mean of the highest RSS sampled over the whole run
+    (entry, post-attach, after each task).  ``identical``
+    asserts both pools reproduced the single-worker in-memory reference
+    byte for byte.
+    """
+
+    n_tables: int
+    n_rows: int
+    n_cells: int
+    workers: int
+    n_pages: int
+    artifact_bytes: int
+    build_seconds: float
+    memory_payload_bytes: int
+    mmap_payload_bytes: int
+    memory_attach_rss_kb: float
+    mmap_attach_rss_kb: float
+    memory_attach_seconds: float
+    mmap_attach_seconds: float
+    memory_peak_rss_kb: float
+    mmap_peak_rss_kb: float
+    memory_seconds: float
+    mmap_seconds: float
+    identical: bool
+
+    @property
+    def payload_fraction(self) -> float:
+        """Mmap pool's pickled payload over the in-memory pool's."""
+        if not self.memory_payload_bytes:
+            return 0.0
+        return self.mmap_payload_bytes / self.memory_payload_bytes
+
+    @property
+    def attach_rss_fraction(self) -> float:
+        """Per-worker incremental RSS, mmap over in-memory."""
+        if not self.memory_attach_rss_kb:
+            return 0.0
+        return self.mmap_attach_rss_kb / self.memory_attach_rss_kb
+
+    @property
+    def attach_speedup(self) -> float:
+        """How much faster a worker becomes ready on the mmap backend."""
+        if not self.mmap_attach_seconds:
+            return 0.0
+        return self.memory_attach_seconds / self.mmap_attach_seconds
+
+
 def run_throughput(
     context: ExperimentContext,
     sizes: tuple[int, ...] = (100, 500, 1000, 2000),
@@ -1263,6 +1420,9 @@ def run_throughput(
     retries: int = 2,
     retry_backoff_ms: float = 200.0,
     breaker_threshold: int = 0,
+    index_backend: str = "memory",
+    mmap_tables: int = 6,
+    mmap_rows: int = 50,
 ) -> ThroughputResult:
     """Measure real cells/second of the batched path against the per-cell path.
 
@@ -1300,19 +1460,54 @@ def run_throughput(
     window *service_window_ms*), versus the same tables annotated by
     one-shot cold invocations.
 
-    Last, the flaky-engine scenario (see :class:`FlakyThroughput`): a
+    Then the flaky-engine scenario (see :class:`FlakyThroughput`): a
     *flaky_tables*-table distinct-content corpus annotated under
     deterministic failure injection at *flaky_failure_rate*, once with
     the seed's no-retry behaviour and once with *retries* /
     *retry_backoff_ms* / *breaker_threshold* -- both runs seeing
     identical first-attempt failures, so the coverage difference is
     purely what the resilience layer recovered.
+
+    Last, the index-backend scenario (see :class:`MmapBackendThroughput`):
+    a *mmap_tables*-table distinct-content corpus annotated at
+    ``workers=N`` under the ``spawn`` start method, once over the
+    in-memory index backend (the whole annotator pickled to every
+    worker) and once over a frozen mmap artifact freshly built from the
+    same index (workers receive the artifact *path* and share the file's
+    pages read-only), with per-worker payload, attach time and
+    incremental RSS compared.
+
+    *index_backend* selects the storage backend every *other* scenario
+    runs over: ``"memory"`` (the default) keeps the context's mutable
+    :class:`~repro.web.index.InvertedIndex`; ``"mmap"`` freezes it into
+    a temporary artifact first, so the whole benchmark -- per-cell,
+    batched, multi-worker, service, flaky -- exercises (and, via each
+    scenario's parity flag, verifies) the frozen backend end to end.
+    The original backend is restored before returning.
     """
+    import os
+    import pickle
+    import shutil
     import tempfile
     import time
 
     if stream_length < 1:
         raise ValueError(f"stream_length must be >= 1, got {stream_length}")
+    if index_backend not in INDEX_BACKENDS:
+        raise ValueError(
+            f"index_backend must be one of {INDEX_BACKENDS}, got {index_backend!r}"
+        )
+    engine = context.world.search_engine
+    swapped_memory_index = None
+    swap_dir = None
+    if index_backend == "mmap" and engine.index.backend_name != "mmap":
+        swap_dir = tempfile.mkdtemp(prefix="repro-throughput-index-")
+        swapped_memory_index = engine.index
+        engine.use_index_backend(
+            ensure_index_artifact(
+                swapped_memory_index, os.path.join(swap_dir, "index.reproidx")
+            )
+        )
     rows: list[ThroughputRow] = []
     for n_rows in sizes:
         # A true cold start per size: signature/result/window caches may
@@ -1768,6 +1963,120 @@ def run_throughput(
         repaired_cells=flaky_resilient_run.diagnostics.repaired_cells,
         breaker_opens=flaky_resilient_run.diagnostics.breaker_opens,
     )
+
+    # -- index-backend scenario ---------------------------------------------------------
+    # Both arms run under ``spawn`` deliberately: under ``fork`` the
+    # in-memory backend rides copy-on-write and its per-worker cost is
+    # invisible until pages dirty, whereas ``spawn`` makes each pool pay
+    # its true shipping bill -- a full annotator pickle per worker for
+    # the in-memory backend, a path string for the frozen artifact.
+    mmap_base = flaky_base + flaky_tables * flaky_rows
+    mmap_corpus = [
+        _corpus_tables(
+            context, 1, mmap_rows, start=mmap_base + index * mmap_rows
+        )[0]
+        for index in range(mmap_tables)
+    ]
+    if engine.index.backend_name == "memory":
+        memory_index = engine.index
+    elif swapped_memory_index is not None:
+        memory_index = swapped_memory_index
+    else:
+        # The context arrived already mmap-backed (CLI-built artifact):
+        # reconstruct an in-memory twin from the shared page store so
+        # the comparison still has its baseline arm.
+        memory_index = InvertedIndex(title_boost=engine.index.title_boost)
+        memory_index.add_many(
+            engine.index.page(doc_id)
+            for doc_id in range(engine.index.n_documents)
+        )
+
+    def _backend_arm(arm_engine):
+        """One timed spawn-pool run over *arm_engine*'s index backend."""
+        arm_engine.reset_compute_caches()
+        annotator = EntityAnnotator(
+            context.classifiers["svm"], arm_engine, config
+        )
+        payload_bytes = len(pickle.dumps(annotator, pickle.HIGHEST_PROTOCOL))
+        start = time.perf_counter()
+        run = annotate_tables_parallel(
+            annotator,
+            mmap_corpus,
+            ALL_TYPE_KEYS,
+            workers=workers,
+            start_method="spawn",
+        )
+        seconds = time.perf_counter() - start
+        loads = [load for load in run.diagnostics.worker_loads if load.n_tasks]
+        return run, payload_bytes, seconds, loads
+
+    def _mean(values) -> float:
+        values = list(values)
+        return sum(values) / len(values) if values else 0.0
+
+    mmap_dir = tempfile.mkdtemp(prefix="repro-throughput-mmap-")
+    try:
+        artifact_path = os.path.join(mmap_dir, "index.reproidx")
+        start = time.perf_counter()
+        build_index_artifact(memory_index, artifact_path)
+        build_seconds = time.perf_counter() - start
+        artifact_bytes = os.stat(artifact_path).st_size
+        frozen_index = FrozenMmapIndex.open(artifact_path)
+
+        memory_engine = SearchEngine(
+            clock=VirtualClock(),
+            latency_seconds=engine.latency_seconds,
+            parameters=engine.parameters,
+            index=memory_index,
+        )
+        reference_run = EntityAnnotator(
+            context.classifiers["svm"], memory_engine, config
+        ).annotate_tables(mmap_corpus, ALL_TYPE_KEYS)
+
+        memory_run, memory_payload, memory_seconds, memory_loads = _backend_arm(
+            memory_engine
+        )
+
+        mmap_engine = SearchEngine(
+            clock=VirtualClock(),
+            latency_seconds=engine.latency_seconds,
+            parameters=engine.parameters,
+            index=frozen_index,
+        )
+        mmap_run, mmap_payload, mmap_seconds, mmap_loads = _backend_arm(
+            mmap_engine
+        )
+    finally:
+        shutil.rmtree(mmap_dir, ignore_errors=True)
+
+    mmap_result = MmapBackendThroughput(
+        n_tables=mmap_tables,
+        n_rows=mmap_rows,
+        n_cells=reference_run.diagnostics.n_cells,
+        workers=workers,
+        n_pages=memory_index.n_documents,
+        artifact_bytes=artifact_bytes,
+        build_seconds=build_seconds,
+        memory_payload_bytes=memory_payload,
+        mmap_payload_bytes=mmap_payload,
+        memory_attach_rss_kb=_mean(load.attach_rss_kb for load in memory_loads),
+        mmap_attach_rss_kb=_mean(load.attach_rss_kb for load in mmap_loads),
+        memory_attach_seconds=_mean(load.attach_seconds for load in memory_loads),
+        mmap_attach_seconds=_mean(load.attach_seconds for load in mmap_loads),
+        memory_peak_rss_kb=_mean(load.peak_rss_kb for load in memory_loads),
+        mmap_peak_rss_kb=_mean(load.peak_rss_kb for load in mmap_loads),
+        memory_seconds=memory_seconds,
+        mmap_seconds=mmap_seconds,
+        identical=memory_run == reference_run and mmap_run == reference_run,
+    )
+
+    if swapped_memory_index is not None:
+        # Hand the context back the mutable backend it arrived with (the
+        # digest check inside use_index_backend guarantees nothing
+        # drifted) and drop the temporary artifact.
+        engine.use_index_backend(swapped_memory_index)
+        shutil.rmtree(swap_dir, ignore_errors=True)
+
     return ThroughputResult(
         rows=rows,
         tables_per_size=stream_length,
@@ -1776,6 +2085,7 @@ def run_throughput(
         skewed=skewed_result,
         service=service_result,
         flaky=flaky_result,
+        mmap=mmap_result,
     )
 
 

@@ -52,14 +52,18 @@ when serialisation fails (disk full, unpicklable payload).  Loads treat
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import pickle
+import struct
 import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
+
+import numpy as np
 
 logger = logging.getLogger(__name__)
 
@@ -256,6 +260,185 @@ def load_cache_payload(
     except CacheLockTimeout:
         return None
     return _payload_of(blob, kind, fingerprint)
+
+
+# -- flat array artifacts --------------------------------------------------------------
+#
+# The frozen index backend (repro.web.backends) persists compacted numpy
+# sections in a single file so N processes can ``np.memmap`` it and the OS
+# page cache holds exactly one physical copy.  The container is deliberately
+# generic -- named 1-D/2-D sections plus a JSON header -- and reuses the
+# cache conventions above: the same advisory sidecar lock, the same
+# format_version/kind guards, and the same tmp-file + ``os.replace`` atomic
+# write (single file rather than a directory precisely so the replace is
+# atomic and a reader never sees half an artifact).
+
+ARTIFACT_MAGIC = b"REPROART"
+"""Leading bytes of every array artifact file."""
+
+ARTIFACT_FORMAT_VERSION = 1
+"""Bump when the container layout changes; old artifacts are rejected."""
+
+_ARTIFACT_ALIGNMENT = 64
+"""Section byte alignment (cache-line sized, safe for any numpy dtype)."""
+
+
+class ArtifactError(Exception):
+    """An array artifact is missing, corrupt, or of the wrong kind/version."""
+
+
+def _aligned(offset: int) -> int:
+    remainder = offset % _ARTIFACT_ALIGNMENT
+    return offset if remainder == 0 else offset + _ARTIFACT_ALIGNMENT - remainder
+
+
+def save_array_artifact(
+    path,
+    kind: str,
+    header: Mapping[str, Any],
+    sections: Mapping[str, np.ndarray],
+    lock_timeout: float | None = None,
+) -> bool:
+    """Atomically write named numpy *sections* plus a JSON *header*.
+
+    Layout: ``ARTIFACT_MAGIC``, a little-endian ``uint64`` metadata
+    length, the JSON metadata (container version, kind, caller header,
+    per-section offset/dtype/shape), then the raw array bytes, each
+    section aligned to :data:`_ARTIFACT_ALIGNMENT` relative to the first
+    data byte.  *header* must be JSON-serialisable.
+
+    Returns ``True`` when the artifact was written; ``False`` when the
+    exclusive advisory lock could not be acquired within *lock_timeout*
+    (mirroring :func:`save_cache_payload`).
+    """
+    if lock_timeout is None:
+        lock_timeout = DEFAULT_LOCK_TIMEOUT
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    section_meta: dict[str, dict[str, Any]] = {}
+    offset = 0
+    for name, array in sections.items():
+        array = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        section_meta[name] = {
+            "offset": offset,
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+        }
+        arrays[name] = array
+        offset += array.nbytes
+    metadata = json.dumps(
+        {
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "kind": kind,
+            "header": dict(header),
+            "sections": section_meta,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    try:
+        with _locked(path, exclusive=True, timeout=lock_timeout):
+            tmp_path = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+            try:
+                with open(tmp_path, "wb") as handle:
+                    handle.write(ARTIFACT_MAGIC)
+                    handle.write(struct.pack("<Q", len(metadata)))
+                    handle.write(metadata)
+                    data_start = _aligned(handle.tell())
+                    for name, array in arrays.items():
+                        # seek leaves alignment gaps zero-filled.
+                        handle.seek(data_start + section_meta[name]["offset"])
+                        if array.size:
+                            handle.write(memoryview(array))
+                os.replace(tmp_path, path)
+            finally:
+                if tmp_path.exists():
+                    try:
+                        tmp_path.unlink()
+                    except OSError:  # pragma: no cover - racing unlink
+                        pass
+    except CacheLockTimeout:
+        return False
+    return True
+
+
+def open_array_artifact(
+    path,
+    kind: str,
+    lock_timeout: float | None = None,
+) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Open an artifact written by :func:`save_array_artifact` read-only.
+
+    Returns ``(header, sections)`` where each non-empty section is a
+    read-only ``np.memmap`` view into the file -- no bytes are copied,
+    and every process opening the same artifact shares one physical copy
+    through the OS page cache.  Empty sections come back as ordinary
+    empty arrays (``mmap`` cannot map zero bytes).
+
+    Unlike cache loads, a bad artifact raises :class:`ArtifactError`
+    (missing file, wrong magic/kind/version, truncation, lock timeout):
+    a caller asked for *this* artifact by path, so silently serving
+    nothing would be wrong.
+    """
+    if lock_timeout is None:
+        lock_timeout = DEFAULT_LOCK_TIMEOUT
+    path = Path(path)
+    try:
+        with _locked(path, exclusive=False, timeout=lock_timeout):
+            try:
+                handle = open(path, "rb")
+            except FileNotFoundError:
+                raise ArtifactError(f"no artifact at {path}") from None
+            with handle:
+                magic = handle.read(len(ARTIFACT_MAGIC))
+                if magic != ARTIFACT_MAGIC:
+                    raise ArtifactError(f"{path} is not an array artifact")
+                try:
+                    (metadata_length,) = struct.unpack("<Q", handle.read(8))
+                    metadata = json.loads(
+                        handle.read(metadata_length).decode("utf-8")
+                    )
+                except (struct.error, ValueError, UnicodeDecodeError) as error:
+                    raise ArtifactError(
+                        f"{path} has a corrupt artifact header: {error}"
+                    ) from None
+                if metadata.get("format_version") != ARTIFACT_FORMAT_VERSION:
+                    raise ArtifactError(
+                        f"{path} uses artifact format "
+                        f"{metadata.get('format_version')!r}, expected "
+                        f"{ARTIFACT_FORMAT_VERSION}"
+                    )
+                if metadata.get("kind") != kind:
+                    raise ArtifactError(
+                        f"{path} holds {metadata.get('kind')!r}, "
+                        f"expected {kind!r}"
+                    )
+                data_start = _aligned(
+                    len(ARTIFACT_MAGIC) + 8 + metadata_length
+                )
+                arrays: dict[str, np.ndarray] = {}
+                try:
+                    for name, spec in metadata["sections"].items():
+                        shape = tuple(int(n) for n in spec["shape"])
+                        dtype = np.dtype(spec["dtype"])
+                        if int(np.prod(shape)) == 0:
+                            arrays[name] = np.empty(shape, dtype=dtype)
+                        else:
+                            arrays[name] = np.memmap(
+                                handle,
+                                dtype=dtype,
+                                mode="r",
+                                offset=data_start + int(spec["offset"]),
+                                shape=shape,
+                            )
+                except (KeyError, TypeError, ValueError) as error:
+                    raise ArtifactError(
+                        f"{path} has corrupt sections: {error}"
+                    ) from None
+    except CacheLockTimeout as error:
+        raise ArtifactError(str(error)) from None
+    return dict(metadata["header"]), arrays
 
 
 class PeriodicFlusher:

@@ -21,9 +21,10 @@ tokens it actually uses.  Document-length arrays follow the same rule:
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -42,6 +43,8 @@ class Posting:
 class InvertedIndex:
     """Token -> postings map with the corpus statistics BM25 needs."""
 
+    backend_name = "memory"
+
     def __init__(self, title_boost: float = 3.0) -> None:
         if title_boost < 1.0:
             raise ValueError(f"title_boost must be >= 1.0, got {title_boost}")
@@ -54,8 +57,45 @@ class InvertedIndex:
         self._doc_lengths: list[float] = []
         self._lengths_array: np.ndarray | None = None
         self._total_length = 0.0
-        # (n_documents, digest) pair; recomputed lazily when the corpus grew.
-        self._content_digest: tuple[int, str] | None = None
+        self._init_hashers()
+
+    def _init_hashers(self) -> None:
+        """(Re)build the incremental corpus hashers from the current pages.
+
+        Two live hashers fold every page in at :meth:`add` time, so
+        :meth:`content_digest` and :meth:`fingerprint_digest` are O(1)
+        regardless of corpus size instead of O(corpus) per call after each
+        growth.  Called from ``__init__`` (empty corpus, cheap) and from
+        ``__setstate__`` (hash objects cannot be pickled, so an unpickled
+        index replays its pages once -- the same cost the old lazy
+        recompute paid on first use).
+        """
+        self._content_hasher = hashlib.sha256()
+        self._content_hasher.update(repr(self.title_boost).encode())
+        self._pages_hasher = hashlib.sha256()
+        for page in self._pages:
+            self._fold_page(page)
+
+    def _fold_page(self, page: WebPage) -> None:
+        self._content_hasher.update(b"\x00t\x00")
+        self._content_hasher.update(page.title.encode())
+        self._content_hasher.update(b"\x00b\x00")
+        self._content_hasher.update(page.body.encode())
+        self._pages_hasher.update(page.url.encode())
+        self._pages_hasher.update(b"\x00")
+        self._pages_hasher.update(page.language.encode())
+        self._pages_hasher.update(b"\x00")
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # sha256 objects do not pickle; __setstate__ rebuilds them.
+        del state["_content_hasher"]
+        del state["_pages_hasher"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._init_hashers()
 
     # -- construction ---------------------------------------------------------------
 
@@ -63,6 +103,7 @@ class InvertedIndex:
         """Index *page* and return its document id."""
         doc_id = len(self._pages)
         self._pages.append(page)
+        self._fold_page(page)
         counts: Counter[str] = Counter()
         for token in tokenize(page.title):
             counts[token] += self.title_boost
@@ -156,11 +197,25 @@ class InvertedIndex:
     def vocabulary_size(self) -> int:
         return len(self._building)
 
+    def tokens(self) -> Iterator[str]:
+        """Iterate the vocabulary in sorted order (deterministic)."""
+        return iter(sorted(self._building))
+
+    def raw_postings(self, token: str) -> Sequence[tuple[int, float]]:
+        """The append-order ``(doc_id, tf)`` build list for *token*.
+
+        Exposed for artifact builders that compact the whole vocabulary
+        at once: unlike :meth:`posting_arrays` this does not materialise
+        (and cache) a frozen numpy view per token, so a full-index sweep
+        does not double the resident postings store.
+        """
+        return self._building.get(token, ())
+
     def content_digest(self) -> str:
         """Hex digest of the indexed *content* (titles, bodies, boost).
 
-        Pages are immutable and doc ids append-only, so the digest is
-        computed once per corpus state and cached.  Together with the
+        The hasher is incremental -- each :meth:`add` folds the page in
+        -- so this is O(1) however large the corpus.  Together with the
         tokenizer (fixed) and :attr:`title_boost` the hashed text fully
         determines every postings list, so two indexes agree on this
         digest iff they rank identically -- which is what persisted
@@ -168,18 +223,18 @@ class InvertedIndex:
         length) is not enough: two corpora whose bodies differ can
         collide on all three and would then validate each other's caches.
         """
-        n_docs = len(self._pages)
-        if self._content_digest is not None and self._content_digest[0] == n_docs:
-            return self._content_digest[1]
-        import hashlib
+        return self._content_hasher.hexdigest()
 
-        hasher = hashlib.sha256()
-        hasher.update(repr(self.title_boost).encode())
-        for page in self._pages:
-            hasher.update(b"\x00t\x00")
-            hasher.update(page.title.encode())
-            hasher.update(b"\x00b\x00")
-            hasher.update(page.body.encode())
-        digest = hasher.hexdigest()
-        self._content_digest = (n_docs, digest)
-        return digest
+    def fingerprint_digest(self) -> str:
+        """Hex digest identifying the corpus for cache validation.
+
+        Folds every page's (url, language) pair plus the full
+        :meth:`content_digest`, in add order.  This is the digest
+        :meth:`repro.web.search.SearchEngine.cache_fingerprint` embeds,
+        kept here so every backend (in-memory or frozen artifact) can
+        answer it without re-walking the page store.  O(1): both
+        underlying hashers are maintained incrementally and copied.
+        """
+        hasher = self._pages_hasher.copy()
+        hasher.update(self.content_digest().encode())
+        return hasher.hexdigest()

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.web.index import InvertedIndex
+from repro.web.backends import IndexBackend
 
 
 @dataclass(frozen=True)
@@ -35,7 +35,7 @@ class BM25Parameters:
 
 
 def bm25_norms(
-    index: InvertedIndex, parameters: BM25Parameters
+    index: IndexBackend, parameters: BM25Parameters
 ) -> np.ndarray:
     """Per-document length normalisation ``1 - b + b * len/avg_len``.
 
@@ -47,7 +47,7 @@ def bm25_norms(
 
 
 def bm25_score_array(
-    index: InvertedIndex,
+    index: IndexBackend,
     query_tokens: list[str],
     parameters: BM25Parameters | None = None,
 ) -> np.ndarray:
@@ -77,7 +77,7 @@ def bm25_score_array(
 
 
 def bm25_matched_scores(
-    index: InvertedIndex,
+    index: IndexBackend,
     query_tokens: list[str],
     parameters: BM25Parameters | None = None,
     norms: np.ndarray | None = None,
@@ -125,7 +125,7 @@ def bm25_matched_scores(
 
 
 def bm25_scores(
-    index: InvertedIndex,
+    index: IndexBackend,
     query_tokens: list[str],
     parameters: BM25Parameters | None = None,
 ) -> dict[int, float]:

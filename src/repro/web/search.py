@@ -83,6 +83,7 @@ from repro.persistence import load_cache_payload, save_cache_payload
 from repro.resilience import FaultPlan, deterministic_unit
 from repro.text.stopwords import ENGLISH_STOPWORDS
 from repro.text.tokenization import tokenize
+from repro.web.backends import IndexBackend
 from repro.web.documents import WebPage
 from repro.web.index import InvertedIndex
 from repro.web.ranking import (
@@ -131,6 +132,7 @@ class SearchEngine:
         failure_rate: float = 0.0,
         seed: int = 13,
         real_latency_seconds: float = 0.0,
+        index: IndexBackend | None = None,
     ) -> None:
         if not 0.0 <= failure_rate <= 1.0:
             raise ValueError(f"failure_rate must be in [0, 1], got {failure_rate}")
@@ -157,7 +159,10 @@ class SearchEngine:
         # occurrence index keys the failure-rate draw and FaultPlan's
         # fail-first-K schedule, and gives retries a fresh draw.
         self._query_occurrences: dict[str, int] = {}
-        self._index = InvertedIndex()
+        # The index storage backend (repro.web.backends.IndexBackend):
+        # mutable in-memory by default, or an injected frozen mmap-backed
+        # index shared zero-copy across processes.
+        self._index: IndexBackend = index if index is not None else InvertedIndex()
         # -- batched-path compute caches (pages are immutable; ranking
         # caches are invalidated whenever the corpus grows) --------------
         # token signature -> ranked SearchResult list
@@ -187,6 +192,27 @@ class SearchEngine:
     @property
     def n_pages(self) -> int:
         return self._index.n_documents
+
+    @property
+    def index(self) -> IndexBackend:
+        """The index storage backend serving this engine's queries."""
+        return self._index
+
+    def use_index_backend(self, backend: IndexBackend) -> None:
+        """Swap the engine onto *backend* (e.g. a frozen mmap artifact).
+
+        The replacement must index the *same corpus* -- same content
+        digest -- so every ranking/window compute cache, and every
+        persisted cache keyed by :meth:`cache_fingerprint`, stays valid
+        verbatim: cached values are pure functions of (corpus,
+        parameters), never of the storage representation.
+        """
+        if backend.content_digest() != self._index.content_digest():
+            raise ValueError(
+                "cannot swap index backends across different corpora: "
+                "content digests differ"
+            )
+        self._index = backend
 
     # -- querying -----------------------------------------------------------------------
 
@@ -353,22 +379,19 @@ class SearchEngine:
         length let two corpora whose *bodies* differ but collide on those
         fields validate each other's persisted results -- and serve wrong
         rankings; folding the indexed token content in closes that hole.
-        """
-        import hashlib
 
+        The digest itself is the backend's
+        (:meth:`~repro.web.index.InvertedIndex.fingerprint_digest`): the
+        in-memory backend maintains it incrementally, the frozen mmap
+        backend stores it in the artifact header, and both produce the
+        same bytes for the same corpus -- so caches written under one
+        backend warm an engine running the other.
+        """
         index = self._index
-        hasher = hashlib.sha256()
-        for doc_id in range(index.n_documents):
-            page = index.page(doc_id)
-            hasher.update(page.url.encode())
-            hasher.update(b"\x00")
-            hasher.update(page.language.encode())
-            hasher.update(b"\x00")
-        hasher.update(index.content_digest().encode())
         return (
             "bm25",
             index.n_documents,
-            hasher.hexdigest(),
+            index.fingerprint_digest(),
             self.parameters.as_tuple(),
         )
 

@@ -737,10 +737,16 @@ class TestWorkStealing:
             clock_charges=0,
             virtual_seconds=0.0,
         )
-        loads = _worker_loads([(0, run, 4242, 2.0)], n_workers=2)
+        loads = _worker_loads(
+            [(0, run, 4242, 2.0, (51200, 0.25, 4096))], n_workers=2
+        )
         assert len(loads) == 2
         assert loads[0].n_tasks == 1 and loads[0].busy_seconds == 2.0
+        assert loads[0].peak_rss_kb == 51200
+        assert loads[0].attach_seconds == 0.25
+        assert loads[0].attach_rss_kb == 4096
         assert loads[1].n_tasks == 0 and loads[1].busy_seconds == 0.0
+        assert loads[1].peak_rss_kb == 0 and loads[1].attach_rss_kb == 0
         diag = RunDiagnostics(
             n_tables=3,
             n_cells=30,
