@@ -42,12 +42,13 @@ True
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.classify.snippet import SnippetTypeClassifier
 from repro.core.config import AnnotatorConfig
-from repro.persistence import load_cache_payload, save_cache_payload
+from repro.persistence import CacheStore, load_cache_payload, save_cache_payload
 from repro.resilience import CircuitBreaker, RetryPolicy
 from repro.web.search import SearchEngine, SearchEngineUnavailable
 
@@ -138,6 +139,17 @@ class CellAnnotator:
         # automatically when self.classifier is swapped out.
         self._label_memo: dict[str, str] = {}
         self._label_memo_owner: SnippetTypeClassifier = classifier
+        # Optional shared cache store (repro.persistence.CacheStore)
+        # probed when a snippet misses the in-memory memo; the memo stays
+        # the hot first tier, the store the shared-on-disk second.
+        self._label_store: CacheStore | None = None
+        # -- label-memo IO accounting (observability only) ----------------
+        self._memo_hits = 0
+        self._memo_misses = 0
+        self._cache_loads = 0
+        self._cache_saves = 0
+        self._legacy_load_bytes = 0
+        self._cache_save_bytes = 0
 
     # -- per-cell path -----------------------------------------------------------------
 
@@ -318,15 +330,27 @@ class CellAnnotator:
         snippet is vectorised and classified exactly once.
         """
         label_memo = self._active_label_memo()
+        store = self._label_store
         pool_index: dict[str, int] = {}
         pooled: list[str] = []
         for snippets in snippets_by_query.values():
             if snippets is _FAILED:
                 continue
             for snippet in snippets:  # type: ignore[union-attr]
-                if snippet not in label_memo and snippet not in pool_index:
-                    pool_index[snippet] = len(pooled)
-                    pooled.append(snippet)
+                if snippet in label_memo:
+                    self._memo_hits += 1
+                    continue
+                if snippet in pool_index:
+                    continue
+                if store is not None:
+                    stored = store.get(snippet)
+                    if stored is not None:
+                        label_memo[snippet] = stored
+                        self._memo_hits += 1
+                        continue
+                self._memo_misses += 1
+                pool_index[snippet] = len(pooled)
+                pooled.append(snippet)
         if pooled:
             labels = self.classifier.classify_many(
                 pooled, workers=self.config.classify_workers
@@ -427,7 +451,98 @@ class CellAnnotator:
         if self._label_memo_owner is not self.classifier:
             self._label_memo = {}
             self._label_memo_owner = self.classifier
+            # The attached store answers for the old classifier now.
+            if self._label_store is not None:
+                self.detach_label_store()
         return self._label_memo
+
+    # -- shared cache store ----------------------------------------------------------------
+
+    @property
+    def label_store(self) -> CacheStore | None:
+        """The attached shared label store, or ``None`` (legacy files only)."""
+        return self._label_store
+
+    def attach_label_store(self, store: CacheStore) -> None:
+        """Serve label-memo misses from *store* (a shared second tier).
+
+        The store must have been opened against the current classifier's
+        fingerprint -- labels are pure functions of the snippet text only
+        under one fitted classifier.  Attaching counts as one cache load;
+        bytes read grow lazily as buckets are touched.
+        """
+        if store.fingerprint != self.classifier.fingerprint():
+            raise ValueError(
+                "cannot attach a label store opened against a different "
+                "classifier fingerprint"
+            )
+        if self._label_store is not None:
+            self.detach_label_store()
+        self._active_label_memo()
+        self._label_store = store
+        self._cache_loads += 1
+
+    def detach_label_store(self) -> None:
+        """Drop the attached store, folding its read bytes into the totals."""
+        store = self._label_store
+        if store is None:
+            return
+        self._legacy_load_bytes += store.loaded_bytes
+        self._label_store = None
+
+    def flush_label_store(self) -> int | None:
+        """Persist the label memo through the attached store.
+
+        Stages every memoised label the store does not already hold (the
+        delta this process classified), then appends them in one locked
+        write.  Returns the bytes written, 0 when the store was already
+        complete, or ``None`` when no store is attached or the store lock
+        could not be acquired (the flush is skipped).
+        """
+        store = self._label_store
+        if store is None:
+            return None
+        for snippet, label in self._active_label_memo().items():
+            if not store.contains(snippet):
+                store.put(snippet, label)
+        written = store.flush()
+        if written is not None:
+            self._cache_saves += 1
+            self._cache_save_bytes += written
+        return written
+
+    # -- cache IO accounting ---------------------------------------------------------------
+
+    @property
+    def memo_hits(self) -> int:
+        """Snippet classifications served from the memo or the store."""
+        return self._memo_hits
+
+    @property
+    def memo_misses(self) -> int:
+        """Snippet classifications that had to run the classifier."""
+        return self._memo_misses
+
+    @property
+    def cache_loads(self) -> int:
+        """Successful memo loads (legacy file reads + store attaches)."""
+        return self._cache_loads
+
+    @property
+    def cache_saves(self) -> int:
+        """Successful memo saves (legacy file writes + store flushes)."""
+        return self._cache_saves
+
+    @property
+    def cache_load_bytes(self) -> int:
+        """Bytes read to warm the memo, monotone across (de)attaches."""
+        store = self._label_store
+        return self._legacy_load_bytes + (store.loaded_bytes if store else 0)
+
+    @property
+    def cache_save_bytes(self) -> int:
+        """Bytes written persisting the memo."""
+        return self._cache_save_bytes
 
     @staticmethod
     def merge_label_memos(existing: dict, fresh: dict) -> dict:
@@ -451,13 +566,20 @@ class CellAnnotator:
         worker's entries (same fingerprint) are never discarded; returns
         ``False`` when the lock timed out and the save was skipped.
         """
-        return save_cache_payload(
+        saved = save_cache_payload(
             path,
             kind="label-memo",
             fingerprint=self.classifier.fingerprint(),
             payload=dict(self._active_label_memo()),
             merge=self.merge_label_memos,
         )
+        if saved:
+            self._cache_saves += 1
+            try:
+                self._cache_save_bytes += os.stat(path).st_size
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+        return saved
 
     def load_label_memo(self, path) -> bool:
         """Warm the snippet -> label memo from *path*.
@@ -472,6 +594,11 @@ class CellAnnotator:
         if payload is None:
             return False
         self._active_label_memo().update(payload)
+        self._cache_loads += 1
+        try:
+            self._legacy_load_bytes += os.stat(path).st_size
+        except OSError:  # pragma: no cover - racing unlink
+            pass
         return True
 
     # -- Equation 1 --------------------------------------------------------------------

@@ -81,6 +81,7 @@ from repro.core.results import (
     TableAnnotation,
 )
 from repro.geo.geocoder import Geocoder
+from repro.persistence import lock_wait_seconds, open_cache_store
 from repro.tables.model import Table
 from repro.web.search import SearchEngine
 
@@ -92,6 +93,14 @@ ENGINE_CACHE_FILE = "search_results.cache"
 
 LABEL_MEMO_FILE = "label_memo.cache"
 """File name of the persisted snippet -> label memo inside a cache dir."""
+
+ENGINE_CACHE_STORE = "search_results.cachestore"
+"""Directory name of the engine's sharded disk cache store inside a cache
+dir (``cache_backend="disk"``)."""
+
+LABEL_MEMO_STORE = "label_memo.cachestore"
+"""Directory name of the label memo's sharded disk cache store inside a
+cache dir (``cache_backend="disk"``)."""
 
 
 class EntityAnnotator:
@@ -349,9 +358,12 @@ class EntityAnnotator:
             return annotate_tables_parallel(
                 self, tables, type_keys, workers=workers, cache_dir=cache_dir
             )
+        # Snapshot before the warm start so the run's diagnostics cover
+        # the cache IO spent serving it (annotation counters are
+        # untouched by load/save, so the delta semantics are unchanged).
+        before = self._counters()
         if cache_dir is not None:
             self.load_caches(cache_dir)
-        before = self._counters()
         prepped: list[tuple[Table, list]] = []
         pairs: list[tuple[str, str | None]] = []
         for table in tables:
@@ -381,6 +393,8 @@ class EntityAnnotator:
                 )
             )
             offset += n_cells
+        if cache_dir is not None:
+            self.save_caches(cache_dir)
         run.diagnostics = self._diagnostics_since(
             before,
             n_tables=len(tables),
@@ -390,8 +404,6 @@ class EntityAnnotator:
             ),
             repaired_cells=repaired,
         )
-        if cache_dir is not None:
-            self.save_caches(cache_dir)
         return run
 
     def annotate_batch(
@@ -557,8 +569,23 @@ class EntityAnnotator:
         entries instead of keeping only the last writer's.  Returns which
         file was actually written (``False`` means the lock timed out and
         that save was skipped).
+
+        With ``config.cache_backend="disk"`` the same contract is served
+        by the sharded stores instead (``search_results.cachestore/`` and
+        ``label_memo.cachestore/``): this process's new entries are
+        *appended* to each store's delta log in one locked write -- a
+        grown cache never rewrites the world -- and ``False`` likewise
+        means a lock timeout skipped that flush.
         """
         cache_dir = Path(cache_dir)
+        if self.config.cache_backend == "disk":
+            self._ensure_stores(cache_dir)
+            return {
+                "search_results": self.engine.flush_results_store()
+                is not None,
+                "label_memo": self.cell_annotator.flush_label_store()
+                is not None,
+            }
         return {
             "search_results": self.engine.save_results_cache(
                 cache_dir / ENGINE_CACHE_FILE
@@ -575,8 +602,24 @@ class EntityAnnotator:
         "label_memo": False}``; a ``False`` means the file was missing or
         stale (corpus grown, classifier retrained, format changed) and
         that cache simply starts cold.
+
+        With ``config.cache_backend="disk"`` nothing is copied into the
+        process at all: the sharded stores are (re)opened -- reading only
+        each store's manifest and delta log -- and attached as a shared
+        second tier that compute-cache misses probe lazily.  ``True``
+        then means the store matched the current fingerprint and holds
+        entries; re-opening (rather than reusing an attached store) is
+        deliberate, so a parent sees deltas its workers flushed since.
         """
         cache_dir = Path(cache_dir)
+        if self.config.cache_backend == "disk":
+            engine_store, memo_store = self._open_stores(cache_dir)
+            self.engine.attach_results_store(engine_store)
+            self.cell_annotator.attach_label_store(memo_store)
+            return {
+                "search_results": engine_store.has_entries(),
+                "label_memo": memo_store.has_entries(),
+            }
         return {
             "search_results": self.engine.load_results_cache(
                 cache_dir / ENGINE_CACHE_FILE
@@ -585,6 +628,82 @@ class EntityAnnotator:
                 cache_dir / LABEL_MEMO_FILE
             ),
         }
+
+    def compact_caches(self) -> dict[str, int | None]:
+        """Fold the attached disk stores' delta logs into their buckets.
+
+        Delta compaction (:meth:`repro.persistence.ShardedDiskCacheStore.merge`):
+        only the buckets the log touches are rewritten, so compacting
+        after incremental growth leaves unchanged buckets byte-identical
+        on disk.  Returns buckets rewritten per cache (``None`` marks a
+        lock-timeout skip); empty when no stores are attached (memory
+        backend, or no ``cache_dir`` seen yet).
+        """
+        out: dict[str, int | None] = {}
+        engine_store = self.engine.results_store
+        if engine_store is not None:
+            out["search_results"] = engine_store.merge()
+        memo_store = self.cell_annotator.label_store
+        if memo_store is not None:
+            out["label_memo"] = memo_store.merge()
+        return out
+
+    def _open_stores(self, cache_dir: Path):
+        """Freshly opened (engine, memo) disk stores under *cache_dir*."""
+        engine_store = open_cache_store(
+            "disk",
+            cache_dir / ENGINE_CACHE_STORE,
+            kind="search-results",
+            fingerprint=self.engine.cache_fingerprint(),
+            n_buckets=self.config.cache_buckets,
+        )
+        memo_store = open_cache_store(
+            "disk",
+            cache_dir / LABEL_MEMO_STORE,
+            kind="label-memo",
+            fingerprint=self.classifier.fingerprint(),
+            n_buckets=self.config.cache_buckets,
+        )
+        return engine_store, memo_store
+
+    def _ensure_stores(self, cache_dir: Path) -> None:
+        """Attach disk stores for *cache_dir* unless current ones match.
+
+        The save path must not blindly re-open: entries staged on an
+        attached store would be dropped, and a flush needs no fresh view
+        of the disk state anyway.  A store is replaced only when it
+        answers for a different location or a stale fingerprint.
+        """
+        engine_store = self.engine.results_store
+        if (
+            engine_store is None
+            or Path(engine_store.path) != cache_dir / ENGINE_CACHE_STORE
+            or engine_store.fingerprint != self.engine.cache_fingerprint()
+        ):
+            self.engine.attach_results_store(
+                open_cache_store(
+                    "disk",
+                    cache_dir / ENGINE_CACHE_STORE,
+                    kind="search-results",
+                    fingerprint=self.engine.cache_fingerprint(),
+                    n_buckets=self.config.cache_buckets,
+                )
+            )
+        memo_store = self.cell_annotator.label_store
+        if (
+            memo_store is None
+            or Path(memo_store.path) != cache_dir / LABEL_MEMO_STORE
+            or memo_store.fingerprint != self.classifier.fingerprint()
+        ):
+            self.cell_annotator.attach_label_store(
+                open_cache_store(
+                    "disk",
+                    cache_dir / LABEL_MEMO_STORE,
+                    kind="label-memo",
+                    fingerprint=self.classifier.fingerprint(),
+                    n_buckets=self.config.cache_buckets,
+                )
+            )
 
     # -- diagnostics ------------------------------------------------------------------------
 
@@ -599,24 +718,44 @@ class EntityAnnotator:
         """
         return self.cell_annotator.failure_count
 
-    def _counters(self) -> tuple[int, int, int, int, int, float, int, int]:
+    @property
+    def cache_load_bytes(self) -> int:
+        """Bytes read warm-starting this annotator's caches (lifetime).
+
+        Whole pickled payloads under the legacy files; manifest, delta
+        log and lazily touched buckets under shared disk stores.
+        """
+        return self.engine.cache_load_bytes + self.cell_annotator.cache_load_bytes
+
+    def _counters(self) -> tuple:
         """Snapshot of the counters :class:`RunDiagnostics` deltas over."""
         cache = self.cell_annotator.cache
-        clock = self.engine.clock
+        cells = self.cell_annotator
+        engine = self.engine
+        clock = engine.clock
         return (
-            self.cell_annotator.failure_count,
+            cells.failure_count,
             cache.hits if cache is not None else 0,
             cache.misses if cache is not None else 0,
-            self.engine.query_count,
+            engine.query_count,
             clock.n_charges,
             clock.elapsed_seconds,
-            self.cell_annotator.retry_count,
-            self.cell_annotator.breaker.opens,
+            cells.retry_count,
+            cells.breaker.opens,
+            engine.cache_hits,
+            engine.cache_misses,
+            cells.memo_hits,
+            cells.memo_misses,
+            engine.cache_loads + cells.cache_loads,
+            engine.cache_saves + cells.cache_saves,
+            engine.cache_load_bytes + cells.cache_load_bytes,
+            engine.cache_save_bytes + cells.cache_save_bytes,
+            lock_wait_seconds(),
         )
 
     def _diagnostics_since(
         self,
-        before: tuple[int, int, int, int, int, float, int, int],
+        before: tuple,
         n_tables: int,
         n_cells: int,
         degraded_cells: int = 0,
@@ -636,4 +775,13 @@ class EntityAnnotator:
             breaker_opens=after[7] - before[7],
             degraded_cells=degraded_cells,
             repaired_cells=repaired_cells,
+            results_cache_hits=after[8] - before[8],
+            results_cache_misses=after[9] - before[9],
+            label_memo_hits=after[10] - before[10],
+            label_memo_misses=after[11] - before[11],
+            cache_loads=after[12] - before[12],
+            cache_saves=after[13] - before[13],
+            cache_load_bytes=after[14] - before[14],
+            cache_save_bytes=after[15] - before[15],
+            cache_lock_wait_seconds=after[16] - before[16],
         )

@@ -211,18 +211,22 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
 
     Commands (tuples, first element the kind): ``("task", index, tables,
     type_keys)`` annotates and answers ``("done", index, pid, run,
-    busy_seconds, (peak_rss_kb, attach_seconds, attach_rss_kb))`` or
-    ``("error", index, pid, error)``; ``("flush",)`` merge-saves the
-    caches and answers ``("flushed", pid)`` (or ``("flush-error", pid,
-    error)``); ``("stop",)`` exits the loop.
+    busy_seconds, (peak_rss_kb, attach_seconds, attach_rss_kb,
+    cache_load_bytes))`` or ``("error", index, pid, error)``;
+    ``("flush",)`` merge-saves the caches and answers ``("flushed",
+    pid)`` (or ``("flush-error", pid, error)``); ``("stop",)`` exits the
+    loop.
 
-    The trailing stats triple makes the memory economics of the index
-    backends auditable: *attach_rss_kb* is how much resident memory this
-    worker grew while materialising its annotator (unpickling under
-    ``spawn``, near-zero under ``fork`` or when the engine's index is a
-    shared mmap artifact) and loading caches; *attach_seconds* is how
-    long that took; *peak_rss_kb* is the highest resident size sampled
-    (at entry, after attach, after each task).
+    The trailing stats tuple makes the memory economics of the index and
+    cache backends auditable: *attach_rss_kb* is how much resident
+    memory this worker grew while materialising its annotator
+    (unpickling under ``spawn``, near-zero under ``fork`` or when the
+    engine's index is a shared mmap artifact) and loading caches;
+    *attach_seconds* is how long that took; *peak_rss_kb* is the highest
+    resident size sampled (at entry, after attach, after each task);
+    *cache_load_bytes* is what the warm start actually read -- whole
+    pickled payloads under the legacy cache files, just the store
+    manifests plus delta logs under shared disk stores.
     """
     # A terminal Ctrl-C delivers SIGINT to the whole foreground process
     # group.  The *parent* owns interrupt handling (stop dispatching,
@@ -241,11 +245,16 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
         annotator = pickle.loads(pickled_annotator)
     if annotator is None:  # pragma: no cover - defensive
         raise RuntimeError("worker started without an annotator payload")
+    # Delta, not absolute: a fork worker inherits the parent's lifetime
+    # IO counters, and only what *this* process read to warm up belongs
+    # in its load accounting.
+    load_bytes_before = annotator.cache_load_bytes
     if cache_dir is not None:
         # Warm start from the shared cache directory.  A cold report is
         # fine (first worker ever, stale fingerprint, lock timeout): the
         # caches are an optimisation, never a correctness dependency.
         annotator.load_caches(cache_dir)
+    cache_load_bytes = max(0, annotator.cache_load_bytes - load_bytes_before)
     attach_seconds = time.perf_counter() - attach_start
     attach_rss_kb = max(0, _current_rss_kb() - rss_at_entry)
     # Sampled peak: entry, post-attach, then after every task.  A true
@@ -275,7 +284,12 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
                         os.getpid(),
                         run,
                         time.perf_counter() - start,
-                        (peak_rss_kb, attach_seconds, attach_rss_kb),
+                        (
+                            peak_rss_kb,
+                            attach_seconds,
+                            attach_rss_kb,
+                            cache_load_bytes,
+                        ),
                     )
                 )
         elif kind == "flush":
@@ -835,8 +849,9 @@ def _worker_loads(
     up as extra pids, so a recovered run may report more loads than the
     nominal pool size -- every process that completed work is accounted
     for.  Each load also carries the process's memory/attach accounting
-    (peak RSS, attach time, attach RSS delta -- the last stats triple the
-    process reported, peak RSS being monotonic by definition)."""
+    (peak RSS, attach time, attach RSS delta, warm-start cache bytes --
+    the last stats tuple the process reported, peak RSS being monotonic
+    by definition)."""
     by_pid: dict[int, list[tuple]] = {}
     for result in results:
         by_pid.setdefault(result[2], []).append(result)
@@ -850,6 +865,9 @@ def _worker_loads(
             peak_rss_kb=max(r[4][0] for r in group),
             attach_seconds=group[0][4][1],
             attach_rss_kb=group[0][4][2],
+            cache_load_bytes=(
+                group[0][4][3] if len(group[0][4]) > 3 else 0
+            ),
         )
         for worker_id, (_, group) in enumerate(sorted(by_pid.items()))
     ]
@@ -1119,13 +1137,20 @@ def annotate_tables_parallel(
         else:
             for annotation in task_run.tables.values():
                 run.merge_table(annotation)
+    combined = RunDiagnostics.combined([part.diagnostics for part in parts])
+    worker_loads = _worker_loads(results, n_workers)
     run.diagnostics = replace(
-        RunDiagnostics.combined([part.diagnostics for part in parts]),
-        worker_loads=_worker_loads(results, n_workers),
+        combined,
+        worker_loads=worker_loads,
         tasks_requeued=requeued,
         tasks_quarantined=len(quarantined),
         effective_chunk_cost=effective_chunk_cost,
         tables_split=len(slice_counts),
+        # Task-window deltas miss the workers' attach-time warm starts
+        # (they happen before any task); fold the per-worker bytes in so
+        # the corpus view reports everything the pool read to get warm.
+        cache_load_bytes=combined.cache_load_bytes
+        + sum(load.cache_load_bytes for load in worker_loads),
     )
     if cache_dir is not None:
         annotator.load_caches(cache_dir)

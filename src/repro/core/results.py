@@ -46,6 +46,11 @@ class WorkerLoad:
     peak_rss_kb: int = 0
     attach_seconds: float = 0.0
     attach_rss_kb: int = 0
+    cache_load_bytes: int = field(default=0, compare=False)
+    """Bytes the worker read warm-starting its caches during attach --
+    the whole pickled payload under the legacy files, manifest plus delta
+    log under a shared disk store.  Excluded from equality (an IO fact,
+    not an annotation fact)."""
 
 
 @dataclass(frozen=True)
@@ -161,7 +166,25 @@ class RunDiagnostics:
         ``AnnotatorConfig.split_giant_tables``);
     ``worker_loads``
         per-worker load accounting of a ``workers=N`` run (one
-        :class:`WorkerLoad` per worker process, empty on in-process runs).
+        :class:`WorkerLoad` per worker process, empty on in-process runs);
+    ``results_cache_hits`` / ``results_cache_misses`` and
+    ``label_memo_hits`` / ``label_memo_misses``
+        per-cache traffic of the two persistable caches -- batched-path
+        ranking lookups and snippet classifications served warm (from the
+        in-memory tier or a shared store) versus computed;
+    ``cache_loads`` / ``cache_saves`` and ``cache_load_bytes`` /
+    ``cache_save_bytes``
+        cache persistence IO attributable to this run: successful warm
+        loads / persisted saves across both caches, and the payload bytes
+        they moved;
+    ``cache_lock_wait_seconds``
+        wall-clock seconds spent waiting on contended cache/artifact
+        advisory locks (see :func:`repro.persistence.lock_wait_seconds`).
+
+    The cache IO counters describe *how* the run was served, never what
+    it answered, and legitimately differ between warm and cold runs of
+    one corpus -- they are excluded from equality so diagnostics parity
+    assertions keep comparing annotation facts only.
     """
 
     n_tables: int
@@ -181,6 +204,15 @@ class RunDiagnostics:
     effective_chunk_cost: int = 0
     tables_split: int = 0
     worker_loads: tuple[WorkerLoad, ...] = ()
+    results_cache_hits: int = field(default=0, compare=False)
+    results_cache_misses: int = field(default=0, compare=False)
+    label_memo_hits: int = field(default=0, compare=False)
+    label_memo_misses: int = field(default=0, compare=False)
+    cache_loads: int = field(default=0, compare=False)
+    cache_saves: int = field(default=0, compare=False)
+    cache_load_bytes: int = field(default=0, compare=False)
+    cache_save_bytes: int = field(default=0, compare=False)
+    cache_lock_wait_seconds: float = field(default=0.0, compare=False)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -238,6 +270,19 @@ class RunDiagnostics:
             repaired_cells=sum(part.repaired_cells for part in parts),
             tasks_requeued=sum(part.tasks_requeued for part in parts),
             tasks_quarantined=sum(part.tasks_quarantined for part in parts),
+            results_cache_hits=sum(part.results_cache_hits for part in parts),
+            results_cache_misses=sum(
+                part.results_cache_misses for part in parts
+            ),
+            label_memo_hits=sum(part.label_memo_hits for part in parts),
+            label_memo_misses=sum(part.label_memo_misses for part in parts),
+            cache_loads=sum(part.cache_loads for part in parts),
+            cache_saves=sum(part.cache_saves for part in parts),
+            cache_load_bytes=sum(part.cache_load_bytes for part in parts),
+            cache_save_bytes=sum(part.cache_save_bytes for part in parts),
+            cache_lock_wait_seconds=sum(
+                part.cache_lock_wait_seconds for part in parts
+            ),
         )
 
 
@@ -286,7 +331,15 @@ class ServiceStats:
         requests isolated by batch bisection and failed individually after
         their pooled pass raised (the rest of the batch was served);
     ``flushes``
-        cache flushes performed (periodic and shutdown).
+        cache flushes performed (periodic and shutdown);
+    ``results_cache_hits`` / ``results_cache_misses`` /
+    ``label_memo_hits`` / ``label_memo_misses`` / ``cache_loads`` /
+    ``cache_saves`` / ``cache_load_bytes`` / ``cache_save_bytes`` /
+    ``cache_lock_wait_seconds``
+        the folded cache-IO counters of every pass (see
+        :class:`RunDiagnostics`), so the cost of keeping the resident
+        process warm -- and the shared-store payloads it moves -- is
+        visible from a ``stats`` request.
     """
 
     requests: int = 0
@@ -303,6 +356,15 @@ class ServiceStats:
     repaired_cells: int = 0
     poisoned_requests: int = 0
     flushes: int = 0
+    results_cache_hits: int = 0
+    results_cache_misses: int = 0
+    label_memo_hits: int = 0
+    label_memo_misses: int = 0
+    cache_loads: int = 0
+    cache_saves: int = 0
+    cache_load_bytes: int = 0
+    cache_save_bytes: int = 0
+    cache_lock_wait_seconds: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -335,6 +397,15 @@ class ServiceStats:
         self.breaker_opens += diagnostics.breaker_opens
         self.degraded_cells += diagnostics.degraded_cells
         self.repaired_cells += diagnostics.repaired_cells
+        self.results_cache_hits += diagnostics.results_cache_hits
+        self.results_cache_misses += diagnostics.results_cache_misses
+        self.label_memo_hits += diagnostics.label_memo_hits
+        self.label_memo_misses += diagnostics.label_memo_misses
+        self.cache_loads += diagnostics.cache_loads
+        self.cache_saves += diagnostics.cache_saves
+        self.cache_load_bytes += diagnostics.cache_load_bytes
+        self.cache_save_bytes += diagnostics.cache_save_bytes
+        self.cache_lock_wait_seconds += diagnostics.cache_lock_wait_seconds
 
     def to_payload(self) -> dict:
         """JSON-serialisable snapshot (counters plus derived ratios)."""
@@ -353,6 +424,15 @@ class ServiceStats:
             "repaired_cells": self.repaired_cells,
             "poisoned_requests": self.poisoned_requests,
             "flushes": self.flushes,
+            "results_cache_hits": self.results_cache_hits,
+            "results_cache_misses": self.results_cache_misses,
+            "label_memo_hits": self.label_memo_hits,
+            "label_memo_misses": self.label_memo_misses,
+            "cache_loads": self.cache_loads,
+            "cache_saves": self.cache_saves,
+            "cache_load_bytes": self.cache_load_bytes,
+            "cache_save_bytes": self.cache_save_bytes,
+            "cache_lock_wait_seconds": self.cache_lock_wait_seconds,
             "mean_batch_size": self.mean_batch_size,
             "coalescing_ratio": self.coalescing_ratio,
             "warm_hit_rate": self.warm_hit_rate,

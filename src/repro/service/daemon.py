@@ -166,7 +166,18 @@ class AnnotationService:
         if self._batcher is not None:
             raise RuntimeError("service already started")
         if self.config.cache_dir is not None:
-            self.annotator.load_caches(self.config.cache_dir)
+            # The warm-start happens before the first pass, so per-pass
+            # diagnostics never see it; fold the attach-time loads into
+            # the lifetime stats directly, as the pool workers do.
+            load_before = self.annotator.cache_load_bytes
+            loaded = self.annotator.load_caches(self.config.cache_dir)
+            with self._stats_lock:
+                self.stats.cache_loads += sum(
+                    1 for warm in loaded.values() if warm
+                )
+                self.stats.cache_load_bytes += max(
+                    0, self.annotator.cache_load_bytes - load_before
+                )
             if self.config.flush_interval_seconds > 0:
                 self._flusher = PeriodicFlusher(
                     self.flush, self.config.flush_interval_seconds
@@ -297,6 +308,10 @@ class AnnotationService:
         # a private in-process copy; "mmap": a frozen artifact shared
         # zero-copy with every other process that opened it).
         payload["index_backend"] = self.annotator.engine.index.backend_name
+        # And which cache storage backend its warm state persists through
+        # ("memory": private pickled-dict files; "disk": sharded stores
+        # shared with every worker and daemon on the host).
+        payload["cache_backend"] = self.annotator.config.cache_backend
         return Response(ok=True, request_id=request.request_id, result=payload)
 
     def _shutdown(self, request: Request) -> Response:
