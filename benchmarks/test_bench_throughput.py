@@ -88,6 +88,13 @@ per-worker cache payload must be a small fraction of the memory pool's,
 and the growth phase's delta compaction must rewrite some -- but not
 all -- bucket files.
 
+The observability scenario (PR 10) times a warm batched workload with
+tracing disabled and enabled.  Disabled instrumentation must be free:
+the measured per-call cost of the no-op span path, multiplied by the
+span count of a traced run, must stay <= 2% of the untraced wall time
+(the zero-overhead-when-disabled contract); the tracing-on overhead is
+measured and reported alongside it in the JSON artifact.
+
 Set ``REPRO_THROUGHPUT_SMOKE=1`` (CI) to run a single small size with no
 artifact writing and no speedup assertions (the workers=2 pool, both
 schedulers, the splitting arm, the shared cache directory, the live
@@ -190,6 +197,15 @@ to the memory pool's (the ISSUE 9 acceptance criterion: attaching a
 sharded store reads manifests plus an append log, not the whole pickled
 cache files; in practice the ratio is < 0.01 -- the bound is generous
 to stay robust to tiny seeded corpora)."""
+
+MAX_TRACING_OFF_OVERHEAD = 0.02
+"""Required bound on the disabled instrumentation's cost: per-call no-op
+span cost x spans a traced run records, as a fraction of the untraced
+wall time (the PR 10 zero-overhead-when-disabled acceptance criterion;
+in practice the ratio is < 0.001)."""
+
+OBS_ROUNDS = 3 if SMOKE else 7
+OBS_SHAPE = (6, 5)  # (tables, rows per table)
 
 
 def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
@@ -370,3 +386,121 @@ def test_bench_throughput(benchmark, full_context, artifact_dir, save_artifact):
     # read a small fraction of the pickled-dict payload from the shared
     # stores (the ISSUE 9 acceptance criterion).
     assert result.disk_cache.load_fraction <= MAX_DISK_CACHE_LOAD_FRACTION
+
+
+def test_bench_observability(artifact_dir):
+    """Disabled tracing must be free; enabled tracing's cost is reported.
+
+    Self-contained workload (no paper-scale context needed): a warm
+    batched annotator over a small synthetic directory, timed at steady
+    state with tracing off and on.  The off/on runs must also agree on
+    every annotation -- spans only observe.
+    """
+    import random
+    import time
+
+    from repro.classify.dataset import TextDataset
+    from repro.classify.snippet import SnippetTypeClassifier
+    from repro.clock import VirtualClock
+    from repro.core.annotation import SnippetCache
+    from repro.core.annotator import EntityAnnotator
+    from repro.core.config import AnnotatorConfig
+    from repro.observability import metrics as obs_metrics
+    from repro.observability import tracing
+    from repro.observability.tracing import span
+    from repro.tables.model import Column, ColumnType, Table
+    from repro.web.documents import WebPage
+    from repro.web.search import SearchEngine
+
+    words = "exhibit gallery paintings curator collection museum".split()
+    names = [f"Venue {i}" for i in range(24)]
+    rng = random.Random(0)
+    engine = SearchEngine(clock=VirtualClock())
+    engine.add_pages(
+        [
+            WebPage(
+                url=f"https://x/{name.replace(' ', '-').lower()}-{i}",
+                title=name,
+                body=f"{name.lower()} " + " ".join(rng.choices(words, k=30)),
+            )
+            for name in names
+            for i in range(4)
+        ]
+    )
+    dataset = TextDataset()
+    train_rng = random.Random(1)
+    for _ in range(60):
+        dataset.add(" ".join(train_rng.choices(words, k=12)), "museum")
+        dataset.add("menu chef cuisine dining wine", "restaurant")
+    classifier = SnippetTypeClassifier(backend="svm", min_count=1).fit(dataset)
+    annotator = EntityAnnotator(
+        classifier, engine, AnnotatorConfig(), cache=SnippetCache()
+    )
+    n_tables, n_rows = OBS_SHAPE
+    tables = []
+    for index in range(n_tables):
+        table = Table(
+            name=f"t{index}", columns=[Column("Name", ColumnType.TEXT)]
+        )
+        for row in range(n_rows):
+            table.append_row([names[(index * n_rows + row) % len(names)]])
+        tables.append(table)
+    type_keys = ["museum", "restaurant"]
+
+    tracing.reset_tracing()
+    obs_metrics.reset_registry()
+    try:
+        reference = annotator.annotate_batch(tables, type_keys)  # warm-up
+
+        def timed_rounds():
+            best = float("inf")
+            result = None
+            for _ in range(OBS_ROUNDS):
+                t0 = time.perf_counter()
+                result = annotator.annotate_batch(tables, type_keys)
+                best = min(best, time.perf_counter() - t0)
+            return best, result
+
+        off_seconds, off_result = timed_rounds()
+        assert off_result.annotations == reference.annotations
+
+        tracing.enable_tracing()
+        tracing.get_buffer().clear()
+        annotator.annotate_batch(tables, type_keys)
+        spans_per_run = len(tracing.get_buffer().drain())
+        assert spans_per_run > 0
+        on_seconds, on_result = timed_rounds()
+        assert on_result.annotations == reference.annotations
+
+        # The disabled path: one boolean check + a shared no-op object.
+        tracing.disable_tracing()
+        iterations = 200_000
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            with span("bench.noop", tag=1):
+                pass
+        noop_seconds = (time.perf_counter() - t0) / iterations
+    finally:
+        tracing.reset_tracing()
+        obs_metrics.reset_registry()
+
+    overhead_off = spans_per_run * noop_seconds / off_seconds
+    overhead_on = on_seconds / off_seconds - 1.0
+    assert overhead_off <= MAX_TRACING_OFF_OVERHEAD, (
+        f"disabled spans cost {overhead_off:.4%} of the untraced run "
+        f"({spans_per_run} spans x {noop_seconds * 1e9:.0f} ns)"
+    )
+
+    if SMOKE:
+        return
+    artifact = artifact_dir / "BENCH_throughput.json"
+    payload = json.loads(artifact.read_text()) if artifact.exists() else {}
+    payload["observability"] = {
+        "spans_per_run": spans_per_run,
+        "noop_span_seconds": noop_seconds,
+        "untraced_seconds": off_seconds,
+        "traced_seconds": on_seconds,
+        "tracing_off_overhead": overhead_off,
+        "tracing_on_overhead": overhead_on,
+    }
+    artifact.write_text(json.dumps(payload, indent=2) + "\n")

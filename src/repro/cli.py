@@ -28,7 +28,12 @@ Usage::
         --table my_table.json --types museum,restaurant
     python -m repro.cli client annotate --socket /tmp/repro.sock \\
         --cells "Louvre,Old Mill" --types museum,restaurant
+    python -m repro.cli client metrics --socket /tmp/repro.sock
     python -m repro.cli client shutdown --socket /tmp/repro.sock
+
+    # end-to-end tracing (see docs/architecture.md, "Observability")
+    python -m repro.cli throughput --small --trace --trace-out run.jsonl
+    python -m repro.cli trace summarize --in run.jsonl
 
 The first experiment of a session pays for world construction and
 classifier training; subsequent experiments reuse the cached context.
@@ -95,6 +100,7 @@ from typing import Callable
 
 from repro.core.config import CACHE_BACKENDS, INDEX_BACKENDS, SCHEDULES
 from repro.eval import ablation, experiments, extensions
+from repro.observability.tracing import span
 from repro.synth.world import WorldConfig
 
 SIGINT_EXIT_CODE = 130
@@ -129,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
         return _index_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -214,6 +222,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_resilience_arguments(parser)
     _add_index_backend_arguments(parser)
     _add_cache_backend_arguments(parser)
+    _add_trace_arguments(parser)
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -241,8 +250,17 @@ def main(argv: list[str] | None = None) -> int:
         if args.small
         else WorldConfig(seed=args.seed)
     )
+    tracing_on = args.trace or args.trace_out is not None
+    if tracing_on:
+        from repro.observability import tracing
+
+        trace_id = tracing.enable_tracing()
+        print(f"[tracing enabled: trace {trace_id}]", file=sys.stderr)
     start = time.time()
     context = experiments.build_context(config)
+    if tracing_on:
+        # Spans record virtual time alongside wall time from here on.
+        tracing.set_clock(context.world.clock)
     print(
         f"[context ready in {time.time() - start:.1f}s: "
         f"{context.world.page_count} pages, "
@@ -320,7 +338,8 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["cache_backend"] = args.cache_backend
             if "cache_buckets" in parameters:
                 kwargs["cache_buckets"] = args.cache_buckets
-            result = runner(context, **kwargs)
+            with span("cli.experiment", experiment=name):
+                result = runner(context, **kwargs)
             print(result.render())
             print(f"[{name} in {time.time() - start:.1f}s]\n", file=sys.stderr)
     except KeyboardInterrupt:
@@ -341,6 +360,18 @@ def main(argv: list[str] | None = None) -> int:
                 f"{store.path}]",
                 file=sys.stderr,
             )
+    if tracing_on:
+        spans = tracing.get_buffer().snapshot()
+        if args.trace_out is not None:
+            count = tracing.get_buffer().export_jsonl(str(args.trace_out))
+            print(
+                f"[trace {trace_id}: {count} span(s) written to "
+                f"{args.trace_out}]",
+                file=sys.stderr,
+            )
+        print(
+            _render_trace_table(tracing.summarize(spans)), file=sys.stderr
+        )
     return SIGINT_EXIT_CODE if interrupted else 0
 
 
@@ -428,6 +459,109 @@ def _add_cache_backend_arguments(parser: argparse.ArgumentParser) -> None:
             "creating a store -- an existing store keeps its layout)"
         ),
     )
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """The tracing knobs, shared by experiments and serve."""
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record staged spans for this run (a fresh trace id is "
+            "minted and propagated through pool workers); a per-stage "
+            "breakdown is printed to stderr at the end"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help=(
+            "write the recorded spans to this JSONL file (implies "
+            "--trace; summarise it later with 'trace summarize')"
+        ),
+    )
+
+
+def _render_trace_table(rows) -> str:
+    """Fixed-width per-stage breakdown of :func:`tracing.summarize` rows."""
+    header = (
+        f"{'stage':<34} {'count':>7} {'wall s':>10} {'mean ms':>9} "
+        f"{'virt s':>9} {'err':>4} {'abrt':>4}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<34} {row['count']:>7} "
+            f"{row['wall_seconds']:>10.3f} "
+            f"{row['mean_seconds'] * 1000.0:>9.2f} "
+            f"{row['virtual_seconds']:>9.2f} "
+            f"{row['errors']:>4} {row['aborted']:>4}"
+        )
+    total_wall = sum(row["wall_seconds"] for row in rows)
+    total_count = sum(row["count"] for row in rows)
+    lines.append(
+        f"{'total':<34} {total_count:>7} {total_wall:>10.3f}"
+    )
+    return "\n".join(lines)
+
+
+# -- trace summaries --------------------------------------------------------------------
+
+
+def _trace_main(argv: list[str]) -> int:
+    """``repro.cli trace``: summarise an exported span JSONL file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trace",
+        description=(
+            "Summarise a span export (--trace-out of an experiment run, "
+            "or TraceBuffer.export_jsonl) into a per-stage breakdown."
+        ),
+    )
+    parser.add_argument(
+        "action", choices=["summarize"], help="what to do with the trace"
+    )
+    parser.add_argument(
+        "--in",
+        dest="path",
+        required=True,
+        type=Path,
+        help="span JSONL file to read",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the breakdown as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    from repro.observability import tracing
+
+    try:
+        text = args.path.read_text(encoding="utf-8")
+    except OSError as error:
+        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
+        return 1
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(json.loads(line))
+    rows = tracing.summarize(spans)
+    trace_ids = sorted(
+        {record["trace_id"] for record in spans if record.get("trace_id")}
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {"traces": trace_ids, "n_spans": len(spans), "stages": rows},
+                indent=2,
+            )
+        )
+        return 0
+    label = ", ".join(trace_ids) if trace_ids else "none"
+    print(f"[{len(spans)} span(s) across trace(s): {label}]")
+    print(_render_trace_table(rows))
+    return 0
 
 
 def _apply_index_backend(
@@ -721,6 +855,7 @@ def _serve_main(argv: list[str]) -> int:
     _add_resilience_arguments(parser)
     _add_index_backend_arguments(parser)
     _add_cache_backend_arguments(parser)
+    _add_trace_arguments(parser)
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -728,6 +863,11 @@ def _serve_main(argv: list[str]) -> int:
         parser.error(f"--cache-buckets must be >= 1, got {args.cache_buckets}")
     if args.cache_backend == "disk" and args.cache_dir is None:
         parser.error("--cache-backend disk needs --cache-dir")
+    if args.trace or args.trace_out is not None:
+        from repro.observability import tracing
+
+        trace_id = tracing.enable_tracing()
+        print(f"[tracing enabled: trace {trace_id}]", file=sys.stderr)
     from repro.service.daemon import AnnotationDaemon, ServiceConfig
 
     try:
@@ -762,6 +902,8 @@ def _serve_main(argv: list[str]) -> int:
         parser.error(str(error))
     start = time.time()
     context = experiments.build_context(config)
+    if args.trace or args.trace_out is not None:
+        tracing.set_clock(context.world.clock)
     artifact_path = _apply_index_backend(
         context.world.search_engine,
         args.index_backend,
@@ -788,14 +930,23 @@ def _serve_main(argv: list[str]) -> int:
     )
     # SIGTERM takes the same graceful path as Ctrl-C: drain, flush, 130.
     signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    exit_code = 0
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:
         print("\n[interrupted; flushing caches]", file=sys.stderr)
         daemon.service.stop()
-        return SIGINT_EXIT_CODE
-    print("[daemon stopped]", file=sys.stderr)
-    return 0
+        exit_code = SIGINT_EXIT_CODE
+    else:
+        print("[daemon stopped]", file=sys.stderr)
+    if args.trace_out is not None:
+        count = tracing.get_buffer().export_jsonl(str(args.trace_out))
+        print(
+            f"[trace {trace_id}: {count} span(s) written to "
+            f"{args.trace_out}]",
+            file=sys.stderr,
+        )
+    return exit_code
 
 
 def _raise_keyboard_interrupt(signum, frame):  # pragma: no cover - signal path
@@ -810,7 +961,7 @@ def _client_main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "command",
-        choices=["ping", "stats", "annotate", "shutdown"],
+        choices=["ping", "stats", "metrics", "annotate", "shutdown"],
         help="what to ask the daemon",
     )
     parser.add_argument(
@@ -864,6 +1015,10 @@ def _client_main(argv: list[str]) -> int:
                 result = client.ping()
             elif args.command == "stats":
                 result = client.stats()
+            elif args.command == "metrics":
+                # Prometheus text exposition: print it raw, not as JSON.
+                print(client.metrics(), end="")
+                return 0
             elif args.command == "shutdown":
                 result = client.shutdown()
             elif table is not None:

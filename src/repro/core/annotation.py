@@ -48,6 +48,7 @@ from typing import Sequence
 
 from repro.classify.snippet import SnippetTypeClassifier
 from repro.core.config import AnnotatorConfig
+from repro.observability.tracing import span
 from repro.persistence import CacheStore, load_cache_payload, save_cache_payload
 from repro.resilience import CircuitBreaker, RetryPolicy
 from repro.web.search import SearchEngine, SearchEngineUnavailable
@@ -260,9 +261,13 @@ class CellAnnotator:
             value if context is None else f"{value} {context}"
             for value, context in values_with_context
         ]
-        snippets_by_query = self._resolve_queries(queries)
-        self._classify_pooled(snippets_by_query)
-        return self._demux(queries, snippets_by_query, type_keys)
+        with span("annotate.resolve_queries", n_cells=len(queries)) as resolve_span:
+            snippets_by_query = self._resolve_queries(queries)
+            resolve_span.tag(n_unique=len(snippets_by_query))
+        with span("annotate.classify"):
+            self._classify_pooled(snippets_by_query)
+        with span("annotate.vote"):
+            return self._demux(queries, snippets_by_query, type_keys)
 
     def _resolve_queries(self, queries: Sequence[str]) -> dict[str, object]:
         """Resolve unique queries: cache first, then batched search rounds.
@@ -352,9 +357,10 @@ class CellAnnotator:
                 pool_index[snippet] = len(pooled)
                 pooled.append(snippet)
         if pooled:
-            labels = self.classifier.classify_many(
-                pooled, workers=self.config.classify_workers
-            )
+            with span("annotate.classify_gemm", n_snippets=len(pooled)):
+                labels = self.classifier.classify_many(
+                    pooled, workers=self.config.classify_workers
+                )
             for snippet, position in pool_index.items():
                 label_memo[snippet] = labels[position]
 

@@ -81,6 +81,7 @@ from repro.core.results import (
     TableAnnotation,
 )
 from repro.geo.geocoder import Geocoder
+from repro.observability.tracing import span
 from repro.persistence import lock_wait_seconds, open_cache_store
 from repro.tables.model import Table
 from repro.web.search import SearchEngine
@@ -269,11 +270,12 @@ class EntityAnnotator:
         full original table.
         """
         if self.config.use_postprocessing:
-            return eliminate_spurious(
-                table,
-                annotation,
-                use_repetition_factor=self.config.use_repetition_factor,
-            )
+            with span("annotate.postprocess", table=table.name):
+                return eliminate_spurious(
+                    table,
+                    annotation,
+                    use_repetition_factor=self.config.use_repetition_factor,
+                )
         return annotation
 
     # -- corpora ---------------------------------------------------------------------------
@@ -366,23 +368,25 @@ class EntityAnnotator:
             self.load_caches(cache_dir)
         prepped: list[tuple[Table, list]] = []
         pairs: list[tuple[str, str | None]] = []
-        for table in tables:
-            candidates = self.preprocessor.candidate_cells(table)
-            contexts = self._row_contexts(table)
-            prepped.append((table, candidates))
-            pairs.extend(
-                (candidate.value, contexts.get(candidate.row))
-                for candidate in candidates
-            )
+        with span("annotate.prep", n_tables=len(tables)):
+            for table in tables:
+                candidates = self.preprocessor.candidate_cells(table)
+                contexts = self._row_contexts(table)
+                prepped.append((table, candidates))
+                pairs.extend(
+                    (candidate.value, contexts.get(candidate.row))
+                    for candidate in candidates
+                )
         decisions = self.cell_annotator.annotate_values(pairs, type_keys)
         repaired = 0
         if self.config.retries > 0:
             # End-of-corpus repair: one more pass over the cells that
             # exhausted their retries, issued once the breaker's cooldown
             # (if any) has been waited out on the virtual clock.
-            decisions, repaired = self.cell_annotator.repair_decisions(
-                pairs, decisions, type_keys
-            )
+            with span("annotate.repair"):
+                decisions, repaired = self.cell_annotator.repair_decisions(
+                    pairs, decisions, type_keys
+                )
         run = AnnotationRun()
         offset = 0
         for table, candidates in prepped:
@@ -578,22 +582,23 @@ class EntityAnnotator:
         means a lock timeout skipped that flush.
         """
         cache_dir = Path(cache_dir)
-        if self.config.cache_backend == "disk":
-            self._ensure_stores(cache_dir)
+        with span("cache.flush", backend=self.config.cache_backend):
+            if self.config.cache_backend == "disk":
+                self._ensure_stores(cache_dir)
+                return {
+                    "search_results": self.engine.flush_results_store()
+                    is not None,
+                    "label_memo": self.cell_annotator.flush_label_store()
+                    is not None,
+                }
             return {
-                "search_results": self.engine.flush_results_store()
-                is not None,
-                "label_memo": self.cell_annotator.flush_label_store()
-                is not None,
+                "search_results": self.engine.save_results_cache(
+                    cache_dir / ENGINE_CACHE_FILE
+                ),
+                "label_memo": self.cell_annotator.save_label_memo(
+                    cache_dir / LABEL_MEMO_FILE
+                ),
             }
-        return {
-            "search_results": self.engine.save_results_cache(
-                cache_dir / ENGINE_CACHE_FILE
-            ),
-            "label_memo": self.cell_annotator.save_label_memo(
-                cache_dir / LABEL_MEMO_FILE
-            ),
-        }
 
     def load_caches(self, cache_dir) -> dict[str, bool]:
         """Warm the engine caches from *cache_dir* (see :meth:`save_caches`).
@@ -612,22 +617,23 @@ class EntityAnnotator:
         deliberate, so a parent sees deltas its workers flushed since.
         """
         cache_dir = Path(cache_dir)
-        if self.config.cache_backend == "disk":
-            engine_store, memo_store = self._open_stores(cache_dir)
-            self.engine.attach_results_store(engine_store)
-            self.cell_annotator.attach_label_store(memo_store)
+        with span("cache.load", backend=self.config.cache_backend):
+            if self.config.cache_backend == "disk":
+                engine_store, memo_store = self._open_stores(cache_dir)
+                self.engine.attach_results_store(engine_store)
+                self.cell_annotator.attach_label_store(memo_store)
+                return {
+                    "search_results": engine_store.has_entries(),
+                    "label_memo": memo_store.has_entries(),
+                }
             return {
-                "search_results": engine_store.has_entries(),
-                "label_memo": memo_store.has_entries(),
+                "search_results": self.engine.load_results_cache(
+                    cache_dir / ENGINE_CACHE_FILE
+                ),
+                "label_memo": self.cell_annotator.load_label_memo(
+                    cache_dir / LABEL_MEMO_FILE
+                ),
             }
-        return {
-            "search_results": self.engine.load_results_cache(
-                cache_dir / ENGINE_CACHE_FILE
-            ),
-            "label_memo": self.cell_annotator.load_label_memo(
-                cache_dir / LABEL_MEMO_FILE
-            ),
-        }
 
     def compact_caches(self) -> dict[str, int | None]:
         """Fold the attached disk stores' delta logs into their buckets.

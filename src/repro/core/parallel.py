@@ -90,7 +90,6 @@ the cost budget, so a given corpus always yields the same task list.
 
 from __future__ import annotations
 
-import logging
 import math
 import multiprocessing
 import os
@@ -116,12 +115,16 @@ from repro.core.results import (
     TableAnnotation,
     WorkerLoad,
 )
+from repro.observability import metrics as obs_metrics
+from repro.observability import tracing
+from repro.observability.log import get_logger
+from repro.observability.tracing import span
 from repro.tables.model import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotator imports us)
     from repro.core.annotator import EntityAnnotator
 
-_LOG = logging.getLogger(__name__)
+_LOG = get_logger(__name__)
 
 CHUNKS_PER_WORKER = 4
 """Automatic chunk sizing: aim for this many stealing tasks per worker."""
@@ -206,16 +209,18 @@ def _portable_error(error: BaseException) -> BaseException:
         return RuntimeError(f"{type(error).__name__}: {error}")
 
 
-def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
+def _worker_main(
+    conn, pickled_annotator: bytes | None, cache_dir, obs=None
+) -> None:
     """Worker process loop: receive commands, ship results home.
 
     Commands (tuples, first element the kind): ``("task", index, tables,
     type_keys)`` annotates and answers ``("done", index, pid, run,
     busy_seconds, (peak_rss_kb, attach_seconds, attach_rss_kb,
-    cache_load_bytes))`` or ``("error", index, pid, error)``;
-    ``("flush",)`` merge-saves the caches and answers ``("flushed",
-    pid)`` (or ``("flush-error", pid, error)``); ``("stop",)`` exits the
-    loop.
+    cache_load_bytes, spans, metrics))`` or ``("error", index, pid,
+    error)``; ``("flush",)`` merge-saves the caches and answers
+    ``("flushed", pid)`` (or ``("flush-error", pid, error)``);
+    ``("stop",)`` exits the loop.
 
     The trailing stats tuple makes the memory economics of the index and
     cache backends auditable: *attach_rss_kb* is how much resident
@@ -227,6 +232,17 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
     *cache_load_bytes* is what the warm start actually read -- whole
     pickled payloads under the legacy cache files, just the store
     manifests plus delta logs under shared disk stores.
+
+    *obs* is the parent's observability context, ``(tracing_enabled,
+    trace_id)``: under ``spawn`` the module globals do not carry over, so
+    the parent ships them explicitly (the fork path inherits them
+    anyway, and re-enabling is idempotent).  With tracing on, the spans
+    this worker recorded per task (element 4 of the stats tuple) and its
+    per-task metrics-registry dict (element 5) ship home inside the
+    ``done`` message; the parent splices the spans into its own
+    :class:`~repro.observability.tracing.TraceBuffer` and merges the
+    registry, exactly like ``RunDiagnostics.combined`` folds worker
+    diagnostics.
     """
     # A terminal Ctrl-C delivers SIGINT to the whole foreground process
     # group.  The *parent* owns interrupt handling (stop dispatching,
@@ -237,6 +253,9 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic hosts
         pass
+    if obs is not None and obs[0]:
+        tracing.enable_tracing(obs[1])
+        tracing.get_buffer().clear()  # fork children inherit parent spans
     rss_at_entry = _current_rss_kb()
     attach_start = time.perf_counter()
     if pickled_annotator is None:
@@ -272,23 +291,36 @@ def _worker_main(conn, pickled_annotator: bytes | None, cache_dir) -> None:
             _, index, tables, type_keys = message
             start = time.perf_counter()
             try:
-                run = _annotate_task(annotator, tables, type_keys)
+                with span("pool.task", task_index=index, pid=os.getpid()):
+                    run = _annotate_task(annotator, tables, type_keys)
             except Exception as error:
                 conn.send(("error", index, os.getpid(), _portable_error(error)))
             else:
+                busy = time.perf_counter() - start
                 peak_rss_kb = max(peak_rss_kb, _current_rss_kb())
+                task_spans: list = []
+                task_metrics: dict = {}
+                if tracing.tracing_enabled():
+                    task_spans = tracing.get_buffer().drain()
+                    registry = obs_metrics.MetricsRegistry()
+                    registry.inc("pool.tasks")
+                    registry.inc("pool.task_cells", run.diagnostics.n_cells)
+                    registry.observe("pool.task_seconds", busy)
+                    task_metrics = registry.to_dict()
                 conn.send(
                     (
                         "done",
                         index,
                         os.getpid(),
                         run,
-                        time.perf_counter() - start,
+                        busy,
                         (
                             peak_rss_kb,
                             attach_seconds,
                             attach_rss_kb,
                             cache_load_bytes,
+                            task_spans,
+                            task_metrics,
                         ),
                     )
                 )
@@ -333,7 +365,7 @@ def _wait_ready(targets, timeout: float):
 class _Worker:
     """Parent-side handle of one pool process."""
 
-    __slots__ = ("slot", "process", "conn", "inflight", "retired")
+    __slots__ = ("slot", "process", "conn", "inflight", "inflight_since", "retired")
 
     def __init__(self, slot: int, process, conn) -> None:
         self.slot = slot
@@ -344,6 +376,12 @@ class _Worker:
         # dead worker with a non-None inflight crashed mid-task, and that
         # is the task to requeue.
         self.inflight: int | None = None
+        # When the in-flight task was dispatched (perf_counter).  Only
+        # observability reads it: a worker that dies mid-task never
+        # closes its own ``pool.task`` span, so the parent synthesises an
+        # ``aborted`` span from this dispatch timestamp instead of
+        # leaking an open span.
+        self.inflight_since = 0.0
         # A reaped-and-not-replaced worker: excluded from dispatch and
         # from the wait set (a joined process's sentinel stays signalled
         # forever and would busy-spin the parent).
@@ -373,6 +411,10 @@ class _WorkerPool:
         self._payload = payload
         self._cache_dir = cache_dir
         self._on_worker_spawn = on_worker_spawn
+        # Snapshot of the parent's observability context, shipped to
+        # every worker (initial and crash replacements): under ``spawn``
+        # the tracing module globals do not carry over.
+        self._obs = (tracing.tracing_enabled(), tracing.current_trace_id())
         self.n_workers = n_workers
         self.workers: list[_Worker] = [
             self._spawn(slot) for slot in range(n_workers)
@@ -382,7 +424,7 @@ class _WorkerPool:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
-            args=(child_conn, self._payload, self._cache_dir),
+            args=(child_conn, self._payload, self._cache_dir, self._obs),
             daemon=True,
         )
         process.start()
@@ -427,6 +469,16 @@ class _WorkerPool:
                 _, index, pid, run, busy, worker_stats = message
                 completed[index] = (index, run, pid, busy, worker_stats)
                 worker.inflight = None
+                # Ship-home splice: the worker's spans land in the
+                # parent's buffer, its per-task registry merges into the
+                # parent's -- the metrics analogue of
+                # ``RunDiagnostics.combined``.
+                if len(worker_stats) > 4 and worker_stats[4]:
+                    tracing.get_buffer().extend(worker_stats[4])
+                if len(worker_stats) > 5 and worker_stats[5]:
+                    obs_metrics.get_registry().merge(
+                        obs_metrics.MetricsRegistry.from_dict(worker_stats[5])
+                    )
             elif kind == "error":
                 _, index, pid, error = message
                 errored.add(index)
@@ -486,6 +538,7 @@ class _WorkerPool:
                 continue  # died between is_alive and send; reaped next tick
             pending.popleft()
             worker.inflight = index
+            worker.inflight_since = time.perf_counter()
 
     def _wait_targets(self) -> list:
         targets: list = []
@@ -540,6 +593,32 @@ class _WorkerPool:
             worker.process.join(timeout=0)
             if crashed_task is not None:
                 attempts[crashed_task] += 1
+                outcome = (
+                    "quarantined"
+                    if attempts[crashed_task] > task_retries
+                    else "requeued"
+                )
+                # The worker died mid-span, so its ``pool.task`` span
+                # never closed (and never shipped home); the parent
+                # records an aborted stand-in from its own dispatch
+                # bookkeeping -- linked retry spans, not a leak.
+                tracing.record_span(
+                    "pool.task.aborted",
+                    time.perf_counter() - worker.inflight_since,
+                    status="aborted",
+                    task_index=crashed_task,
+                    pid=worker.process.pid,
+                    attempt=attempts[crashed_task],
+                    outcome=outcome,
+                )
+                obs_metrics.get_registry().inc(f"pool.tasks_{outcome}")
+                _LOG.warning(
+                    f"pool.task_{outcome}",
+                    task_index=crashed_task,
+                    pid=worker.process.pid,
+                    attempt=attempts[crashed_task],
+                    task_retries=task_retries,
+                )
                 if attempts[crashed_task] > task_retries:
                     quarantined.append(crashed_task)
                 else:
@@ -815,20 +894,22 @@ def _build_tasks(
         smallest = min(table_cost(table) for table in tables)
         if target < smallest and not slice_cost_target:
             _LOG.warning(
-                "chunk cost target %d (%s) is below every table's cost "
-                "(min %d): each table travels alone and the giant table "
-                "bounds the run; enable split_giant_tables to cut rows",
-                target,
-                "explicit" if chunk_cost_target else "automatic",
-                smallest,
+                "pool.chunk_target_degenerate",
+                target=target,
+                source="explicit" if chunk_cost_target else "automatic",
+                min_table_cost=smallest,
+                msg=(
+                    "chunk cost target is below every table's cost: each "
+                    "table travels alone and the giant table bounds the "
+                    "run; enable split_giant_tables to cut rows"
+                ),
             )
         else:
             _LOG.debug(
-                "stealing schedule: effective chunk cost target %d (%s), "
-                "slice cost target %d",
-                target,
-                "explicit" if chunk_cost_target else "automatic",
-                slice_cost_target,
+                "pool.schedule_planned",
+                target=target,
+                source="explicit" if chunk_cost_target else "automatic",
+                slice_cost_target=slice_cost_target,
             )
     return chunk_tables(tables, target, slice_cost_target), target
 
@@ -1052,28 +1133,35 @@ def annotate_tables_parallel(
         payload = pickle.dumps(annotator, protocol=pickle.HIGHEST_PROTOCOL)
     pool = None
     try:
-        pool = _WorkerPool(
-            context,
-            n_workers,
-            payload,
-            cache_dir,
-            on_worker_spawn=on_worker_spawn,
-        )
-        completed, quarantined, requeued, errors = pool.run_tasks(
-            tasks, type_keys, task_retries
-        )
-        if cache_dir is not None:
-            # Flushing happens even when a task failed or the run was
-            # interrupted, so the warmth the surviving tasks already paid
-            # for is kept; a flush error only propagates when nothing
-            # more important already wants to.
-            flush_errors = pool.flush()
-            if flush_errors and not errors:
-                errors = flush_errors
-        pool.shutdown()
-        pool = None
-        if errors:
-            raise errors[0]
+        with span(
+            "pool.run",
+            workers=n_workers,
+            n_tasks=len(tasks),
+            schedule=schedule,
+            start_method=method,
+        ):
+            pool = _WorkerPool(
+                context,
+                n_workers,
+                payload,
+                cache_dir,
+                on_worker_spawn=on_worker_spawn,
+            )
+            completed, quarantined, requeued, errors = pool.run_tasks(
+                tasks, type_keys, task_retries
+            )
+            if cache_dir is not None:
+                # Flushing happens even when a task failed or the run was
+                # interrupted, so the warmth the surviving tasks already
+                # paid for is kept; a flush error only propagates when
+                # nothing more important already wants to.
+                flush_errors = pool.flush()
+                if flush_errors and not errors:
+                    errors = flush_errors
+            pool.shutdown()
+            pool = None
+            if errors:
+                raise errors[0]
     finally:
         if pool is not None:  # pragma: no cover - error unwinding
             pool.shutdown()

@@ -9,8 +9,18 @@ answers the row-level question; :class:`AnnotationRun` aggregates a corpus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Iterator, Sequence
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with the shared zero-denominator guard.
+
+    Every derived rate in this module (cache hit rates, coalescing ratio,
+    batch sizes) goes through this one helper so "0.0 before the first
+    event" is a single policy, not a per-property reimplementation.
+    """
+    return numerator / denominator if denominator else 0.0
 
 
 @dataclass(frozen=True)
@@ -217,8 +227,24 @@ class RunDiagnostics:
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of this run's cache lookups served from the cache."""
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        return _ratio(self.cache_hits, self.cache_hits + self.cache_misses)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot: every counter plus derived ratios.
+
+        Built by introspecting the dataclass fields (and pinned by a
+        completeness test that does the same), so a counter added to the
+        dataclass can never silently miss the exported dict.
+        """
+        payload = {
+            spec.name: getattr(self, spec.name) for spec in fields(self)
+        }
+        payload["worker_loads"] = [
+            asdict(load) for load in self.worker_loads
+        ]
+        payload["cache_hit_rate"] = self.cache_hit_rate
+        payload["imbalance_ratio"] = self.imbalance_ratio
+        return payload
 
     @property
     def imbalance_ratio(self) -> float:
@@ -369,19 +395,18 @@ class ServiceStats:
     @property
     def mean_batch_size(self) -> float:
         """Mean tables per pooled pass (0.0 before the first batch)."""
-        return self.tables / self.batches if self.batches else 0.0
+        return _ratio(self.tables, self.batches)
 
     @property
     def coalescing_ratio(self) -> float:
         """Requests answered per corpus pass paid: > 1 means micro-batching
         coalesced concurrent requests into shared pooled passes."""
-        return self.requests / self.batches if self.batches else 0.0
+        return _ratio(self.requests, self.batches)
 
     @property
     def warm_hit_rate(self) -> float:
         """Fraction of snippet-cache lookups served warm across requests."""
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        return _ratio(self.cache_hits, self.cache_hits + self.cache_misses)
 
     def record_batch(self, n_requests: int, diagnostics: RunDiagnostics) -> None:
         """Fold one pooled pass into the lifetime counters."""
@@ -408,35 +433,19 @@ class ServiceStats:
         self.cache_lock_wait_seconds += diagnostics.cache_lock_wait_seconds
 
     def to_payload(self) -> dict:
-        """JSON-serialisable snapshot (counters plus derived ratios)."""
-        return {
-            "requests": self.requests,
-            "batches": self.batches,
-            "tables": self.tables,
-            "cells": self.cells,
-            "queries_issued": self.queries_issued,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "search_failures": self.search_failures,
-            "search_retries": self.search_retries,
-            "breaker_opens": self.breaker_opens,
-            "degraded_cells": self.degraded_cells,
-            "repaired_cells": self.repaired_cells,
-            "poisoned_requests": self.poisoned_requests,
-            "flushes": self.flushes,
-            "results_cache_hits": self.results_cache_hits,
-            "results_cache_misses": self.results_cache_misses,
-            "label_memo_hits": self.label_memo_hits,
-            "label_memo_misses": self.label_memo_misses,
-            "cache_loads": self.cache_loads,
-            "cache_saves": self.cache_saves,
-            "cache_load_bytes": self.cache_load_bytes,
-            "cache_save_bytes": self.cache_save_bytes,
-            "cache_lock_wait_seconds": self.cache_lock_wait_seconds,
-            "mean_batch_size": self.mean_batch_size,
-            "coalescing_ratio": self.coalescing_ratio,
-            "warm_hit_rate": self.warm_hit_rate,
+        """JSON-serialisable snapshot (counters plus derived ratios).
+
+        Built by introspecting the dataclass fields, so a lifetime counter
+        added to the dataclass is automatically part of the ``stats``
+        payload (a completeness test pins this).
+        """
+        payload = {
+            spec.name: getattr(self, spec.name) for spec in fields(self)
         }
+        payload["mean_batch_size"] = self.mean_batch_size
+        payload["coalescing_ratio"] = self.coalescing_ratio
+        payload["warm_hit_rate"] = self.warm_hit_rate
+        return payload
 
 
 @dataclass

@@ -1,0 +1,74 @@
+"""Structured JSON logging with consistent event names and trace ids.
+
+Every log line is a single JSON object::
+
+    {"event": "cache.load_failed", "level": "warning",
+     "logger": "repro.persistence", "trace_id": "9f2c...", "path": "..."}
+
+The logger is a thin layer over stdlib ``logging`` — records still flow
+through whatever handlers the host application (or pytest's ``caplog``)
+installed, so adopting structured events does not break existing capture.
+The ``trace_id`` field is filled automatically from the active tracing
+context (:func:`repro.observability.tracing.current_trace_id`) and is
+omitted when no trace is active, keeping untraced runs byte-stable.
+
+Event names are dotted ``<area>.<what_happened>`` strings, lower case,
+past tense for outcomes (``cache.load_failed``, ``pool.worker_requeued``)
+— the same taxonomy as span names, so a grep for ``cache.`` finds both
+the spans and the log events of that subsystem.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, Dict
+
+from repro.observability import tracing
+
+__all__ = ["StructuredLogger", "get_logger"]
+
+
+class StructuredLogger:
+    """Wraps a stdlib logger; every call emits one JSON event line."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def stdlib(self) -> logging.Logger:
+        """The underlying stdlib logger (for level/handler configuration)."""
+        return self._logger
+
+    def _emit(self, level: int, event: str, fields: Dict[str, Any]) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        payload: Dict[str, Any] = {
+            "event": event,
+            "level": logging.getLevelName(level).lower(),
+            "logger": self._logger.name,
+        }
+        trace_id = tracing.current_trace_id()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        payload.update(fields)
+        self._logger.log(level, json.dumps(payload, sort_keys=True, default=str))
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Structured logger for *name* (usually ``__name__``)."""
+    return StructuredLogger(logging.getLogger(name))

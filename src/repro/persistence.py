@@ -54,7 +54,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import logging
 import os
 import pickle
 import random
@@ -67,7 +66,11 @@ from typing import Any, Callable, Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
-logger = logging.getLogger(__name__)
+from repro.observability import metrics as obs_metrics
+from repro.observability import tracing
+from repro.observability.log import get_logger
+
+logger = get_logger(__name__)
 
 try:  # POSIX advisory locking; degrade gracefully elsewhere.
     import fcntl
@@ -98,6 +101,11 @@ def _record_lock_wait(seconds: float) -> None:
     global _lock_wait_total
     with _lock_wait_guard:
         _lock_wait_total += seconds
+    # Contended locks are a throughput signal: surface them on the
+    # metrics registry and (when tracing) as a span.  Only ever called
+    # on the contended path, so the fast path stays untouched.
+    obs_metrics.get_registry().observe("cache.lock_wait_seconds", seconds)
+    tracing.record_span("cache.lock_wait", seconds)
 
 
 def lock_wait_seconds() -> float:
@@ -190,17 +198,18 @@ def _read_blob(path) -> dict | None:
         # modules or attributes from an old layout, truncation, corruption.
         # Every failure mode means the same thing here: start cold.
         logger.warning(
-            "cache file %s is unreadable (%s: %s); starting cold",
-            path,
-            type(error).__name__,
-            error,
+            "cache.file_unreadable",
+            path=str(path),
+            error=f"{type(error).__name__}: {error}",
+            outcome="starting cold",
         )
         return None
     if not isinstance(blob, dict):
         logger.warning(
-            "cache file %s holds a %s, not a guarded blob; starting cold",
-            path,
-            type(blob).__name__,
+            "cache.file_foreign",
+            path=str(path),
+            found=type(blob).__name__,
+            outcome="starting cold",
         )
         return None
     return blob
@@ -820,9 +829,10 @@ class ShardedDiskCacheStore:
             )
         except ArtifactError as error:
             logger.warning(
-                "cache store %s has an unusable manifest (%s); starting cold",
-                self.path,
-                error,
+                "store.manifest_unusable",
+                path=str(self.path),
+                error=str(error),
+                outcome="starting cold",
             )
             return
         if (
@@ -831,8 +841,9 @@ class ShardedDiskCacheStore:
             or header.get("fingerprint_digest") != self.digest
         ):
             logger.info(
-                "cache store %s is stale for this fingerprint; starting cold",
-                self.path,
+                "store.fingerprint_stale",
+                path=str(self.path),
+                outcome="starting cold",
             )
             return
         self._on_disk_valid = True
@@ -846,7 +857,9 @@ class ShardedDiskCacheStore:
                 entries, nbytes = self._read_delta_records()
         except CacheLockTimeout:
             logger.warning(
-                "cache store %s delta log is locked; starting cold", self.path
+                "store.delta_locked",
+                path=str(self.path),
+                outcome="starting cold",
             )
             return
         self._delta = entries
@@ -896,9 +909,9 @@ class ShardedDiskCacheStore:
                 header = pickle.loads(header_blob)
                 if header != self._delta_header():
                     logger.warning(
-                        "cache store %s delta log has a foreign header; "
-                        "ignoring it",
-                        self.path,
+                        "store.delta_foreign_header",
+                        path=str(self.path),
+                        outcome="ignoring log",
                     )
                     return {}, 0
                 valid_end = handle.tell()
@@ -914,12 +927,10 @@ class ShardedDiskCacheStore:
                 # every failure mode means the same thing: the log ends
                 # here.  Whole records before the tear are kept.
                 logger.warning(
-                    "cache store %s delta log ends mid-record (%s: %s); "
-                    "keeping %d whole entries",
-                    self.path,
-                    type(error).__name__,
-                    error,
-                    len(entries),
+                    "store.delta_torn_tail",
+                    path=str(self.path),
+                    error=f"{type(error).__name__}: {error}",
+                    kept_entries=len(entries),
                 )
             return entries, valid_end
 
@@ -939,10 +950,9 @@ class ShardedDiskCacheStore:
             _, valid_end = self._read_delta_records()
             if valid_end < size:
                 logger.warning(
-                    "cache store %s delta log has a torn tail; trimming "
-                    "%d byte(s) before appending",
-                    self.path,
-                    size - valid_end,
+                    "store.delta_trimmed",
+                    path=str(self.path),
+                    trimmed_bytes=size - valid_end,
                 )
                 with open(path, "r+b") as handle:
                     handle.truncate(valid_end)
@@ -989,8 +999,9 @@ class ShardedDiskCacheStore:
                 or header.get("fingerprint_digest") != self.digest
             ):
                 logger.warning(
-                    "cache store bucket %s is stale; treating it as empty",
-                    path,
+                    "store.bucket_stale",
+                    path=str(path),
+                    outcome="treating it as empty",
                 )
                 return {}
             keys = pickle.loads(bytes(memoryview(sections["keys"])))
@@ -999,11 +1010,10 @@ class ShardedDiskCacheStore:
             # A corrupt/foreign/truncated bucket file costs warmth for
             # this bucket only, never the run.
             logger.warning(
-                "cache store bucket %s is unreadable (%s: %s); treating "
-                "it as empty",
-                path,
-                type(error).__name__,
-                error,
+                "store.bucket_unreadable",
+                path=str(path),
+                error=f"{type(error).__name__}: {error}",
+                outcome="treating it as empty",
             )
             return {}
         try:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import socket
 
 from repro.core.results import TableAnnotation
+from repro.observability import tracing
 from repro.service import protocol
 from repro.service.protocol import ProtocolError, Request
 from repro.tables.model import Table
@@ -78,25 +79,58 @@ class ServiceClient:
         snapshot (plus uptime and batching configuration)."""
         return self._request(protocol.stats_request(self._id()))
 
+    def metrics(self) -> str:
+        """The daemon's metrics registry as Prometheus text exposition."""
+        result = self._request(protocol.metrics_request(self._id()))
+        return result.get("exposition", "")
+
     def annotate_table(
-        self, table: Table, type_keys: list[str]
+        self,
+        table: Table,
+        type_keys: list[str],
+        trace_id: str | None = None,
     ) -> TableAnnotation:
         """Annotate *table*; returns the same :class:`TableAnnotation` an
-        in-process ``annotate_table`` call would (byte-identical)."""
+        in-process ``annotate_table`` call would (byte-identical).
+
+        *trace_id* (default: the caller's active trace, if tracing is on)
+        rides the wire so the daemon's admission/batch spans link back to
+        this client's trace.
+        """
         result = self._request(
-            protocol.annotate_table_request(table, type_keys, self._id())
+            protocol.annotate_table_request(
+                table, type_keys, self._id(), trace_id=self._trace_id(trace_id)
+            )
         )
         return protocol.annotation_from_payload(result["annotation"])
 
     def annotate_cells(
-        self, values: list[str], type_keys: list[str], name: str = "cells"
+        self,
+        values: list[str],
+        type_keys: list[str],
+        name: str = "cells",
+        trace_id: str | None = None,
     ) -> list[dict | None]:
         """Annotate bare cell *values*; element *i* of the answer is the
         decision for value *i* (``None`` when unannotated)."""
         result = self._request(
-            protocol.annotate_cells_request(values, type_keys, self._id(), name)
+            protocol.annotate_cells_request(
+                values,
+                type_keys,
+                self._id(),
+                name,
+                trace_id=self._trace_id(trace_id),
+            )
         )
         return result["cells"]
+
+    @staticmethod
+    def _trace_id(explicit: str | None) -> str | None:
+        if explicit is not None:
+            return explicit
+        if tracing.tracing_enabled():
+            return tracing.current_trace_id()
+        return None
 
     def shutdown(self) -> dict:
         """Ask the daemon to drain, flush its caches and exit."""

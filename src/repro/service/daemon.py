@@ -44,6 +44,9 @@ from dataclasses import dataclass
 
 from repro.core.annotator import EntityAnnotator
 from repro.core.results import ServiceStats, TableAnnotation
+from repro.observability import metrics as obs_metrics
+from repro.observability import tracing
+from repro.observability.tracing import span
 from repro.persistence import PeriodicFlusher
 from repro.service import protocol
 from repro.service.protocol import (
@@ -235,10 +238,40 @@ class AnnotationService:
     # -- request admission --------------------------------------------------------------
 
     def submit(self, request: Request) -> Response:
-        """Answer one request (blocking; annotation ops wait for their batch)."""
+        """Answer one request (blocking; annotation ops wait for their batch).
+
+        Every request is measured into the process-wide metrics registry
+        (a counter per op plus latency histograms -- the surface the
+        ``metrics`` op exposes) and, when tracing is enabled, wrapped in a
+        ``service.request`` span tagged with the caller's ``trace_id``.
+        """
+        t0 = time.perf_counter()
+        if request.trace_id is not None:
+            tracing.set_trace_id(request.trace_id)
+        try:
+            with span(
+                "service.request", op=request.op, request_id=request.request_id
+            ):
+                response = self._submit(request)
+        finally:
+            if request.trace_id is not None:
+                tracing.set_trace_id(None)
+        elapsed = time.perf_counter() - t0
+        registry = obs_metrics.get_registry()
+        registry.inc("service.requests")
+        registry.inc(f"service.requests.{request.op}")
+        if not response.ok:
+            registry.inc("service.request_errors")
+        registry.observe("service.request_latency_seconds", elapsed)
+        if request.op in ANNOTATE_OPS:
+            registry.observe("service.annotate_latency_seconds", elapsed)
+        return response
+
+    def _submit(self, request: Request) -> Response:
         handler = {
             "ping": self._ping,
             "stats": self._stats_snapshot,
+            "metrics": self._metrics,
             "shutdown": self._shutdown,
         }.get(request.op)
         if handler is not None:
@@ -314,6 +347,21 @@ class AnnotationService:
         payload["cache_backend"] = self.annotator.config.cache_backend
         return Response(ok=True, request_id=request.request_id, result=payload)
 
+    def _metrics(self, request: Request) -> Response:
+        """The process-wide registry as Prometheus text exposition."""
+        with self._pending_lock:
+            depth = self._pending_count
+        registry = obs_metrics.get_registry()
+        registry.set_gauge("service.pending_requests", depth)
+        registry.set_gauge(
+            "service.uptime_seconds", time.monotonic() - self.started_at
+        )
+        return Response(
+            ok=True,
+            request_id=request.request_id,
+            result={"exposition": registry.render_prometheus()},
+        )
+
     def _shutdown(self, request: Request) -> Response:
         """Drain the queue, flush, and confirm -- the daemon closes after."""
         self._draining = True
@@ -364,7 +412,10 @@ class AnnotationService:
             self._annotate_group(group, list(type_keys))
 
     def _annotate_group(
-        self, group: list[_Pending], type_keys: list[str]
+        self,
+        group: list[_Pending],
+        type_keys: list[str],
+        bisect_depth: int = 0,
     ) -> None:
         """One pooled pass, with batch-poison isolation on failure.
 
@@ -376,19 +427,42 @@ class AnnotationService:
         else is served by the successful sub-passes.  A healthy batch
         costs zero extra passes; a single poison among N costs
         O(log N) extra pooled passes.
+
+        With tracing enabled, each pooled pass is one ``service.batch``
+        span tagged with every coalesced request's ``trace_id`` -- the
+        bisection retries show up as further ``service.batch`` spans with
+        increasing ``bisect_depth``, so a poisoned batch's recovery path
+        is visible as linked retry spans in the exported trace.
         """
+        trace_ids = [
+            pending.request.trace_id
+            for pending in group
+            if pending.request.trace_id
+        ]
+        registry = obs_metrics.get_registry()
+        tracing.set_trace_id(trace_ids[0] if trace_ids else None)
+        batch_t0 = time.perf_counter()
         try:
-            with self._annotator_lock:
-                result = self.annotator.annotate_batch(
-                    [pending.table for pending in group],
-                    type_keys,
-                    workers=self.config.workers,
-                )
+            with span(
+                "service.batch",
+                n_requests=len(group),
+                type_keys=list(type_keys),
+                trace_ids=trace_ids,
+                bisect_depth=bisect_depth,
+            ):
+                with self._annotator_lock:
+                    result = self.annotator.annotate_batch(
+                        [pending.table for pending in group],
+                        type_keys,
+                        workers=self.config.workers,
+                    )
         except Exception as error:  # answer, never kill the batcher
+            registry.inc("service.batch_failures")
             if len(group) == 1:
                 pending = group[0]
                 with self._stats_lock:
                     self.stats.poisoned_requests += 1
+                registry.inc("service.poisoned_requests")
                 pending.resolve(
                     Response(
                         ok=False,
@@ -398,9 +472,16 @@ class AnnotationService:
                 )
                 return
             middle = len(group) // 2
-            self._annotate_group(group[:middle], type_keys)
-            self._annotate_group(group[middle:], type_keys)
+            self._annotate_group(group[:middle], type_keys, bisect_depth + 1)
+            self._annotate_group(group[middle:], type_keys, bisect_depth + 1)
             return
+        finally:
+            tracing.set_trace_id(None)
+        registry.inc("service.batches")
+        registry.inc("service.batched_requests", len(group))
+        registry.observe(
+            "service.batch_latency_seconds", time.perf_counter() - batch_t0
+        )
         with self._stats_lock:
             self.stats.record_batch(len(group), result.diagnostics)
         for pending, annotation in zip(group, result.annotations):

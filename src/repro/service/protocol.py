@@ -16,6 +16,10 @@ Operations:
     liveness + version handshake;
 ``stats``
     a :class:`~repro.core.results.ServiceStats` snapshot;
+``metrics``
+    the daemon's process-wide metrics registry rendered as
+    Prometheus-style text exposition (``{"exposition": "..."}``) for a
+    fleet scraper to poll;
 ``annotate_table``
     payload ``{"table": <table payload>, "type_keys": [...]}``, answered
     with ``{"annotation": <annotation payload>}``;
@@ -47,7 +51,7 @@ PROTOCOL_VERSION = 1
 """Bumped whenever a message's field semantics change; the daemon answers
 a foreign version with an error instead of misreading it."""
 
-OPS = ("ping", "stats", "annotate_table", "annotate_cells", "shutdown")
+OPS = ("ping", "stats", "metrics", "annotate_table", "annotate_cells", "shutdown")
 """Every operation the daemon understands."""
 
 ANNOTATE_OPS = ("annotate_table", "annotate_cells")
@@ -71,6 +75,10 @@ class Request:
     payload: dict = field(default_factory=dict)
     request_id: str = ""
     version: int = PROTOCOL_VERSION
+    trace_id: str | None = None
+    """Caller-minted trace identifier.  Optional and omitted from the
+    wire when absent, so untraced clients produce byte-identical lines
+    to the pre-observability format."""
 
 
 @dataclass(frozen=True)
@@ -89,18 +97,15 @@ class Response:
 
 def encode_request(request: Request) -> bytes:
     """*request* as one newline-terminated JSON line."""
-    return (
-        json.dumps(
-            {
-                "v": request.version,
-                "id": request.request_id,
-                "op": request.op,
-                "payload": request.payload,
-            },
-            ensure_ascii=False,
-        ).encode("utf-8")
-        + b"\n"
-    )
+    blob: dict = {
+        "v": request.version,
+        "id": request.request_id,
+        "op": request.op,
+        "payload": request.payload,
+    }
+    if request.trace_id is not None:
+        blob["trace_id"] = request.trace_id
+    return json.dumps(blob, ensure_ascii=False).encode("utf-8") + b"\n"
 
 
 def decode_request(line: bytes | str) -> Request:
@@ -119,11 +124,15 @@ def decode_request(line: bytes | str) -> Request:
     payload = blob.get("payload", {})
     if not isinstance(payload, dict):
         raise ProtocolError("request payload must be an object")
+    trace_id = blob.get("trace_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ProtocolError("trace_id must be a string when present")
     return Request(
         op=op,
         payload=payload,
         request_id=str(blob.get("id", "")),
         version=version,
+        trace_id=trace_id,
     )
 
 
@@ -184,12 +193,19 @@ def stats_request(request_id: str = "") -> Request:
     return Request(op="stats", request_id=request_id)
 
 
+def metrics_request(request_id: str = "") -> Request:
+    return Request(op="metrics", request_id=request_id)
+
+
 def shutdown_request(request_id: str = "") -> Request:
     return Request(op="shutdown", request_id=request_id)
 
 
 def annotate_table_request(
-    table: Table, type_keys: list[str], request_id: str = ""
+    table: Table,
+    type_keys: list[str],
+    request_id: str = "",
+    trace_id: str | None = None,
 ) -> Request:
     """An ``annotate_table`` request carrying *table* by value."""
     return Request(
@@ -199,6 +215,7 @@ def annotate_table_request(
             "type_keys": list(type_keys),
         },
         request_id=request_id,
+        trace_id=trace_id,
     )
 
 
@@ -207,6 +224,7 @@ def annotate_cells_request(
     type_keys: list[str],
     request_id: str = "",
     name: str = "cells",
+    trace_id: str | None = None,
 ) -> Request:
     """An ``annotate_cells`` request: bare cell values, no table framing."""
     return Request(
@@ -217,6 +235,7 @@ def annotate_cells_request(
             "name": name,
         },
         request_id=request_id,
+        trace_id=trace_id,
     )
 
 

@@ -42,12 +42,13 @@ across backends.  ``tests/test_index_backends.py`` pins this.
 
 from __future__ import annotations
 
-import logging
 from pathlib import Path
 from typing import Iterator, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.observability.log import get_logger
+from repro.observability.tracing import span
 from repro.persistence import (
     ArtifactError,
     open_array_artifact,
@@ -56,7 +57,7 @@ from repro.persistence import (
 from repro.web.documents import WebPage
 from repro.web.index import InvertedIndex, Posting
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 INDEX_ARTIFACT_KIND = "inverted-index"
 """``kind`` guard of index artifacts in the persistence container."""
@@ -218,15 +219,17 @@ class FrozenMmapIndex:
     @classmethod
     def open(cls, path, lock_timeout: float | None = None) -> "FrozenMmapIndex":
         """Open the artifact at *path*; raises :class:`ArtifactError`."""
-        header, sections = open_array_artifact(
-            path, INDEX_ARTIFACT_KIND, lock_timeout=lock_timeout
-        )
-        if header.get("layout_version") != INDEX_LAYOUT_VERSION:
-            raise ArtifactError(
-                f"{path} uses index layout {header.get('layout_version')!r}, "
-                f"expected {INDEX_LAYOUT_VERSION}"
+        with span("index.attach", path=str(path)):
+            header, sections = open_array_artifact(
+                path, INDEX_ARTIFACT_KIND, lock_timeout=lock_timeout
             )
-        return cls(path, header, sections)
+            if header.get("layout_version") != INDEX_LAYOUT_VERSION:
+                raise ArtifactError(
+                    f"{path} uses index layout "
+                    f"{header.get('layout_version')!r}, "
+                    f"expected {INDEX_LAYOUT_VERSION}"
+                )
+            return cls(path, header, sections)
 
     def __reduce__(self):
         return (FrozenMmapIndex.open, (str(self.path),))
@@ -363,7 +366,10 @@ def ensure_index_artifact(
             frozen = FrozenMmapIndex.open(path, lock_timeout=lock_timeout)
         except ArtifactError as error:
             logger.warning(
-                "index artifact %s is unusable (%s); rebuilding", path, error
+                "index.artifact_unusable",
+                path=str(path),
+                error=str(error),
+                outcome="rebuilding",
             )
         else:
             if (
@@ -372,7 +378,10 @@ def ensure_index_artifact(
             ):
                 return frozen
             logger.info(
-                "index artifact %s is stale for this corpus; rebuilding", path
+                "index.artifact_stale",
+                path=str(path),
+                outcome="rebuilding",
             )
-    build_index_artifact(index, path, lock_timeout=lock_timeout)
+    with span("index.build", path=str(path), n_documents=index.n_documents):
+        build_index_artifact(index, path, lock_timeout=lock_timeout)
     return FrozenMmapIndex.open(path, lock_timeout=lock_timeout)

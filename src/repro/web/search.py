@@ -80,6 +80,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.clock import VirtualClock
+from repro.observability.tracing import span
 from repro.persistence import CacheStore, load_cache_payload, save_cache_payload
 from repro.resilience import FaultPlan, deterministic_unit
 from repro.text.stopwords import ENGLISH_STOPWORDS
@@ -285,13 +286,15 @@ class SearchEngine:
             raise ValueError(f"k must be >= 1, got {k}")
         self._validate_caches()
         resolved: dict[str, list[SearchResult] | None] = {}
-        for query in queries:
-            if query in resolved:
-                continue
-            if self._issue_request(query) is not None:
-                resolved[query] = None
-                continue
-            resolved[query] = self._ranked_results(query, k)
+        with span("search.search_many", n_queries=len(queries)) as many_span:
+            for query in queries:
+                if query in resolved:
+                    continue
+                if self._issue_request(query) is not None:
+                    resolved[query] = None
+                    continue
+                resolved[query] = self._ranked_results(query, k)
+            many_span.tag(n_unique=len(resolved))
         # Copy per entry: callers may mutate their result lists without
         # corrupting the signature cache (search() hands out fresh lists too).
         return [
